@@ -1,0 +1,38 @@
+"""Shared result reporting for the benchmark harness.
+
+Each bench regenerates one paper artifact (table or figure) and records
+its rows here; a ``pytest_terminal_summary`` hook in ``conftest.py``
+prints every recorded table after the pytest-benchmark timing table, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+the reproduced numbers alongside the timings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+_REPORTS: List[Tuple[str, List[str]]] = []
+
+
+def record(title: str, lines: Iterable[str]) -> None:
+    """Register one experiment's result block for the final summary."""
+    _REPORTS.append((title, [str(line) for line in lines]))
+
+
+def table(headers: Iterable[str], rows: Iterable[Iterable[object]]
+          ) -> List[str]:
+    """Fixed-width text table."""
+    headers = [str(h) for h in headers]
+    body = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*["-" * w for w in widths])]
+    lines.extend(fmt.format(*row) for row in body)
+    return lines
+
+
+def reports() -> List[Tuple[str, List[str]]]:
+    return list(_REPORTS)

@@ -1,0 +1,63 @@
+"""E1 (paper §II / Fig. 1): RO PUF entropy budget.
+
+The paper's point: ``N(N-1)/2`` pairwise comparisons exist but their
+bits are interdependent — total entropy is only ``log2(N!)``.  The
+bench tabulates both quantities over array sizes and shows how many
+bits each construction actually extracts from one device.
+"""
+
+from _report import record, table
+
+from repro.analysis import (
+    extraction_summary,
+    pairwise_comparisons,
+    permutation_entropy,
+)
+from repro.keygen import (
+    DistillerPairingKeyGen,
+    GroupBasedKeyGen,
+    SequentialPairingKeyGen,
+    TempAwareKeyGen,
+)
+from repro.puf import ROArray, ROArrayParams
+
+
+def run_experiment():
+    budget_rows = []
+    for n in (16, 40, 64, 128, 256, 512):
+        budget_rows.append((n, pairwise_comparisons(n),
+                            f"{permutation_entropy(n):.1f}"))
+
+    params = ROArrayParams(rows=8, cols=16, temp_slope_sigma=8e3)
+    array = ROArray(params, rng=1)
+    bits = {}
+    kg = SequentialPairingKeyGen(threshold=300e3)
+    bits["sequential pairing"] = kg.enroll(array, rng=1)[1].size
+    kg = GroupBasedKeyGen(group_threshold=120e3)
+    bits["group-based"] = kg.enroll(array, rng=1)[1].size
+    kg = DistillerPairingKeyGen(8, 16, pairing_mode="neighbor-disjoint")
+    bits["distiller+disjoint"] = kg.enroll(array, rng=1)[1].size
+    kg = DistillerPairingKeyGen(8, 16, pairing_mode="masking", k=5)
+    bits["distiller+masking(k=5)"] = kg.enroll(array, rng=1)[1].size
+    kg = TempAwareKeyGen(t_min=-10, t_max=80, threshold=150e3)
+    bits["temp-aware cooperative"] = kg.enroll(array, rng=1)[1].size
+    summary = extraction_summary(params.n, bits)
+    return budget_rows, summary
+
+
+def test_fig1_entropy_budget(benchmark):
+    budget_rows, summary = benchmark.pedantic(run_experiment, rounds=1,
+                                              iterations=1)
+    record("E1 / Fig.1+§II — entropy budget log2(N!) vs raw comparisons",
+           table(("N", "N(N-1)/2 raw bits", "log2(N!) true bits"),
+                 budget_rows))
+    rows = [(name, int(info["bits"]),
+             f"{info['budget_bits']:.1f}",
+             f"{100 * info['fraction']:.1f}%")
+            for name, info in sorted(summary.items())]
+    record("E1 — bits extracted per construction (8x16 device, N=128)",
+           table(("construction", "key bits", "budget bits",
+                  "extracted"), rows))
+    # Sanity: the invariant the paper states.
+    for name, info in summary.items():
+        assert info["bits"] <= info["budget_bits"] + 20

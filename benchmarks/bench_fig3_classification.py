@@ -1,0 +1,55 @@
+"""E3 (paper Fig. 3 / §IV-D): temperature-aware pair classification.
+
+Fig. 3 classifies neighbour pairs as good / bad / cooperating over the
+operating range.  The bench sweeps the reliability threshold ``Δf_th``
+and tabulates the class populations plus crossover-interval statistics,
+reproducing the qualitative picture: raising the threshold converts
+good pairs into cooperating and bad ones.
+"""
+
+import numpy as np
+
+from _report import record, table
+
+from repro.pairing import PairClass, TempAwareCooperative
+from repro.puf import ROArray, ROArrayParams
+
+
+def run_experiment():
+    array = ROArray(ROArrayParams(rows=8, cols=16, temp_slope_sigma=8e3),
+                    rng=7)
+    rows = []
+    intervals = None
+    for threshold in (50e3, 100e3, 150e3, 250e3, 400e3):
+        scheme = TempAwareCooperative(t_min=-10, t_max=80,
+                                      threshold=threshold)
+        profiles = scheme.profile_pairs(array, rng=3)
+        counts = {kind: 0 for kind in PairClass}
+        for profile in profiles:
+            counts[profile.kind] += 1
+        widths = [p.t_high - p.t_low for p in profiles
+                  if p.kind is PairClass.COOPERATING]
+        rows.append((f"{threshold / 1e3:.0f} kHz",
+                     counts[PairClass.GOOD],
+                     counts[PairClass.COOPERATING],
+                     counts[PairClass.BAD],
+                     counts[PairClass.MARGINAL],
+                     f"{np.mean(widths):.1f}" if widths else "-"))
+        if threshold == 150e3:
+            intervals = widths
+    return rows, intervals
+
+
+def test_fig3_pair_classification(benchmark):
+    rows, intervals = benchmark.pedantic(run_experiment, rounds=1,
+                                         iterations=1)
+    record("E3 / Fig.3 — pair classification vs Δf_th "
+           "(64 neighbour pairs, T ∈ [-10, 80] °C)",
+           table(("Δf_th", "good", "cooperating", "bad", "marginal",
+                  "mean [Tl,Th] width °C"), rows))
+    # Shape: good-pair population shrinks monotonically with Δf_th.
+    goods = [row[1] for row in rows]
+    assert all(a >= b for a, b in zip(goods, goods[1:]))
+    # Cooperating pairs exist at the operating threshold and their
+    # intervals sit inside the range.
+    assert intervals and all(0 < w < 90 for w in intervals)

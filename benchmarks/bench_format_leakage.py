@@ -1,0 +1,84 @@
+"""E12 (paper §VII-C): helper-data storage-format pitfalls.
+
+The paper's closing argument: *"many proposals are rather vague about
+their use of helper data ... subtle differences might impact security
+tremendously."*  The bench quantifies two of its examples, both leaking
+with **zero oracle queries**:
+
+* sequential pairing with *sorted* pair storage: every response bit is
+  1 by construction — the full key is public;
+* group helper data stored in *construction order*: member order equals
+  descending frequency order, i.e. the complete intra-group ranking
+  (the key) is public.
+"""
+
+import numpy as np
+
+from _report import record, table
+
+from repro.grouping import (
+    GroupingScheme,
+    kendall_encode,
+    order_from_frequencies,
+    pack_key,
+)
+from repro.keygen import SequentialPairingKeyGen
+from repro.puf import ROArray, ROArrayParams
+from repro.puf.measurement import enroll_frequencies
+
+DEVICES = 4
+
+
+def run_experiment():
+    sorted_rows = []
+    for seed in range(DEVICES):
+        array = ROArray(ROArrayParams(rows=8, cols=16), rng=600 + seed)
+        sorted_kg = SequentialPairingKeyGen(threshold=300e3,
+                                            storage_order="sorted")
+        _, sorted_key = sorted_kg.enroll(array, rng=seed)
+        random_kg = SequentialPairingKeyGen(threshold=300e3,
+                                            storage_order="randomized")
+        _, random_key = random_kg.enroll(array, rng=seed)
+        # The read-only attacker's guess under sorted storage: all ones.
+        guess = np.ones_like(sorted_key)
+        sorted_rows.append(
+            (seed, f"{100 * np.mean(guess == sorted_key):.0f}%",
+             f"{100 * max(random_key.mean(), 1 - random_key.mean()):.0f}%"))
+
+    grouping_rows = []
+    for seed in range(DEVICES):
+        array = ROArray(ROArrayParams(rows=4, cols=10), rng=700 + seed)
+        freqs = enroll_frequencies(array, 9, rng=seed)
+        leaky = GroupingScheme(120e3,
+                               storage_order="construction").enroll(freqs)
+        # Read-only attacker: stored order *is* the frequency ranking,
+        # so the predicted Kendall stream is all zeros.
+        stream = np.concatenate([
+            kendall_encode(order_from_frequencies(freqs[list(group)]))
+            for group in leaky.groups])
+        predicted = np.zeros_like(stream)
+        key = pack_key(stream, leaky.sizes)
+        guessed = pack_key(predicted, leaky.sizes)
+        grouping_rows.append(
+            (seed, stream.size,
+             f"{100 * np.mean(stream == predicted):.0f}%",
+             f"{100 * np.mean(key == guessed):.0f}%"))
+    return sorted_rows, grouping_rows
+
+
+def test_format_leakage(benchmark):
+    sorted_rows, grouping_rows = benchmark.pedantic(run_experiment,
+                                                    rounds=1,
+                                                    iterations=1)
+    record("E12 / §VII-C — sequential pairing storage order "
+           "(zero-query read-only attacker)",
+           table(("device", "key guessed (sorted storage)",
+                  "best guess (randomized storage)"), sorted_rows))
+    record("E12 / §VII-C — grouping helper stored in construction "
+           "order (zero-query read-only attacker)",
+           table(("device", "Kendall bits", "bits predicted",
+                  "packed key predicted"), grouping_rows))
+    assert all(row[1] == "100%" for row in sorted_rows)
+    assert all(row[2] == "100%" for row in grouping_rows)
+    # Randomized storage leaves the attacker near chance level.
+    assert all(float(row[2].rstrip("%")) <= 75 for row in sorted_rows)

@@ -1,0 +1,23 @@
+"""Benchmark harness configuration: print experiment tables at the end."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import reports  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    blocks = reports()
+    if not blocks:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for title, lines in blocks:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in lines:
+            terminalreporter.write_line(line)

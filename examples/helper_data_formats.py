@@ -1,0 +1,75 @@
+"""§VII-C walkthrough: helper-data formats decide between safe and broken.
+
+Demonstrates, with zero device queries, the paper's two storage-format
+pitfalls — sorted pair order for sequential pairing and construction
+order for grouping helper data — and contrasts the fuzzy-extractor
+reference solution whose helper manipulation carries no secret-dependent
+signal.
+
+Run:  python examples/helper_data_formats.py
+"""
+
+import numpy as np
+
+from repro.core import HelperDataOracle
+from repro.grouping import (
+    GroupingScheme,
+    kendall_encode,
+    order_from_frequencies,
+)
+from repro.keygen import FuzzyExtractorKeyGen, SequentialPairingKeyGen
+from repro.puf import ROArray, ROArrayParams
+from repro.puf.measurement import enroll_frequencies
+
+
+def main() -> None:
+    array = ROArray(ROArrayParams(rows=8, cols=16), rng=5)
+
+    # -- pitfall 1: sorted pair storage ---------------------------------
+    print("=== sequential pairing: pair-index storage order ===")
+    for order in ("sorted", "randomized"):
+        keygen = SequentialPairingKeyGen(threshold=300e3,
+                                         storage_order=order)
+        _, key = keygen.enroll(array, rng=1)
+        ones = key.mean()
+        print(f"  {order:<11} storage: fraction of 1-bits = {ones:.2f}"
+              + ("  <- full key public, zero queries!"
+                 if ones == 1.0 else ""))
+
+    # -- pitfall 2: construction-order group storage ---------------------
+    print("\n=== grouping helper: member storage order ===")
+    freqs = enroll_frequencies(array, 9, rng=2)
+    for order in ("construction", "sorted"):
+        helper = GroupingScheme(120e3, storage_order=order).enroll(freqs)
+        stream = np.concatenate([
+            kendall_encode(order_from_frequencies(freqs[list(group)]))
+            for group in helper.groups])
+        # Read-only attacker predicts the all-zeros Kendall stream
+        # (stored order == frequency order <=> no discordant pairs).
+        predicted = float(np.mean(stream == 0))
+        print(f"  {order:<13} storage: {100 * predicted:.0f}% of "
+              f"Kendall bits predictable from the group map alone"
+              + ("  <- the whole ranking is public!"
+                 if predicted == 1.0 else ""))
+
+    # -- the reference solution ------------------------------------------
+    print("\n=== fuzzy extractor (paper Fig. 7): no per-bit channel ===")
+    keygen = FuzzyExtractorKeyGen(8, 16, out_bits=64)
+    helper, _ = keygen.enroll(array, rng=3)
+    oracle = HelperDataOracle(array, keygen)
+    rates = []
+    for position in (0, 20, 40, 60):
+        payload = helper.extractor.sketch.payload.copy()
+        payload[position] ^= 1
+        manipulated = helper.with_extractor(
+            helper.extractor.with_sketch(
+                helper.extractor.sketch.with_payload(payload)))
+        rates.append(oracle.failure_rate(manipulated, 12))
+    print(f"  failure rate after flipping helper bit 0/20/40/60: "
+          f"{[f'{r:.2f}' for r in rates]}")
+    print("  -> identical failures regardless of secret bit values: "
+          "the §VI statistical channel does not exist here.")
+
+
+if __name__ == "__main__":
+    main()

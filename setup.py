@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships an older setuptools without the ``wheel``
+package, so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517`` take the legacy ``setup.py develop``
+path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — Key-recovery attacks on RO PUF constructions via helper data
+manipulation.
+
+A from-scratch reproduction of Delvaux & Verbauwhede, DATE 2014.  The
+package layers as the paper does:
+
+* :mod:`repro.puf` — ring-oscillator array simulator (frequencies,
+  variation, noise, measurement);
+* :mod:`repro.ecc` / :mod:`repro.fuzzy` — error correction, secure
+  sketches and the fuzzy-extractor reference solution;
+* :mod:`repro.pairing` / :mod:`repro.grouping` /
+  :mod:`repro.distiller` — the attacked helper-data constructions;
+* :mod:`repro.keygen` — end-to-end enroll/reconstruct device models;
+* :mod:`repro.core` — the paper's contribution: failure-rate hypothesis
+  testing and the four helper-data manipulation attacks;
+* :mod:`repro.analysis` — entropy/reliability accounting.
+
+Quick start::
+
+    from repro.puf import ROArray, ROArrayParams
+    from repro.keygen import SequentialPairingKeyGen
+    from repro.core import HelperDataOracle, SequentialPairingAttack
+
+    array = ROArray(ROArrayParams(rows=8, cols=16), rng=1)
+    keygen = SequentialPairingKeyGen(threshold=300e3)
+    helper, key = keygen.enroll(array, rng=2)
+
+    oracle = HelperDataOracle(array, keygen)
+    result = SequentialPairingAttack(oracle, keygen, helper).run()
+    assert (result.key == key).all()
+"""
+
+from repro import analysis, core, distiller, ecc, fuzzy, grouping, \
+    keygen, pairing, puf
+from repro._rng import ensure_rng, spawn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "distiller",
+    "ecc",
+    "fuzzy",
+    "grouping",
+    "keygen",
+    "pairing",
+    "puf",
+    "ensure_rng",
+    "spawn",
+    "__version__",
+]

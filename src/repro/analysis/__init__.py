@@ -1,0 +1,57 @@
+"""Entropy, reliability and statistics toolbox."""
+
+from repro.analysis.entropy import (
+    bit_bias,
+    bit_correlation_matrix,
+    extraction_summary,
+    fractional_hamming_distance,
+    inter_device_distances,
+    intra_device_distances,
+    leaked_parity_count,
+    min_entropy_per_bit,
+    pairwise_comparisons,
+    permutation_entropy,
+    shannon_entropy_per_bit,
+)
+from repro.analysis.reliability import (
+    ecc_failure_probability,
+    empirical_bit_error_rate,
+    failure_rate_gap,
+    flip_probability,
+    gaussian_cdf,
+    pair_flip_probabilities,
+    poisson_binomial_pmf,
+)
+from repro.analysis.stats import (
+    SummaryStats,
+    expected_queries_per_relation,
+    histogram,
+    hoeffding_bound,
+    wilson_interval,
+)
+
+__all__ = [
+    "bit_bias",
+    "bit_correlation_matrix",
+    "extraction_summary",
+    "fractional_hamming_distance",
+    "inter_device_distances",
+    "intra_device_distances",
+    "leaked_parity_count",
+    "min_entropy_per_bit",
+    "pairwise_comparisons",
+    "permutation_entropy",
+    "shannon_entropy_per_bit",
+    "ecc_failure_probability",
+    "empirical_bit_error_rate",
+    "failure_rate_gap",
+    "flip_probability",
+    "gaussian_cdf",
+    "pair_flip_probabilities",
+    "poisson_binomial_pmf",
+    "SummaryStats",
+    "expected_queries_per_relation",
+    "histogram",
+    "hoeffding_bound",
+    "wilson_interval",
+]

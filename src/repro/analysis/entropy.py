@@ -1,0 +1,132 @@
+"""Entropy accounting for RO PUF constructions (paper §II, §III-B, §V).
+
+The total entropy of an N-oscillator RO PUF is ``log2(N!)`` — the number
+of ways the frequencies can sort (paper §II) — and every construction
+extracts some fraction of it.  This module provides the bookkeeping:
+population bias, pairwise correlation, min-entropy, inter-/intra-device
+distances, and per-construction extraction summaries.
+"""
+
+from __future__ import annotations
+
+from math import lgamma, log2
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def permutation_entropy(n: int) -> float:
+    """``log2(n!)`` bits — the total orderable entropy of *n* oscillators."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return lgamma(n + 1) / np.log(2)
+
+
+def pairwise_comparisons(n: int) -> int:
+    """Number of raw (interdependent) pairwise comparisons ``N(N-1)/2``."""
+    return n * (n - 1) // 2
+
+
+def bit_bias(samples: np.ndarray) -> np.ndarray:
+    """Per-position probability of ``1`` across a population.
+
+    *samples* has shape ``(devices, bits)``; uniform secrets give 0.5
+    everywhere.  Deviations flag the §III-B bias problem (e.g. the
+    all-ones key of sorted-order sequential-pairing storage).
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    return samples.mean(axis=0)
+
+
+def shannon_entropy_per_bit(samples: np.ndarray) -> np.ndarray:
+    """Per-position binary Shannon entropy (bits) across a population."""
+    p = np.clip(bit_bias(samples), 1e-12, 1 - 1e-12)
+    return -(p * np.log2(p) + (1 - p) * np.log2(1 - p))
+
+
+def min_entropy_per_bit(samples: np.ndarray) -> np.ndarray:
+    """Per-position min-entropy ``-log2 max(p, 1-p)`` across a population."""
+    p = bit_bias(samples)
+    return -np.log2(np.clip(np.maximum(p, 1 - p), 0.5, 1.0))
+
+
+def bit_correlation_matrix(samples: np.ndarray) -> np.ndarray:
+    """Pearson correlation between bit positions across a population.
+
+    Systematic (spatially correlated) variation shows up as off-diagonal
+    structure — the §III-B symptom the entropy distiller removes.
+    Constant positions yield zero correlation rather than NaN.
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    if samples.shape[0] < 2:
+        raise ValueError("need at least two devices")
+    centred = samples - samples.mean(axis=0)
+    std = centred.std(axis=0)
+    std[std == 0] = np.inf
+    normalised = centred / std
+    return normalised.T @ normalised / samples.shape[0]
+
+
+def fractional_hamming_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of differing bit positions between two vectors."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("vectors must have equal length")
+    if a.size == 0:
+        return 0.0
+    return float(np.mean(a != b))
+
+
+def inter_device_distances(samples: np.ndarray) -> np.ndarray:
+    """All pairwise fractional Hamming distances across a population.
+
+    Ideal uniqueness puts the distribution at mean 0.5.
+    """
+    samples = np.atleast_2d(np.asarray(samples))
+    count = samples.shape[0]
+    distances: List[float] = []
+    for i in range(count):
+        for j in range(i + 1, count):
+            distances.append(
+                fractional_hamming_distance(samples[i], samples[j]))
+    return np.array(distances)
+
+
+def intra_device_distances(reference: np.ndarray,
+                           reads: np.ndarray) -> np.ndarray:
+    """Fractional distances of repeated reads from one device's reference.
+
+    Ideal reliability puts the distribution near 0.
+    """
+    reference = np.asarray(reference)
+    reads = np.atleast_2d(np.asarray(reads))
+    return np.array([fractional_hamming_distance(reference, read)
+                     for read in reads])
+
+
+def extraction_summary(n_ros: int,
+                       bits_per_construction: Dict[str, int]
+                       ) -> Dict[str, Dict[str, float]]:
+    """How much of the ``log2(N!)`` budget each construction extracts."""
+    budget = permutation_entropy(n_ros)
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, bits in bits_per_construction.items():
+        summary[name] = {
+            "bits": float(bits),
+            "budget_bits": budget,
+            "fraction": float(bits) / budget if budget else 0.0,
+        }
+    return summary
+
+
+def leaked_parity_count(n_coop: int) -> int:
+    """Structural leakage of the temperature-aware masking constraints.
+
+    Every cooperation record publicly asserts the linear relation
+    ``r_coop ⊕ r_good ⊕ r_assist = 0`` — one parity bit of key
+    information per cooperating pair, before any active attack.
+    """
+    if n_coop < 0:
+        raise ValueError("n_coop must be non-negative")
+    return n_coop

@@ -1,0 +1,104 @@
+"""Reliability modelling: bit-error rates and ECC failure probabilities.
+
+Provides the analytic counterparts of the Fig. 5 simulation: per-bit
+flip probabilities from frequency margins, the Poisson-binomial PMF of
+the error count at the ECC input, and the resulting key-failure rate
+``P[#errors > t]``.
+"""
+
+from __future__ import annotations
+
+from math import erf, sqrt
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def gaussian_cdf(value: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + erf(value / sqrt(2.0)))
+
+
+def flip_probability(delta: float, sigma_noise: float) -> float:
+    """Probability that measurement noise flips a pairwise comparison.
+
+    The comparison ``f_a + n_a > f_b + n_b`` flips when the noise
+    difference (std ``sigma_noise * sqrt(2)``) exceeds the nominal
+    margin ``|delta|``.  The larger the margin, the more reliable the
+    bit — the monotonicity every §IV selection scheme exploits.
+    """
+    if sigma_noise < 0:
+        raise ValueError("sigma_noise must be non-negative")
+    if sigma_noise == 0:
+        return 0.0 if delta != 0 else 0.5
+    return gaussian_cdf(-abs(delta) / (sigma_noise * sqrt(2.0)))
+
+
+def pair_flip_probabilities(deltas: Sequence[float],
+                            sigma_noise: float) -> np.ndarray:
+    """Vector version of :func:`flip_probability`."""
+    return np.array([flip_probability(d, sigma_noise) for d in deltas])
+
+
+def poisson_binomial_pmf(probs: Sequence[float]) -> np.ndarray:
+    """PMF of the number of successes of independent Bernoulli trials.
+
+    Dynamic-programming convolution, exact up to float error.  This is
+    the error-count PDF at the ECC input for independent bit flips; the
+    paper notes a binomial approximation suffices for large blocks but
+    the attacks do not rely on it — neither do we.
+    """
+    pmf = np.array([1.0])
+    for p in probs:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("probabilities must be within [0, 1]")
+        extended = np.zeros(pmf.shape[0] + 1)
+        extended[:-1] += pmf * (1.0 - p)
+        extended[1:] += pmf * p
+        pmf = extended
+    return pmf
+
+
+def ecc_failure_probability(probs: Sequence[float], t: int) -> float:
+    """``P[#errors > t]`` for independent per-bit flip probabilities."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    pmf = poisson_binomial_pmf(probs)
+    return float(pmf[t + 1:].sum())
+
+
+def failure_rate_gap(probs: Sequence[float], t: int,
+                     injected: int, extra_errors: int = 2) -> float:
+    """Analytic Fig. 5 separation between two hypotheses.
+
+    Failure rate with ``injected + extra_errors`` deterministic errors
+    minus the rate with ``injected`` alone — the distinguishing signal a
+    helper-data manipulation produces when the hypothesis is wrong.
+    Deterministic errors consume correction capability one-for-one.
+    """
+    def tail(budget: int) -> float:
+        if budget < 0:
+            return 1.0
+        return ecc_failure_probability(probs, budget)
+
+    return tail(t - injected - extra_errors) - tail(t - injected)
+
+
+def empirical_bit_error_rate(sample: Callable[[], np.ndarray],
+                             reference: np.ndarray,
+                             trials: int = 100) -> np.ndarray:
+    """Monte-Carlo per-bit error rate of a response source.
+
+    *sample* produces one fresh response read; rates are averaged
+    against *reference* over *trials* reads.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    reference = np.asarray(reference)
+    acc = np.zeros(reference.shape[0], dtype=float)
+    for _ in range(trials):
+        read = np.asarray(sample())
+        if read.shape != reference.shape:
+            raise ValueError("sample shape changed between reads")
+        acc += (read != reference)
+    return acc / trials

@@ -1,0 +1,100 @@
+"""Statistical utilities for attack-cost accounting and benches."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def hoeffding_bound(samples: int, confidence: float) -> float:
+    """Two-sided Hoeffding deviation bound for a Bernoulli mean."""
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    delta = 1.0 - confidence
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * samples))
+
+
+def wilson_interval(failures: int, samples: int,
+                    confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for an observed failure rate."""
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    if not 0 <= failures <= samples:
+        raise ValueError("failures outside [0, samples]")
+    # Normal quantile via the inverse error function expansion at the
+    # usual confidence levels; generic approximation is sufficient here.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    p = failures / samples
+    denom = 1.0 + z * z / samples
+    centre = (p + z * z / (2 * samples)) / denom
+    margin = (z / denom) * math.sqrt(
+        p * (1 - p) / samples + z * z / (4 * samples * samples))
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-3 accurate)."""
+    if not -1.0 < y < 1.0:
+        raise ValueError("erfinv domain is (-1, 1)")
+    a = 0.147
+    ln_term = math.log(1.0 - y * y)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), y)
+
+
+def expected_queries_per_relation(p_low: float, p_high: float,
+                                  confidence: float = 0.999,
+                                  max_per_side: int = 40) -> float:
+    """Expected paired-comparison cost to separate two failure rates.
+
+    Smallest sample size at which the rate gap exceeds the Hoeffding
+    criterion (doubled, as the comparer bounds both arms), capped at the
+    budget.  Returns the *total* queries (two per paired sample).
+    """
+    gap = abs(p_high - p_low)
+    if gap == 0.0:
+        return 2.0 * max_per_side
+    for samples in range(1, max_per_side + 1):
+        if gap > 2.0 * hoeffding_bound(samples, confidence):
+            return 2.0 * samples
+    return 2.0 * max_per_side
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number style summary used by the bench tables."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "SummaryStats":
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            return cls(float("nan"), float("nan"), float("nan"),
+                       float("nan"), 0)
+        return cls(float(arr.mean()), float(arr.std()),
+                   float(arr.min()), float(arr.max()), int(arr.size))
+
+    def as_row(self) -> Dict[str, float]:
+        return {"mean": self.mean, "std": self.std, "min": self.minimum,
+                "max": self.maximum, "n": self.count}
+
+
+def histogram(samples: Sequence[float], bins: int = 20
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram (densities, edges) for PDF-style plots."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    densities, edges = np.histogram(arr, bins=bins, density=True)
+    return densities, edges

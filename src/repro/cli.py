@@ -1,0 +1,226 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands
+-----------
+
+``table1``
+    Print the regenerated paper Table I (order codings for |G| = 4).
+``classify``
+    Classify neighbour pairs of a simulated device over a temperature
+    range (paper Fig. 3).
+``attack``
+    Enroll a device with one of the four attacked constructions, run
+    the corresponding §VI helper-data manipulation attack, and report
+    recovery status plus the oracle-query bill.
+``analyze``
+    Population entropy/uniqueness/reliability statistics for a device
+    family.
+
+Examples::
+
+    python -m repro.cli table1
+    python -m repro.cli attack sequential --seed 7
+    python -m repro.cli attack group-based --rows 4 --cols 10
+    python -m repro.cli classify --threshold 150e3
+    python -m repro.cli analyze --devices 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import (
+    inter_device_distances,
+    pairwise_comparisons,
+    permutation_entropy,
+)
+from repro.core import (
+    DistillerPairingAttack,
+    GroupBasedAttack,
+    HelperDataOracle,
+    SequentialPairingAttack,
+    TempAwareAttack,
+)
+from repro.grouping import table1_rows
+from repro.keygen import (
+    DistillerPairingKeyGen,
+    GroupBasedKeyGen,
+    SequentialPairingKeyGen,
+    TempAwareKeyGen,
+)
+from repro.pairing import PairClass, TempAwareCooperative
+from repro.puf import ROArray, ROArrayParams
+from repro._rng import spawn
+
+#: Constructions the ``attack`` subcommand understands.
+CONSTRUCTIONS = ("sequential", "temp-aware", "group-based", "masking",
+                 "neighbor-overlap")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Helper-data manipulation attacks on RO PUFs "
+                    "(DATE 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the regenerated Table I")
+
+    classify = sub.add_parser(
+        "classify", help="Fig. 3 pair classification of one device")
+    classify.add_argument("--rows", type=int, default=8)
+    classify.add_argument("--cols", type=int, default=16)
+    classify.add_argument("--threshold", type=float, default=150e3)
+    classify.add_argument("--t-min", type=float, default=-10.0)
+    classify.add_argument("--t-max", type=float, default=80.0)
+    classify.add_argument("--seed", type=int, default=0)
+
+    attack = sub.add_parser(
+        "attack", help="run a §VI attack against a fresh device")
+    attack.add_argument("construction", choices=CONSTRUCTIONS)
+    attack.add_argument("--rows", type=int, default=None)
+    attack.add_argument("--cols", type=int, default=None)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--method", choices=("paired", "sprt"),
+                        default="paired",
+                        help="distinguisher for the sequential attack")
+
+    analyze = sub.add_parser(
+        "analyze", help="population entropy and uniqueness statistics")
+    analyze.add_argument("--rows", type=int, default=4)
+    analyze.add_argument("--cols", type=int, default=10)
+    analyze.add_argument("--devices", type=int, default=8)
+    analyze.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_table1() -> int:
+    print(f"{'order':<6} {'compact':<8} {'Kendall':<8}")
+    for name, compact, kendall in table1_rows():
+        print(f"{name:<6} {compact:<8} {kendall:<8}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    params = ROArrayParams(rows=args.rows, cols=args.cols,
+                           temp_slope_sigma=8e3)
+    array = ROArray(params, rng=args.seed)
+    scheme = TempAwareCooperative(args.t_min, args.t_max,
+                                  args.threshold)
+    profiles = scheme.profile_pairs(array, rng=args.seed)
+    counts = {kind: 0 for kind in PairClass}
+    for profile in profiles:
+        counts[profile.kind] += 1
+    print(f"device {args.rows}x{args.cols} seed {args.seed}, "
+          f"T in [{args.t_min}, {args.t_max}] °C, "
+          f"threshold {args.threshold / 1e3:.0f} kHz:")
+    for kind in PairClass:
+        print(f"  {kind.value:<12} {counts[kind]}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    construction = args.construction
+    default_geometry = {"sequential": (8, 16), "temp-aware": (8, 16),
+                        "group-based": (4, 10), "masking": (4, 10),
+                        "neighbor-overlap": (4, 10)}
+    rows, cols = default_geometry[construction]
+    rows = args.rows if args.rows is not None else rows
+    cols = args.cols if args.cols is not None else cols
+
+    if construction == "temp-aware":
+        params = ROArrayParams(rows=rows, cols=cols,
+                               temp_slope_sigma=8e3)
+    else:
+        params = ROArrayParams(rows=rows, cols=cols)
+    array = ROArray(params, rng=1000 + args.seed)
+
+    if construction == "sequential":
+        keygen = SequentialPairingKeyGen(threshold=300e3)
+        helper, key = keygen.enroll(array, rng=args.seed)
+        oracle = HelperDataOracle(array, keygen)
+        result = SequentialPairingAttack(oracle, keygen, helper).run(
+            method=args.method)
+        recovered = (result.key is not None
+                     and np.array_equal(result.key, key))
+    elif construction == "temp-aware":
+        keygen = TempAwareKeyGen(t_min=-10, t_max=80, threshold=150e3)
+        helper, key = keygen.enroll(array, rng=args.seed)
+        oracle = HelperDataOracle(array, keygen)
+        outcome = TempAwareAttack(oracle, keygen, helper).run()
+        n_good = len(helper.scheme.good_indices)
+        truth = key[n_good:]
+        recovered = (outcome.resolved_fraction == 1.0
+                     and np.array_equal(outcome.coop_relations,
+                                        truth ^ truth[0]))
+        result = outcome
+        key = truth
+    elif construction == "group-based":
+        keygen = GroupBasedKeyGen(group_threshold=120e3)
+        helper, key = keygen.enroll(array, rng=args.seed)
+        oracle = HelperDataOracle(array, keygen)
+        result = GroupBasedAttack(oracle, keygen, helper, rows,
+                                  cols).run()
+        recovered = bool(np.array_equal(result.key, key))
+    else:
+        mode = ("masking" if construction == "masking"
+                else "neighbor-overlap")
+        keygen = DistillerPairingKeyGen(rows, cols, pairing_mode=mode,
+                                        k=5)
+        helper, key = keygen.enroll(array, rng=args.seed)
+        oracle = HelperDataOracle(array, keygen)
+        result = DistillerPairingAttack(oracle, keygen, helper, rows,
+                                        cols).run()
+        recovered = bool(np.array_equal(result.key, key))
+
+    print(f"construction : {construction} ({rows}x{cols}, "
+          f"seed {args.seed})")
+    print(f"secret bits  : {key.size}")
+    print(f"recovered    : {'yes' if recovered else 'NO'}")
+    print(f"oracle calls : {result.queries}")
+    return 0 if recovered else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    params = ROArrayParams(rows=args.rows, cols=args.cols)
+    keygen = DistillerPairingKeyGen(args.rows, args.cols,
+                                    pairing_mode="neighbor-disjoint")
+    keys = []
+    for child in spawn(args.seed, args.devices):
+        device = ROArray(params, rng=child)
+        _, key = keygen.enroll(device, rng=child)
+        keys.append(key)
+    keys = np.stack(keys)
+    n = params.n
+    print(f"{args.devices} devices, {args.rows}x{args.cols} arrays "
+          f"(N = {n}):")
+    print(f"  raw pairwise comparisons : {pairwise_comparisons(n)}")
+    print(f"  entropy budget log2(N!)  : {permutation_entropy(n):.1f} "
+          f"bits")
+    print(f"  key bits per device      : {keys.shape[1]}")
+    inter = inter_device_distances(keys)
+    print(f"  inter-device distance    : {inter.mean():.3f} "
+          f"(ideal 0.5)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "classify":
+        return _cmd_classify(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

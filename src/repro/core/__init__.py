@@ -1,0 +1,67 @@
+"""The paper's contribution: helper-data manipulation attacks (§VI).
+
+Failure-rate hypothesis testing (Fig. 5) plus one attack driver per
+construction: sequential pairing (§VI-A), temperature-aware cooperative
+(§VI-B), group-based (§VI-C, Fig. 6a) and distiller + pairing (§VI-D,
+Fig. 6b/6c).
+"""
+
+from repro.core.framework import (
+    ComparisonOutcome,
+    FailureRateComparer,
+    SelectionOutcome,
+    repair_with_commitment,
+    select_hypothesis,
+)
+from repro.core.injection import (
+    break_inversions,
+    flip_orientations,
+    injected_values,
+    pair_cells_by_value,
+    predicted_pair_bits,
+    swap_positions,
+    symmetric_quadratic,
+)
+from repro.core.oracle import HelperDataOracle
+from repro.core.sprt import SPRTDistinguisher, SPRTOutcome
+from repro.core.sequential_attack import (
+    SequentialAttackResult,
+    SequentialPairingAttack,
+)
+from repro.core.temp_aware_attack import (
+    ParityUnionFind,
+    TempAwareAttack,
+    TempAwareAttackResult,
+)
+from repro.core.group_attack import GroupAttackResult, GroupBasedAttack
+from repro.core.distiller_attack import (
+    DistillerAttackResult,
+    DistillerPairingAttack,
+)
+
+__all__ = [
+    "ComparisonOutcome",
+    "FailureRateComparer",
+    "SelectionOutcome",
+    "repair_with_commitment",
+    "select_hypothesis",
+    "break_inversions",
+    "flip_orientations",
+    "injected_values",
+    "pair_cells_by_value",
+    "predicted_pair_bits",
+    "swap_positions",
+    "symmetric_quadratic",
+    "HelperDataOracle",
+    "SPRTDistinguisher",
+    "SPRTOutcome",
+    "SequentialAttackResult",
+    "SequentialPairingAttack",
+    "TempAwareAttackResult",
+    "TempAwareAttack",
+    "ParityUnionFind",
+    "GroupAttackResult",
+    "GroupBasedAttack",
+    "DistillerAttackResult",
+    "DistillerPairingAttack",
+]

@@ -1,0 +1,228 @@
+"""Statistical framework of the helper-data manipulation attacks
+(paper §VI, Fig. 5).
+
+Response bits are attacked one by one (or in small groups).  Each
+hypothesis about the bits corresponds to a specific helper-data
+manipulation; the hypotheses are distinguished by their key-regeneration
+*failure rates*: the correct hypothesis leaves the error count at the
+ECC input lower, hence fails less often.  Error injection shifts all
+hypotheses' error PDFs toward the correction boundary ``t`` so that the
+rate gap becomes observable with few queries (the "common offset" of
+Fig. 5).
+
+Two distinguishers are provided:
+
+* :class:`FailureRateComparer` — paired adaptive comparison of two
+  helpers with Hoeffding early stopping; used when hypotheses form a
+  binary choice (equal/unequal, 0/1).
+* :func:`select_hypothesis` — fixed-budget arg-min selection over many
+  labelled helpers; used for the multi-bit ``2^u``-hypothesis variants
+  (paper Fig. 6c).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.oracle import HelperDataOracle
+from repro.keygen.base import OperatingPoint, key_check_digest
+
+
+@dataclass(frozen=True)
+class ComparisonOutcome:
+    """Result of a paired failure-rate comparison.
+
+    ``decision`` is ``"a"`` or ``"b"`` for the helper with the *lower*
+    estimated failure rate, or ``"tie"`` when the budget ran out without
+    statistically meaningful separation.
+    """
+
+    decision: str
+    queries: int
+    failures_a: int
+    failures_b: int
+    samples: int
+
+    @property
+    def rate_a(self) -> float:
+        return self.failures_a / self.samples if self.samples else 0.0
+
+    @property
+    def rate_b(self) -> float:
+        return self.failures_b / self.samples if self.samples else 0.0
+
+
+class FailureRateComparer:
+    """Adaptive paired comparison of two helpers' failure rates.
+
+    Queries the two helpers alternately and stops as soon as the
+    empirical rate difference exceeds a two-sided Hoeffding bound at the
+    configured confidence, or when the per-side budget is exhausted
+    (then deciding by majority, with ``"tie"`` on equality).
+    """
+
+    def __init__(self, max_queries_per_side: int = 40,
+                 min_queries_per_side: int = 3,
+                 confidence: float = 0.999,
+                 identical_stop: Optional[int] = 6):
+        """
+        Parameters
+        ----------
+        identical_stop:
+            When both helpers show *identical extreme* behaviour (both
+            zero failures, or both all failures) after this many paired
+            samples, stop and report a tie.  In the engineered Fig. 5
+            regime — injection placing the correct hypothesis just below
+            the ECC boundary and a wrong one just above — "both never
+            fail" already refutes the unequal hypothesis, so waiting for
+            the full budget is wasted queries.  Set ``None`` to disable
+            for un-engineered comparisons.
+        """
+        if not 0.5 < confidence < 1.0:
+            raise ValueError("confidence must be in (0.5, 1)")
+        if min_queries_per_side < 1:
+            raise ValueError("min_queries_per_side must be positive")
+        if max_queries_per_side < min_queries_per_side:
+            raise ValueError("max budget below minimum budget")
+        self._max = int(max_queries_per_side)
+        self._min = int(min_queries_per_side)
+        self._confidence = float(confidence)
+        self._identical_stop = (None if identical_stop is None
+                                else int(identical_stop))
+
+    def _bound(self, samples: int) -> float:
+        """Hoeffding bound on the difference of two Bernoulli means."""
+        delta = 1.0 - self._confidence
+        return 2.0 * math.sqrt(math.log(2.0 / delta) / (2.0 * samples))
+
+    @staticmethod
+    def _significant(failures_a: int, failures_b: int,
+                     samples: int, z_threshold: float = 3.0) -> bool:
+        """Two-proportion z-test at budget exhaustion.
+
+        A raw-majority decision on exhaustion would turn two *equal*
+        moderate failure rates into a coin flip; insignificant
+        differences must resolve to a tie instead.
+        """
+        p_a = failures_a / samples
+        p_b = failures_b / samples
+        variance = (p_a * (1 - p_a) + p_b * (1 - p_b)) / samples
+        if variance == 0.0:
+            return p_a != p_b
+        return abs(p_a - p_b) / math.sqrt(variance) > z_threshold
+
+    def compare(self, oracle: HelperDataOracle, helper_a, helper_b,
+                op: Optional[OperatingPoint] = None) -> ComparisonOutcome:
+        """Decide which helper fails less often."""
+        start = oracle.queries
+        failures_a = 0
+        failures_b = 0
+        samples = 0
+        separated = False
+        for _ in range(self._max):
+            failures_a += 0 if oracle.query(helper_a, op) else 1
+            failures_b += 0 if oracle.query(helper_b, op) else 1
+            samples += 1
+            if samples < self._min:
+                continue
+            # Fast path: perfectly separated outcomes.  If one helper
+            # never failed while the other always did, the posterior odds
+            # of the rates being equal decay as 2^-samples; a handful of
+            # samples already beats the Hoeffding criterion by orders of
+            # magnitude (the near-deterministic regime the error
+            # injection engineers on purpose).
+            if {failures_a, failures_b} == {0, samples}:
+                separated = True
+                break
+            if (self._identical_stop is not None
+                    and samples >= self._identical_stop
+                    and failures_a == failures_b
+                    and failures_a in (0, samples)):
+                break
+            gap = abs(failures_a - failures_b) / samples
+            if gap > self._bound(samples):
+                separated = True
+                break
+        if not separated:
+            separated = self._significant(failures_a, failures_b,
+                                          samples)
+        if not separated or failures_a == failures_b:
+            decision = "tie"
+        elif failures_a < failures_b:
+            decision = "a"
+        else:
+            decision = "b"
+        return ComparisonOutcome(decision, oracle.queries - start,
+                                 failures_a, failures_b, samples)
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """Result of an arg-min hypothesis selection."""
+
+    label: Hashable
+    queries: int
+    rates: Dict[Hashable, float]
+
+
+def select_hypothesis(oracle: HelperDataOracle,
+                      helpers: Dict[Hashable, object],
+                      queries_per_hypothesis: int = 8,
+                      op: Optional[OperatingPoint] = None,
+                      early_stop: bool = True) -> SelectionOutcome:
+    """Pick the hypothesis whose helper data fails least often.
+
+    With *early_stop*, a hypothesis that records zero failures over its
+    full budget short-circuits the scan — with well-chosen error
+    injection only the correct hypothesis behaves that way, which is
+    what keeps the ``2^u`` multi-bit variants affordable.
+    """
+    if not helpers:
+        raise ValueError("need at least one hypothesis")
+    start = oracle.queries
+    rates: Dict[Hashable, float] = {}
+    best: Tuple[float, Hashable] = (math.inf, None)
+    for label, helper in helpers.items():
+        failures = 0
+        for i in range(queries_per_hypothesis):
+            failures += 0 if oracle.query(helper, op) else 1
+        rate = failures / queries_per_hypothesis
+        rates[label] = rate
+        if rate < best[0]:
+            best = (rate, label)
+        if early_stop and failures == 0:
+            break
+    return SelectionOutcome(best[1], oracle.queries - start, rates)
+
+
+def repair_with_commitment(key: np.ndarray, commitment: bytes,
+                           max_flips: int = 2) -> Optional[np.ndarray]:
+    """Offline low-weight repair of a recovered key against the public
+    key-check commitment.
+
+    Marginal response bits (|Δf| comparable to the noise floor) are
+    genuine coin flips at reconstruction time, so a statistical attack
+    can land on the opposite side of the value frozen at enrollment.
+    Because the commitment digest is itself *public helper data*, the
+    attacker fixes such bits for free: enumerate all flip patterns up to
+    weight *max_flips* and test digests offline — zero device queries.
+
+    Returns the corrected key, the unmodified key when it already
+    matches, or ``None`` if no candidate within the radius matches.
+    """
+    key = np.asarray(key, dtype=np.uint8)
+    if key_check_digest(key) == commitment:
+        return key.copy()
+    positions = range(key.shape[0])
+    for weight in range(1, max_flips + 1):
+        for flips in combinations(positions, weight):
+            candidate = key.copy()
+            candidate[list(flips)] ^= 1
+            if key_check_digest(candidate) == commitment:
+                return candidate
+    return None

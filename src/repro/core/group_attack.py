@@ -1,0 +1,192 @@
+"""Full key recovery on the group-based RO PUF (paper §VI-C, Fig. 6a).
+
+The attacker controls every helper component of Fig. 4 and uses that to
+*reprogram* the device key:
+
+1. **Polynomial injection** — a steep quadratic added to the stored
+   distiller coefficients overshadows the random frequency variation
+   everywhere except at one attacker-chosen target pair of oscillators,
+   whose injected values cancel by symmetry (the triangle-marked
+   extremum of Fig. 6a).
+2. **Repartitioning** — the group helper data is rewritten into pairs
+   whose injected discrepancies are enormous, so every response bit
+   except the target's is attacker-determined.
+3. **ECC/key-check reprogramming** — redundancy and commitment are
+   recomputed for each hypothesis about the target bit, with extra
+   reference-bit inversions as deterministic error injection.
+
+One paired failure-rate comparison then reveals whether the target
+oscillator's residual exceeds its partner's.  Driving a comparison sort
+with this oracle recovers the full frequency order of every *original*
+group — i.e. the complete device key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.framework import (
+    FailureRateComparer,
+    repair_with_commitment,
+)
+from repro.core.injection import (
+    pair_cells_by_value,
+    predicted_pair_bits,
+    symmetric_quadratic,
+)
+from repro.core.oracle import HelperDataOracle
+from repro.keygen.base import OperatingPoint, key_check_digest
+from repro.keygen.group_based import GroupBasedKeyGen, GroupBasedKeyHelper
+from repro.grouping.kendall import kendall_encode
+from repro.grouping.packing import pack_key
+
+
+@dataclass(frozen=True)
+class GroupAttackResult:
+    """Outcome of the §VI-C attack.
+
+    ``orders[j]`` is the recovered descending-residual order of stored
+    group ``j`` (as label positions into the stored member tuple);
+    ``key`` is the reassembled packed key and ``confirmed`` records
+    whether its digest matches the device's public commitment.
+    """
+
+    orders: Tuple[Tuple[int, ...], ...]
+    key: np.ndarray
+    confirmed: bool
+    queries: int
+    comparisons: int
+
+
+class GroupBasedAttack:
+    """Drives the §VI-C attack against an oracle-wrapped device."""
+
+    def __init__(self, oracle: HelperDataOracle, keygen: GroupBasedKeyGen,
+                 helper: GroupBasedKeyHelper, rows: int, cols: int,
+                 comparer: Optional[FailureRateComparer] = None,
+                 steepness: float = 1e12,
+                 injected_errors: Optional[int] = None):
+        self._oracle = oracle
+        self._keygen = keygen
+        self._helper = helper
+        self._rows = int(rows)
+        self._cols = int(cols)
+        self._comparer = comparer or FailureRateComparer()
+        self._steepness = float(steepness)
+        self._injected = injected_errors
+        self._comparisons = 0
+        # Injected-value collisions are exact by construction; any two
+        # distinct values differ by at least steepness / (rows + 1)^2.
+        self._margin = steepness / (2.0 * (rows + 1) ** 2)
+
+    # ------------------------------------------------------------------
+
+    def _cell_xy(self, index: int) -> Tuple[float, float]:
+        return float(index % self._cols), float(index // self._cols)
+
+    def _attack_helpers(self, u: int, v: int
+                        ) -> Tuple[GroupBasedKeyHelper,
+                                   GroupBasedKeyHelper]:
+        """Hypothesis helpers for "residual(u) > residual(v)" ∈ {0, 1}."""
+        payload = symmetric_quadratic(self._cell_xy(u), self._cell_xy(v),
+                                      self._rows, self._steepness)
+        cells = self._rows * self._cols
+        xs = np.arange(cells) % self._cols
+        ys = np.arange(cells) // self._cols
+        values = -payload(xs.astype(float), ys.astype(float))
+
+        forced = pair_cells_by_value(values, exclude=(u, v),
+                                     min_gap=self._margin)
+        groups = [(u, v)] + forced
+        grouping = self._helper.grouping.with_groups(groups)
+
+        # Kendall bit of a stored 2-group (a, b) is 1 iff b's residual
+        # exceeds a's, i.e. the inverse of the response-bit convention.
+        responses = predicted_pair_bits(values, forced, self._margin)
+        if any(bit < 0 for bit in responses):
+            raise AssertionError("forced pair left undetermined")
+        forced_bits = [1 - bit for bit in responses]
+
+        sketch = self._keygen.sketch_for(len(groups))
+        injected = (self._injected if self._injected is not None
+                    else sketch.code.t)
+        if injected > len(forced_bits):
+            raise ValueError("not enough forced groups to carry the "
+                             "error injection")
+        seed = np.zeros(sketch.code.k, dtype=np.uint8)
+
+        helpers = []
+        for hypothesis in (0, 1):
+            stream = np.array([hypothesis] + forced_bits, dtype=np.uint8)
+            # Deterministic injection: invert reference bits of the
+            # first `injected` forced groups ("we just compute the ECC
+            # redundancy given some inverted bit values").
+            stream[1:1 + injected] ^= 1
+            key = pack_key(stream, [2] * len(groups))
+            helpers.append(GroupBasedKeyHelper(
+                distiller=self._helper.distiller.with_added(payload),
+                grouping=grouping,
+                sketch=sketch.helper_for_response(stream, seed),
+                key_check=key_check_digest(key)))
+        return helpers[0], helpers[1]
+
+    def compare_ros(self, u: int, v: int) -> bool:
+        """Oracle-driven comparison: is ``residual(u) > residual(v)``?
+
+        The Kendall bit of the target group ``(u, v)`` is 0 when u's
+        residual is larger; hypothesis helpers carry 0 and 1 and the one
+        matching the device's secret fails less.
+        """
+        helper0, helper1 = self._attack_helpers(u, v)
+        outcome = self._comparer.compare(self._oracle, helper0, helper1)
+        self._comparisons += 1
+        return outcome.decision != "b"  # hypothesis 0 won (or tie)
+
+    # ------------------------------------------------------------------
+
+    def recover_group_order(self, members: Sequence[int]
+                            ) -> Tuple[int, ...]:
+        """Comparison-sort one stored group's members by residual.
+
+        Binary-insertion sort: ``O(g log g)`` oracle comparisons per
+        group instead of the naive ``g^2`` pairwise matrix.
+        """
+        members = [int(m) for m in members]
+        sorted_desc: List[int] = []
+        for member in members:
+            lo, hi = 0, len(sorted_desc)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self.compare_ros(sorted_desc[mid], member):
+                    lo = mid + 1
+                else:
+                    hi = mid
+            sorted_desc.insert(lo, member)
+        label_of = {member: position
+                    for position, member in enumerate(members)}
+        return tuple(label_of[m] for m in sorted_desc)
+
+    def run(self) -> GroupAttackResult:
+        """Recover every original group's order and reassemble the key."""
+        start = self._oracle.queries
+        self._comparisons = 0
+        orders = tuple(self.recover_group_order(group)
+                       for group in self._helper.grouping.groups)
+        stream = np.concatenate([kendall_encode(order)
+                                 for order in orders]) \
+            if orders else np.zeros(0, dtype=np.uint8)
+        key = pack_key(stream, self._helper.grouping.sizes)
+        # A wrong call on a marginal comparison perturbs a few packed
+        # bits; the public commitment repairs those offline.
+        repaired = repair_with_commitment(key, self._helper.key_check,
+                                          max_flips=2)
+        if repaired is not None:
+            key = repaired
+        confirmed = key_check_digest(key) == self._helper.key_check
+        return GroupAttackResult(
+            orders=orders, key=key, confirmed=confirmed,
+            queries=self._oracle.queries - start,
+            comparisons=self._comparisons)

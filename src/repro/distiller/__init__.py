@@ -1,0 +1,26 @@
+"""Regression-based entropy distiller (paper §V-A, DAC 2013).
+
+Re-exports the shared 2-D polynomial machinery from
+:mod:`repro.puf.variation` so distiller users have one import site.
+"""
+
+from repro.distiller.distiller import DistillerHelper, EntropyDistiller
+from repro.puf.variation import (
+    Polynomial2D,
+    design_matrix,
+    n_terms,
+    polynomial_terms,
+    quadratic_ridge_x,
+    tilted_plane,
+)
+
+__all__ = [
+    "DistillerHelper",
+    "EntropyDistiller",
+    "Polynomial2D",
+    "design_matrix",
+    "n_terms",
+    "polynomial_terms",
+    "quadratic_ridge_x",
+    "tilted_plane",
+]

@@ -1,0 +1,59 @@
+"""Error-correcting codes and secure sketches (built from scratch).
+
+The reliability layer of every construction in the paper: GF(2^m)
+arithmetic, BCH codes with full Berlekamp–Massey decoding, simple codes
+(trivial/repetition/Hamming), blockwise composition, and the code-offset
+and syndrome secure-sketch constructions of the fuzzy-extractor
+literature.
+"""
+
+from repro.ecc.base import BlockCode, DecodingFailure, as_bits
+from repro.ecc.bch import BCHCode, design_bch
+from repro.ecc.gf2m import (
+    GF2m,
+    PRIMITIVE_POLYNOMIALS,
+    bits_to_poly,
+    poly_degree,
+    poly_divmod,
+    poly_mod,
+    poly_mul,
+    poly_to_bits,
+)
+from repro.ecc.reed_muller import ReedMullerCode
+from repro.ecc.simple import (
+    BlockwiseCode,
+    HammingCode,
+    RepetitionCode,
+    TrivialCode,
+)
+from repro.ecc.sketch import (
+    CodeOffsetSketch,
+    SecureSketch,
+    SketchData,
+    SyndromeSketch,
+)
+
+__all__ = [
+    "BlockCode",
+    "DecodingFailure",
+    "as_bits",
+    "BCHCode",
+    "design_bch",
+    "GF2m",
+    "PRIMITIVE_POLYNOMIALS",
+    "bits_to_poly",
+    "poly_degree",
+    "poly_divmod",
+    "poly_mod",
+    "poly_mul",
+    "poly_to_bits",
+    "ReedMullerCode",
+    "BlockwiseCode",
+    "HammingCode",
+    "RepetitionCode",
+    "TrivialCode",
+    "CodeOffsetSketch",
+    "SecureSketch",
+    "SketchData",
+    "SyndromeSketch",
+]

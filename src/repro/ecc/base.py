@@ -1,0 +1,100 @@
+"""Common interface for the block codes used as PUF reliability layers.
+
+Paper §VI treats the ECC abstractly: a block code correcting ``t`` errors
+per block, with the no-ECC case as the degenerate ``t = 0``.  Every code
+in this package implements :class:`BlockCode`; key generators and attacks
+only ever see this interface, so any code can back any construction.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class DecodingFailure(Exception):
+    """Raised when a received word lies beyond the code's correction radius.
+
+    A decoding failure during key reconstruction is exactly the externally
+    observable event the paper's attacks measure (Fig. 5): the device
+    cannot regenerate its key and the application misbehaves.
+    """
+
+
+def as_bits(bits: np.ndarray, length: int = None) -> np.ndarray:
+    """Validate and normalise a 0/1 vector to ``uint8``."""
+    arr = np.asarray(bits)
+    if arr.ndim != 1:
+        raise ValueError("bit vectors must be one-dimensional")
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bit vectors must contain only 0 and 1")
+    if length is not None and arr.shape[0] != length:
+        raise ValueError(f"expected {length} bits, got {arr.shape[0]}")
+    return arr.astype(np.uint8)
+
+
+class BlockCode(abc.ABC):
+    """An ``[n, k]`` binary block code correcting ``t`` errors."""
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Codeword length in bits."""
+
+    @property
+    @abc.abstractmethod
+    def k(self) -> int:
+        """Message length in bits."""
+
+    @property
+    @abc.abstractmethod
+    def t(self) -> int:
+        """Guaranteed number of correctable errors per block."""
+
+    @abc.abstractmethod
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode a ``k``-bit message into an ``n``-bit codeword."""
+
+    @abc.abstractmethod
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        """Correct a received ``n``-bit word to the nearest codeword.
+
+        Raises
+        ------
+        DecodingFailure
+            If more than ``t`` errors are detected (or correction is
+            otherwise impossible).
+        """
+
+    @abc.abstractmethod
+    def extract(self, codeword: np.ndarray) -> np.ndarray:
+        """Recover the ``k``-bit message from a (corrected) codeword."""
+
+    @property
+    def bounded_distance(self) -> bool:
+        """Whether the decoder is a bounded-distance decoder.
+
+        Bounded-distance decoders (BCH, repetition) correct up to ``t``
+        and *fail* beyond, which is what the simple Fig. 5 injection
+        calculus assumes.  Maximum-likelihood decoders (first-order
+        Reed–Muller) always return the nearest codeword; words at
+        exactly half the minimum distance resolve deterministically but
+        data-dependently, and attackers must pick injection patterns by
+        offline search instead (see
+        ``SequentialPairingAttack._injection_positions``).
+        """
+        return True
+
+    def is_codeword(self, word: np.ndarray) -> bool:
+        """Whether *word* is exactly a codeword of this code."""
+        word = as_bits(word, self.n)
+        try:
+            corrected = self.decode(word)
+        except DecodingFailure:
+            return False
+        return bool(np.array_equal(corrected, word))
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(n={self.n}, k={self.k}, "
+                f"t={self.t})")

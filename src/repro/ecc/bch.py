@@ -1,0 +1,255 @@
+"""Binary narrow-sense BCH codes, built from first principles.
+
+The group-based RO PUF (paper §V-D) and the fuzzy-extractor reference
+solution (§VII-A) both rest on a ``t``-error-correcting block code; BCH is
+the standard choice in the PUF literature.  This implementation contains
+the complete pipeline:
+
+* generator polynomial = lcm of the minimal polynomials of
+  ``alpha^1 .. alpha^{2t}``;
+* systematic encoding by polynomial division;
+* decoding through syndromes, the Berlekamp–Massey algorithm and a Chien
+  search, with explicit :class:`~repro.ecc.base.DecodingFailure` on
+  uncorrectable words;
+* optional code *shortening*, so block lengths can be matched to the bit
+  counts the PUF constructions actually produce.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ecc.base import BlockCode, DecodingFailure, as_bits
+from repro.ecc.gf2m import GF2m, poly_degree, poly_mod, poly_mul, poly_to_bits
+
+
+class BCHCode(BlockCode):
+    """Narrow-sense binary BCH code of length ``2^m - 1``, shortened by
+    *shorten* leading message bits.
+
+    Parameters
+    ----------
+    m:
+        Field extension degree; the parent code has length ``2^m - 1``.
+    t:
+        Design error-correction capability (design distance ``2t + 1``).
+    shorten:
+        Number of message bits removed from the parent code.  A shortened
+        ``[n - s, k - s]`` code keeps the same ``t``.
+    """
+
+    def __init__(self, m: int, t: int, shorten: int = 0):
+        if t < 1:
+            raise ValueError("use TrivialCode for t = 0")
+        self._field = GF2m(m)
+        full_n = self._field.order
+        if 2 * t >= full_n:
+            raise ValueError(f"t={t} too large for code length {full_n}")
+
+        generator = 1
+        seen_cosets = set()
+        for j in range(1, 2 * t + 1):
+            coset = tuple(sorted(self._field.cyclotomic_coset(j)))
+            if coset in seen_cosets:
+                continue
+            seen_cosets.add(coset)
+            generator = poly_mul(generator,
+                                 self._field.minimal_polynomial(j))
+        self._generator = generator
+        full_k = full_n - poly_degree(generator)
+        if full_k <= 0:
+            raise ValueError(f"BCH(m={m}, t={t}) has no message bits")
+        if not 0 <= shorten < full_k:
+            raise ValueError(
+                f"shorten must be in [0, {full_k}), got {shorten}")
+
+        self._m = m
+        self._t = t
+        self._shorten = shorten
+        self._full_n = full_n
+        self._full_k = full_k
+
+    # ------------------------------------------------------------------
+    # parameters
+
+    @property
+    def n(self) -> int:
+        return self._full_n - self._shorten
+
+    @property
+    def k(self) -> int:
+        return self._full_k - self._shorten
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    @property
+    def m(self) -> int:
+        """Field extension degree of the parent code."""
+        return self._m
+
+    @property
+    def field(self) -> GF2m:
+        """The underlying GF(2^m) instance."""
+        return self._field
+
+    @property
+    def generator_polynomial(self) -> np.ndarray:
+        """Generator polynomial coefficients, LSB (x^0) first."""
+        return poly_to_bits(self._generator,
+                            poly_degree(self._generator) + 1)
+
+    @property
+    def parity_bits(self) -> int:
+        """Number of redundancy bits per block, ``n - k``."""
+        return self.n - self.k
+
+    # ------------------------------------------------------------------
+    # encode
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Systematic encoding: ``codeword = [parity | message]``.
+
+        Bit layout (LSB-first polynomial convention): positions
+        ``[0, n-k)`` carry the parity of ``m(x) * x^{n-k} mod g(x)`` and
+        positions ``[n-k, n)`` carry the message.  Shortened bits are
+        implicitly-zero *high-order* message positions of the parent code
+        and are simply never emitted.
+        """
+        message = as_bits(message, self.k)
+        parity_len = self._full_n - self._full_k
+        msg_poly = 0
+        for i, bit in enumerate(message):
+            if bit:
+                msg_poly |= 1 << i
+        remainder = poly_mod(msg_poly << parity_len, self._generator)
+        codeword = np.empty(self.n, dtype=np.uint8)
+        codeword[:parity_len] = poly_to_bits(remainder, parity_len)
+        codeword[parity_len:] = message
+        return codeword
+
+    def extract(self, codeword: np.ndarray) -> np.ndarray:
+        """Message bits of a systematic codeword."""
+        codeword = as_bits(codeword, self.n)
+        return codeword[self.n - self.k:].copy()
+
+    # ------------------------------------------------------------------
+    # decode
+
+    def _syndromes(self, word_bits: np.ndarray) -> List[int]:
+        return [self._field.poly_eval(word_bits,
+                                      self._field.alpha_pow(j))
+                for j in range(1, 2 * self._t + 1)]
+
+    def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
+        """Error-locator polynomial sigma (LSB-first field coefficients)."""
+        field = self._field
+        sigma = [1]
+        prev_sigma = [1]
+        prev_discrepancy = 1
+        shift = 1
+        errors = 0
+        for step, syndrome in enumerate(syndromes):
+            discrepancy = syndrome
+            for i in range(1, errors + 1):
+                if i < len(sigma):
+                    discrepancy ^= field.mul(sigma[i],
+                                             syndromes[step - i])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = field.div(discrepancy, prev_discrepancy)
+            candidate = sigma.copy()
+            # candidate = sigma - scale * x^shift * prev_sigma
+            needed = len(prev_sigma) + shift
+            if len(candidate) < needed:
+                candidate.extend([0] * (needed - len(candidate)))
+            for i, coeff in enumerate(prev_sigma):
+                candidate[i + shift] ^= field.mul(scale, coeff)
+            if 2 * errors <= step:
+                prev_sigma = sigma
+                prev_discrepancy = discrepancy
+                errors = step + 1 - errors
+                shift = 1
+            else:
+                shift += 1
+            sigma = candidate
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma
+
+    def _chien_search(self, sigma: List[int]) -> List[int]:
+        """Error positions in the *parent* code, via root search.
+
+        ``sigma(alpha^{-i}) = 0`` marks an error at position ``i``.
+        """
+        field = self._field
+        positions = []
+        for i in range(self._full_n):
+            point = field.alpha_pow(-i)
+            acc = 0
+            for degree, coeff in enumerate(sigma):
+                if coeff:
+                    acc ^= field.mul(coeff, field.pow(point, degree))
+            if acc == 0:
+                positions.append(i)
+        return positions
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        received = as_bits(received, self.n)
+        # Re-extend the shortened word with the implicit zero bits.
+        full = np.zeros(self._full_n, dtype=np.uint8)
+        full[:self.n] = received
+
+        syndromes = self._syndromes(full)
+        if not any(syndromes):
+            return received.copy()
+
+        sigma = self._berlekamp_massey(syndromes)
+        n_errors = len(sigma) - 1
+        if n_errors > self._t:
+            raise DecodingFailure(
+                f"error locator degree {n_errors} exceeds t={self._t}")
+        positions = self._chien_search(sigma)
+        if len(positions) != n_errors:
+            raise DecodingFailure(
+                "error locator does not split over the field")
+        for position in positions:
+            if position >= self.n:
+                # An "error" inside the shortened (known-zero) bits can
+                # only arise from > t real errors.
+                raise DecodingFailure(
+                    "correction lands in shortened positions")
+            full[position] ^= 1
+        if any(self._syndromes(full)):
+            raise DecodingFailure("correction did not yield a codeword")
+        return full[:self.n]
+
+    def __repr__(self) -> str:
+        return (f"BCHCode(m={self._m}, t={self._t}, n={self.n}, "
+                f"k={self.k}, shorten={self._shorten})")
+
+
+def design_bch(data_bits: int, t: int,
+               max_m: int = 12) -> BCHCode:
+    """Smallest shortened BCH code carrying *data_bits* message bits.
+
+    Scans extension degrees upward and returns the first code whose
+    message length covers *data_bits*, shortened so that ``k`` equals
+    *data_bits* exactly.  This mirrors how a PUF designer provisions the
+    reliability layer for a given response length.
+    """
+    if data_bits < 1:
+        raise ValueError("data_bits must be positive")
+    for m in range(3, max_m + 1):
+        try:
+            code = BCHCode(m, t)
+        except ValueError:
+            continue
+        if code.k >= data_bits:
+            return BCHCode(m, t, shorten=code.k - data_bits)
+    raise ValueError(
+        f"no BCH code with k >= {data_bits} and t={t} for m <= {max_m}")

@@ -1,0 +1,106 @@
+"""First-order Reed–Muller codes RM(1, m) with Hadamard decoding.
+
+``RM(1, m)`` is the ``[2^m, m + 1, 2^{m-1}]`` code: codewords are the
+affine Boolean functions on ``m`` variables.  It corrects up to
+``2^{m-2} - 1`` errors and decodes with a fast Walsh–Hadamard transform
+— maximum-likelihood, in ``O(n log n)`` — which made it a popular
+reliability primitive in early PUF key generators (high correction at
+very low rate, the opposite corner of the trade-off from BCH).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.base import BlockCode, as_bits
+
+
+def _walsh_hadamard(values: np.ndarray) -> np.ndarray:
+    """In-place iterative fast Walsh–Hadamard transform."""
+    values = values.astype(np.int64).copy()
+    size = values.shape[0]
+    stride = 1
+    while stride < size:
+        for start in range(0, size, 2 * stride):
+            upper = values[start:start + stride].copy()
+            lower = values[start + stride:start + 2 * stride].copy()
+            values[start:start + stride] = upper + lower
+            values[start + stride:start + 2 * stride] = upper - lower
+        stride *= 2
+    return values
+
+
+class ReedMullerCode(BlockCode):
+    """The first-order Reed–Muller code RM(1, m)."""
+
+    def __init__(self, m: int):
+        if m < 2:
+            raise ValueError("m must be at least 2")
+        if m > 16:
+            raise ValueError("m > 16 would allocate a 64Ki+ table")
+        self._m = int(m)
+        self._n = 1 << m
+        # Column j of the generator evaluates (1, x_1..x_m) at point j.
+        points = np.arange(self._n)
+        rows = [np.ones(self._n, dtype=np.uint8)]
+        for variable in range(m):
+            rows.append(((points >> variable) & 1).astype(np.uint8))
+        self._generator = np.stack(rows)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return self._m + 1
+
+    @property
+    def t(self) -> int:
+        """Unique-decoding radius ``2^{m-2} - 1``."""
+        return (self._n // 4) - 1
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def bounded_distance(self) -> bool:
+        """ML decoding: never fails, mis-corrects silently beyond t."""
+        return False
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        message = as_bits(message, self.k)
+        return (message @ self._generator % 2).astype(np.uint8)
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        """Maximum-likelihood decoding via the Hadamard transform.
+
+        Maps bits to ±1, transforms, and picks the strongest affine
+        correlation; the sign resolves the constant term.  Decoding
+        never fails (the code is decoded to the nearest codeword), so —
+        like the Hamming decoder — uncorrectable words mis-correct
+        silently and are caught by the application key check.
+        """
+        received = as_bits(received, self._n)
+        signs = 1 - 2 * received.astype(np.int64)  # 0 -> +1, 1 -> -1
+        spectrum = _walsh_hadamard(signs)
+        index = int(np.argmax(np.abs(spectrum)))
+        constant = 0 if spectrum[index] >= 0 else 1
+        message = np.zeros(self.k, dtype=np.uint8)
+        message[0] = constant
+        for variable in range(self._m):
+            message[1 + variable] = (index >> variable) & 1
+        return self.encode(message)
+
+    def extract(self, codeword: np.ndarray) -> np.ndarray:
+        """Recover the message by re-decoding (non-systematic code)."""
+        codeword = as_bits(codeword, self._n)
+        signs = 1 - 2 * codeword.astype(np.int64)
+        spectrum = _walsh_hadamard(signs)
+        index = int(np.argmax(np.abs(spectrum)))
+        message = np.zeros(self.k, dtype=np.uint8)
+        message[0] = 0 if spectrum[index] >= 0 else 1
+        for variable in range(self._m):
+            message[1 + variable] = (index >> variable) & 1
+        return message

@@ -1,0 +1,219 @@
+"""Simple block codes: trivial (t = 0), repetition, and Hamming.
+
+Paper §VI: *"The absence of an ECC can be considered as the degenerate
+case t = 0"* — :class:`TrivialCode` embodies exactly that, so every key
+generator and attack can be exercised with or without a reliability
+layer through the same :class:`~repro.ecc.base.BlockCode` interface.
+Repetition codes are the classic lightweight PUF ECC; Hamming codes give
+a cheap ``t = 1`` block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.base import BlockCode, DecodingFailure, as_bits
+
+
+class TrivialCode(BlockCode):
+    """The identity ``[k, k]`` code with no correction capability.
+
+    Decoding never fails — there is no redundancy to detect errors with —
+    so with this code a "reconstruction failure" only surfaces at the
+    application key-check, exactly like an ECC-less PUF.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self._k = k
+
+    @property
+    def n(self) -> int:
+        return self._k
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def t(self) -> int:
+        return 0
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        return as_bits(message, self._k).copy()
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        return as_bits(received, self._k).copy()
+
+    def extract(self, codeword: np.ndarray) -> np.ndarray:
+        return as_bits(codeword, self._k).copy()
+
+
+class RepetitionCode(BlockCode):
+    """``[n, 1]`` repetition code with majority decoding, ``n`` odd.
+
+    Corrects ``t = (n - 1) / 2`` errors per block and is the cheapest
+    reliability primitive in the PUF literature.
+    """
+
+    def __init__(self, n: int):
+        if n < 3 or n % 2 == 0:
+            raise ValueError("repetition length must be odd and >= 3")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return 1
+
+    @property
+    def t(self) -> int:
+        return (self._n - 1) // 2
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        message = as_bits(message, 1)
+        return np.full(self._n, message[0], dtype=np.uint8)
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        received = as_bits(received, self._n)
+        majority = 1 if int(received.sum()) * 2 > self._n else 0
+        return np.full(self._n, majority, dtype=np.uint8)
+
+    def extract(self, codeword: np.ndarray) -> np.ndarray:
+        codeword = as_bits(codeword, self._n)
+        return codeword[:1].copy()
+
+
+class HammingCode(BlockCode):
+    """``[2^r - 1, 2^r - 1 - r]`` Hamming code, correcting one error.
+
+    Parity-check matrix columns are the binary expansions of
+    ``1 .. 2^r - 1``; the syndrome directly names the error position.
+    """
+
+    def __init__(self, r: int):
+        if r < 2:
+            raise ValueError("r must be at least 2")
+        self._r = r
+        self._n = (1 << r) - 1
+        # Column i (1-based) of H is the binary expansion of i.  Data
+        # positions are the non-powers-of-two; parity positions the
+        # powers of two (classic Hamming layout, 1-based index).
+        self._parity_positions = [1 << i for i in range(r)]
+        self._data_positions = [i for i in range(1, self._n + 1)
+                                if i not in self._parity_positions]
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return self._n - self._r
+
+    @property
+    def t(self) -> int:
+        return 1
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        message = as_bits(message, self.k)
+        word = np.zeros(self._n + 1, dtype=np.uint8)  # 1-based
+        for value, position in zip(message, self._data_positions):
+            word[position] = value
+        for bit_index, position in enumerate(self._parity_positions):
+            parity = 0
+            for idx in range(1, self._n + 1):
+                if idx != position and (idx >> bit_index) & 1:
+                    parity ^= int(word[idx])
+            word[position] = parity
+        return word[1:]
+
+    def _syndrome(self, word: np.ndarray) -> int:
+        syndrome = 0
+        for idx in range(1, self._n + 1):
+            if word[idx - 1]:
+                syndrome ^= idx
+        return syndrome
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        received = as_bits(received, self._n)
+        corrected = received.copy()
+        syndrome = self._syndrome(corrected)
+        if syndrome:
+            corrected[syndrome - 1] ^= 1
+        # A Hamming code is perfect: every word decodes to some codeword,
+        # so, as with real hardware, >1 errors silently mis-correct and
+        # are caught only by the application key-check.
+        return corrected
+
+    def extract(self, codeword: np.ndarray) -> np.ndarray:
+        codeword = as_bits(codeword, self._n)
+        return np.array([codeword[p - 1] for p in self._data_positions],
+                        dtype=np.uint8)
+
+
+class BlockwiseCode(BlockCode):
+    """Apply an inner block code independently to consecutive blocks.
+
+    Paper §V-D: *"Incoming bits are clustered in blocks, which are all
+    error-corrected independently."*  A :class:`BlockwiseCode` over
+    *blocks* copies of an inner ``[n, k]`` code is itself an
+    ``[blocks*n, blocks*k]`` code, with per-block correction capability
+    ``t`` (the aggregate guarantee remains ``t`` because a single block
+    overflowing fails the whole key).
+    """
+
+    def __init__(self, inner: BlockCode, blocks: int):
+        if blocks < 1:
+            raise ValueError("need at least one block")
+        self._inner = inner
+        self._blocks = blocks
+
+    @property
+    def inner(self) -> BlockCode:
+        return self._inner
+
+    @property
+    def blocks(self) -> int:
+        return self._blocks
+
+    @property
+    def bounded_distance(self) -> bool:
+        return self._inner.bounded_distance
+
+    @property
+    def n(self) -> int:
+        return self._inner.n * self._blocks
+
+    @property
+    def k(self) -> int:
+        return self._inner.k * self._blocks
+
+    @property
+    def t(self) -> int:
+        return self._inner.t
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        message = as_bits(message, self.k)
+        pieces = [self._inner.encode(chunk)
+                  for chunk in message.reshape(self._blocks,
+                                               self._inner.k)]
+        return np.concatenate(pieces)
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        received = as_bits(received, self.n)
+        pieces = [self._inner.decode(chunk)
+                  for chunk in received.reshape(self._blocks,
+                                                self._inner.n)]
+        return np.concatenate(pieces)
+
+    def extract(self, codeword: np.ndarray) -> np.ndarray:
+        codeword = as_bits(codeword, self.n)
+        pieces = [self._inner.extract(chunk)
+                  for chunk in codeword.reshape(self._blocks,
+                                                self._inner.n)]
+        return np.concatenate(pieces)

@@ -1,0 +1,237 @@
+"""Secure sketches: the helper-data layer above a block code.
+
+A secure sketch turns a noisy PUF response ``w`` into public helper data
+that allows later exact recovery of ``w`` from any close-enough reading
+``w'``.  Two standard constructions (Dodis et al., the paper's reference
+[2]) are provided:
+
+* :class:`CodeOffsetSketch` — helper ``h = w XOR C(s)`` for a random
+  seed ``s``; recovery decodes ``w' XOR h``.
+* :class:`SyndromeSketch` — helper is the BCH syndrome vector of ``w``;
+  recovery decodes the syndrome *difference*, which depends only on the
+  error pattern.  Smaller helper data, BCH-specific.
+
+Both expose the same ``generate`` / ``recover`` interface and both raise
+:class:`~repro.ecc.base.DecodingFailure` when the error pattern exceeds
+the code's correction radius — the externally observable failure event of
+paper Fig. 5.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro._rng import RNGLike, ensure_rng
+from repro.ecc.base import BlockCode, DecodingFailure, as_bits
+from repro.ecc.bch import BCHCode
+
+
+@dataclass(frozen=True)
+class SketchData:
+    """Public helper data produced by a secure sketch.
+
+    ``payload`` is an opaque bit vector (its meaning depends on the
+    sketch construction).  Helper data is *public and writable* — the
+    whole premise of the paper — so attacks freely construct modified
+    instances.
+    """
+
+    payload: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload",
+                           as_bits(self.payload).copy())
+
+    def with_payload(self, payload: np.ndarray) -> "SketchData":
+        """A new helper-data object with a replaced payload."""
+        return SketchData(payload)
+
+
+class SecureSketch(abc.ABC):
+    """Interface of a secure sketch over ``response_length`` bits."""
+
+    @property
+    @abc.abstractmethod
+    def response_length(self) -> int:
+        """Length of the response vector the sketch protects."""
+
+    @property
+    @abc.abstractmethod
+    def helper_length(self) -> int:
+        """Length of the public helper payload in bits."""
+
+    @abc.abstractmethod
+    def generate(self, response: np.ndarray,
+                 rng: RNGLike = None) -> SketchData:
+        """Enrollment: derive helper data from the reference response."""
+
+    @abc.abstractmethod
+    def recover(self, noisy_response: np.ndarray,
+                helper: SketchData) -> np.ndarray:
+        """Reconstruction: recover the reference response, or raise
+        :class:`DecodingFailure`."""
+
+
+class CodeOffsetSketch(SecureSketch):
+    """Code-offset construction over any :class:`BlockCode`.
+
+    The response is padded with implicit zeros up to the code length, so
+    any response length up to ``code.n`` is supported; padding bits are
+    noiseless and never consume correction capability.
+    """
+
+    def __init__(self, code: BlockCode, response_length: int = None):
+        if response_length is None:
+            response_length = code.n
+        if not 1 <= response_length <= code.n:
+            raise ValueError(
+                f"response length must be in [1, {code.n}]")
+        self._code = code
+        self._length = response_length
+
+    @property
+    def code(self) -> BlockCode:
+        return self._code
+
+    @property
+    def response_length(self) -> int:
+        return self._length
+
+    @property
+    def helper_length(self) -> int:
+        return self._code.n
+
+    def _pad(self, response: np.ndarray) -> np.ndarray:
+        response = as_bits(response, self._length)
+        padded = np.zeros(self._code.n, dtype=np.uint8)
+        padded[:self._length] = response
+        return padded
+
+    def generate(self, response: np.ndarray,
+                 rng: RNGLike = None) -> SketchData:
+        gen = ensure_rng(rng)
+        seed = gen.integers(0, 2, size=self._code.k).astype(np.uint8)
+        codeword = self._code.encode(seed)
+        return SketchData(self._pad(response) ^ codeword)
+
+    def recover(self, noisy_response: np.ndarray,
+                helper: SketchData) -> np.ndarray:
+        payload = as_bits(helper.payload, self._code.n)
+        shifted = self._pad(noisy_response) ^ payload
+        codeword = self._code.decode(shifted)
+        recovered = payload ^ codeword
+        return recovered[:self._length]
+
+    def helper_for_response(self, response: np.ndarray,
+                            seed: np.ndarray) -> SketchData:
+        """Helper data binding *response* through an explicit *seed*.
+
+        This is the attacker's tool for key *reprogramming* (paper
+        §VI-C): anyone who knows (or hypothesises) the full response can
+        compute a perfectly consistent helper payload for it.
+        """
+        codeword = self._code.encode(as_bits(seed, self._code.k))
+        return SketchData(self._pad(response) ^ codeword)
+
+
+class SyndromeSketch(SecureSketch):
+    """Syndrome construction specialised to BCH codes.
+
+    The helper stores the ``2t`` GF(2^m) syndromes of the (zero-padded)
+    response, serialised to bits.  On recovery, the syndromes of the new
+    reading are XOR-subtracted — in characteristic 2 the difference is
+    exactly the syndrome vector of the error pattern — and the standard
+    Berlekamp–Massey / Chien machinery locates the errors.
+    """
+
+    def __init__(self, code: BCHCode, response_length: int = None):
+        if not isinstance(code, BCHCode):
+            raise TypeError("SyndromeSketch requires a BCHCode")
+        if response_length is None:
+            response_length = code.n
+        if not 1 <= response_length <= code.n:
+            raise ValueError(
+                f"response length must be in [1, {code.n}]")
+        self._code = code
+        self._length = response_length
+
+    @property
+    def code(self) -> BCHCode:
+        return self._code
+
+    @property
+    def response_length(self) -> int:
+        return self._length
+
+    @property
+    def helper_length(self) -> int:
+        return 2 * self._code.t * self._code.m
+
+    # -- serialisation ---------------------------------------------------
+
+    def _syndromes(self, response: np.ndarray) -> List[int]:
+        padded = np.zeros(self._code.n, dtype=np.uint8)
+        padded[:self._length] = as_bits(response, self._length)
+        full = np.zeros(self._code._full_n, dtype=np.uint8)
+        full[:self._code.n] = padded
+        return self._code._syndromes(full)
+
+    def _serialise(self, syndromes: List[int]) -> np.ndarray:
+        m = self._code.m
+        bits = np.zeros(self.helper_length, dtype=np.uint8)
+        for idx, value in enumerate(syndromes):
+            for bit in range(m):
+                bits[idx * m + bit] = (value >> bit) & 1
+        return bits
+
+    def _deserialise(self, bits: np.ndarray) -> List[int]:
+        bits = as_bits(bits, self.helper_length)
+        m = self._code.m
+        values = []
+        for idx in range(2 * self._code.t):
+            value = 0
+            for bit in range(m):
+                value |= int(bits[idx * m + bit]) << bit
+            values.append(value)
+        return values
+
+    # -- sketch interface --------------------------------------------------
+
+    def generate(self, response: np.ndarray,
+                 rng: RNGLike = None) -> SketchData:
+        # The construction is deterministic; *rng* accepted for interface
+        # uniformity.
+        return SketchData(self._serialise(self._syndromes(response)))
+
+    def recover(self, noisy_response: np.ndarray,
+                helper: SketchData) -> np.ndarray:
+        reference = self._deserialise(helper.payload)
+        observed = self._syndromes(noisy_response)
+        difference = [a ^ b for a, b in zip(observed, reference)]
+        padded = np.zeros(self._code.n, dtype=np.uint8)
+        padded[:self._length] = as_bits(noisy_response, self._length)
+
+        if any(difference):
+            sigma = self._code._berlekamp_massey(difference)
+            n_errors = len(sigma) - 1
+            if n_errors > self._code.t:
+                raise DecodingFailure(
+                    f"error locator degree {n_errors} exceeds "
+                    f"t={self._code.t}")
+            positions = self._code._chien_search(sigma)
+            if len(positions) != n_errors:
+                raise DecodingFailure(
+                    "error locator does not split over the field")
+            for position in positions:
+                if position >= self._length:
+                    raise DecodingFailure(
+                        "correction lands outside the response bits")
+                padded[position] ^= 1
+            if self._syndromes(padded[:self._length]) != reference:
+                raise DecodingFailure(
+                    "correction does not match the reference syndromes")
+        return padded[:self._length]

@@ -1,0 +1,18 @@
+"""Fuzzy extractor — the reference helper-data solution (paper §VII-A)."""
+
+from repro.fuzzy.extractor import FuzzyExtractor, FuzzyExtractorHelper
+from repro.fuzzy.robust import (
+    ManipulationDetected,
+    RobustFuzzyExtractor,
+    RobustHelper,
+)
+from repro.fuzzy.toeplitz import ToeplitzHash
+
+__all__ = [
+    "FuzzyExtractor",
+    "FuzzyExtractorHelper",
+    "ManipulationDetected",
+    "RobustFuzzyExtractor",
+    "RobustHelper",
+    "ToeplitzHash",
+]

@@ -1,0 +1,83 @@
+"""The fuzzy extractor reference solution (paper §VII-A, Fig. 7).
+
+Sequential composition of a secure sketch (reliability) and a universal
+hash (entropy): the well-established construction of Dodis et al. [2]
+the paper holds up as the baseline every new helper-data scheme should
+be compared against.  The sketch's bounded entropy loss is compensated
+by hashing down to ``out_bits``; the hash seed is public helper data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro._rng import RNGLike, ensure_rng
+from repro.ecc.base import as_bits
+from repro.ecc.sketch import SecureSketch, SketchData
+from repro.fuzzy.toeplitz import ToeplitzHash
+
+
+@dataclass(frozen=True)
+class FuzzyExtractorHelper:
+    """Public helper data: sketch payload plus extractor seed."""
+
+    sketch: SketchData
+    hash_seed: np.ndarray
+    out_bits: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hash_seed",
+                           as_bits(self.hash_seed).copy())
+
+    def with_sketch(self, sketch: SketchData) -> "FuzzyExtractorHelper":
+        """Manipulated copy with a replaced sketch payload."""
+        return FuzzyExtractorHelper(sketch, self.hash_seed, self.out_bits)
+
+
+class FuzzyExtractor:
+    """``Gen`` / ``Rep`` over a configurable secure sketch."""
+
+    def __init__(self, sketch: SecureSketch, out_bits: int):
+        if out_bits < 1:
+            raise ValueError("out_bits must be positive")
+        if out_bits > sketch.response_length:
+            raise ValueError(
+                "cannot extract more bits than the response carries")
+        self._sketch = sketch
+        self._out_bits = int(out_bits)
+
+    @property
+    def sketch(self) -> SecureSketch:
+        return self._sketch
+
+    @property
+    def out_bits(self) -> int:
+        return self._out_bits
+
+    def generate(self, response: np.ndarray, rng: RNGLike = None
+                 ) -> Tuple[np.ndarray, FuzzyExtractorHelper]:
+        """Enrollment: derive ``(key, helper)`` from the reference response."""
+        gen = ensure_rng(rng)
+        response = as_bits(response, self._sketch.response_length)
+        sketch_data = self._sketch.generate(response, gen)
+        hasher = ToeplitzHash.random(self._sketch.response_length,
+                                     self._out_bits, gen)
+        helper = FuzzyExtractorHelper(sketch_data, hasher.seed_bits,
+                                      self._out_bits)
+        return hasher(response), helper
+
+    def reproduce(self, noisy_response: np.ndarray,
+                  helper: FuzzyExtractorHelper) -> np.ndarray:
+        """Reconstruction: recover the key from a noisy re-reading.
+
+        Raises :class:`repro.ecc.DecodingFailure` when the noise exceeds
+        the sketch's correction radius.
+        """
+        recovered = self._sketch.recover(noisy_response, helper.sketch)
+        hasher = ToeplitzHash(helper.hash_seed,
+                              self._sketch.response_length,
+                              helper.out_bits)
+        return hasher(recovered)

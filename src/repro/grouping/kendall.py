@@ -1,0 +1,185 @@
+"""Kendall and compact coding of intra-group frequency orders
+(paper §V-C, Table I).
+
+A group of ``g`` oscillators has ``g!`` possible frequency orders.  Two
+binary representations are used by the group-based RO PUF:
+
+* **compact coding** — the lexicographic rank of the order, in
+  ``ceil(log2 g!)`` bits (minimum length);
+* **Kendall coding** — one bit per unordered pair of members, set when
+  the pair appears *discordant* (inverted) relative to the canonical
+  member labelling.  Adjacent-rank swaps — the dominant physical error —
+  flip exactly one Kendall bit, which is what relaxes the ECC
+  requirements (at a quadratic cost in length).
+
+Conventions.  Members of a group carry canonical *labels*
+``0 .. g-1`` (their position in the stored group helper data).  An
+*order* is the tuple of labels sorted by descending measured frequency;
+``order = (2, 0, 1, 3)`` means label 2 is fastest (the "CABD" row of
+Table I).  Pair bits are emitted in lexicographic label order
+``(0,1), (0,2), ..., (g-2, g-1)``; the bit for ``(x, y)`` is 1 iff ``y``
+precedes ``x`` in the order.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from math import factorial
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def order_from_frequencies(member_freqs: Sequence[float]) -> Tuple[int, ...]:
+    """Descending-frequency order of member labels.
+
+    Ties resolve to the lower label first (stable argsort), matching the
+    discrete comparator convention.
+    """
+    freqs = np.asarray(member_freqs, dtype=float)
+    if freqs.ndim != 1 or freqs.shape[0] < 1:
+        raise ValueError("need a one-dimensional non-empty vector")
+    return tuple(int(i) for i in np.argsort(-freqs, kind="stable"))
+
+
+def _check_order(order: Sequence[int]) -> Tuple[int, ...]:
+    order = tuple(int(v) for v in order)
+    if sorted(order) != list(range(len(order))):
+        raise ValueError(f"{order!r} is not a permutation of labels")
+    return order
+
+
+def kendall_bit_count(size: int) -> int:
+    """Kendall code length ``g (g - 1) / 2`` for a size-``size`` group."""
+    return size * (size - 1) // 2
+
+
+def kendall_encode(order: Sequence[int]) -> np.ndarray:
+    """Kendall code of an order: one discordance bit per label pair."""
+    order = _check_order(order)
+    position = {label: rank for rank, label in enumerate(order)}
+    bits = [1 if position[y] < position[x] else 0
+            for x, y in combinations(range(len(order)), 2)]
+    return np.array(bits, dtype=np.uint8)
+
+
+def kendall_decode(bits: np.ndarray, size: int) -> Tuple[int, ...]:
+    """Inverse of :func:`kendall_encode`.
+
+    A Kendall codeword is *valid* iff its pairwise-precedence tournament
+    is a total order; then each label's rank equals the number of labels
+    preceding it.  Invalid words (possible after uncorrected bit errors
+    — Kendall coding is non-uniform, paper §V-E) raise ``ValueError``.
+    """
+    bits = np.asarray(bits)
+    expected = kendall_bit_count(size)
+    if bits.shape != (expected,):
+        raise ValueError(
+            f"group size {size} needs {expected} Kendall bits")
+    precedes = np.zeros((size, size), dtype=bool)
+    for bit, (x, y) in zip(bits, combinations(range(size), 2)):
+        if bit not in (0, 1):
+            raise ValueError("Kendall bits must be 0/1")
+        if bit:
+            precedes[y, x] = True
+        else:
+            precedes[x, y] = True
+    ranks = precedes.sum(axis=0)  # how many labels precede each label
+    if sorted(ranks) != list(range(size)):
+        raise ValueError("bit vector is not a valid Kendall codeword")
+    order = [0] * size
+    for label in range(size):
+        order[ranks[label]] = label
+    return tuple(order)
+
+
+def is_valid_kendall(bits: np.ndarray, size: int) -> bool:
+    """Whether a bit vector decodes to a permutation."""
+    try:
+        kendall_decode(bits, size)
+    except ValueError:
+        return False
+    return True
+
+
+def compact_rank(order: Sequence[int]) -> int:
+    """Lexicographic rank of an order among all ``g!`` permutations."""
+    order = _check_order(order)
+    size = len(order)
+    remaining = list(range(size))
+    rank = 0
+    for position, label in enumerate(order):
+        smaller = remaining.index(label)
+        rank += smaller * factorial(size - 1 - position)
+        remaining.remove(label)
+    return rank
+
+
+def order_from_rank(rank: int, size: int) -> Tuple[int, ...]:
+    """Inverse of :func:`compact_rank`."""
+    total = factorial(size)
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} outside [0, {size}!)")
+    remaining = list(range(size))
+    order = []
+    for position in range(size):
+        block = factorial(size - 1 - position)
+        index, rank = divmod(rank, block)
+        order.append(remaining.pop(index))
+    return tuple(order)
+
+
+def compact_bit_count(size: int) -> int:
+    """Compact code length ``ceil(log2 g!)``."""
+    return max(1, (factorial(size) - 1).bit_length())
+
+
+def compact_encode(order: Sequence[int]) -> np.ndarray:
+    """Compact code: the rank in MSB-first bits (Table I convention)."""
+    order = _check_order(order)
+    rank = compact_rank(order)
+    width = compact_bit_count(len(order))
+    return np.array([(rank >> (width - 1 - i)) & 1 for i in range(width)],
+                    dtype=np.uint8)
+
+
+def compact_decode(bits: np.ndarray, size: int) -> Tuple[int, ...]:
+    """Inverse of :func:`compact_encode`."""
+    bits = np.asarray(bits)
+    width = compact_bit_count(size)
+    if bits.shape != (width,):
+        raise ValueError(f"group size {size} needs {width} compact bits")
+    rank = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError("compact bits must be 0/1")
+        rank = (rank << 1) | int(bit)
+    return order_from_rank(rank, size)
+
+
+def table1_rows(size: int = 4,
+                labels: str = "ABCD") -> List[Tuple[str, str, str]]:
+    """Regenerate paper Table I: ``(order, compact, kendall)`` strings.
+
+    Rows are emitted in lexicographic order of the permutation, matching
+    the paper's layout read column-first.
+    """
+    if len(labels) < size:
+        raise ValueError("not enough labels for the group size")
+    rows = []
+    for order in permutations(range(size)):
+        name = "".join(labels[i] for i in order)
+        compact = "".join(str(b) for b in compact_encode(order))
+        kendall = "".join(str(b) for b in kendall_encode(order))
+        rows.append((name, compact, kendall))
+    return rows
+
+
+def adjacent_swap_distance(order_a: Sequence[int],
+                           order_b: Sequence[int]) -> int:
+    """Kendall-tau distance: Hamming distance of the Kendall codes.
+
+    Equals the minimum number of adjacent transpositions turning one
+    order into the other — "one error per flip" (paper §V-C).
+    """
+    return int(np.sum(kendall_encode(order_a) != kendall_encode(order_b)))

@@ -1,0 +1,82 @@
+"""Entropy packing: Kendall → compact re-encoding (paper §V-E).
+
+Kendall coding is deliberately redundant — only ``g!`` of the
+``2^{g(g-1)/2}`` bit vectors are valid — so after error correction the
+group-based construction converts each group's Kendall word to the
+compact representation "to maintain entropy".  As the paper notes, the
+fix is partial: ``g!`` is not a power of two for ``g > 2``, so residual
+non-uniformity remains; :func:`packing_loss_bits` quantifies it.
+"""
+
+from __future__ import annotations
+
+from math import factorial, log2
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.grouping.kendall import (
+    compact_bit_count,
+    compact_encode,
+    kendall_bit_count,
+    kendall_decode,
+    kendall_encode,
+)
+
+
+def pack_group(kendall_bits: np.ndarray, size: int) -> np.ndarray:
+    """Convert one group's (error-corrected) Kendall word to compact bits."""
+    return compact_encode(kendall_decode(kendall_bits, size))
+
+
+def unpack_group(compact_bits: np.ndarray, size: int) -> np.ndarray:
+    """Convert one group's compact word back to Kendall bits."""
+    from repro.grouping.kendall import compact_decode
+
+    return kendall_encode(compact_decode(compact_bits, size))
+
+
+def split_blocks(bits: np.ndarray,
+                 sizes: Sequence[int]) -> List[np.ndarray]:
+    """Split a concatenated Kendall bitstream into per-group words."""
+    bits = np.asarray(bits)
+    lengths = [kendall_bit_count(size) for size in sizes]
+    if bits.shape != (sum(lengths),):
+        raise ValueError(
+            f"expected {sum(lengths)} bits for sizes {tuple(sizes)}")
+    chunks = []
+    offset = 0
+    for length in lengths:
+        chunks.append(bits[offset:offset + length])
+        offset += length
+    return chunks
+
+
+def pack_key(kendall_bits: np.ndarray,
+             sizes: Sequence[int]) -> np.ndarray:
+    """Entropy-pack a concatenated Kendall stream into the final key bits.
+
+    Each group contributes ``ceil(log2 g!)`` compact bits, concatenated
+    in group order.
+    """
+    packed = [pack_group(chunk, size)
+              for chunk, size in zip(split_blocks(kendall_bits, sizes),
+                                     sizes)]
+    if not packed:
+        return np.zeros(0, dtype=np.uint8)
+    return np.concatenate(packed)
+
+
+def packed_length(sizes: Sequence[int]) -> int:
+    """Key length in bits after entropy packing."""
+    return sum(compact_bit_count(size) for size in sizes)
+
+
+def packing_loss_bits(sizes: Sequence[int]) -> float:
+    """Residual non-uniformity after packing, in bits.
+
+    ``Σ_j (ceil(log2 g_j!) − log2 g_j!)`` — zero only when every group
+    size has a factorial that is a power of two (``g <= 2``).
+    """
+    return float(sum(compact_bit_count(size) - log2(factorial(size))
+                     for size in sizes))

@@ -1,0 +1,138 @@
+"""Common machinery for end-to-end key generators.
+
+A *key generator* bundles one of the paper's helper-data constructions
+with an ECC reliability layer and an application-level key check into a
+complete enroll/reconstruct device model.  The key check models the
+paper's observability assumption — *"an inability to reconstruct the key
+should affect the observable behavior of any useful application"* — as a
+public hash commitment: reconstruction succeeds iff the regenerated key
+matches the committed one, exactly like a MAC verification or a
+decryption of known-format data would behave.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro._rng import RNGLike
+from repro.ecc.base import BlockCode, DecodingFailure, as_bits
+from repro.ecc.bch import design_bch
+from repro.puf.ro_array import ROArray
+
+
+class ReconstructionFailure(Exception):
+    """Key regeneration failed observably.
+
+    Raised on an ECC decoding failure *or* on a key-check mismatch
+    (silent mis-correction).  Both are externally indistinguishable to
+    the attacker and both count as "failure" in the Fig. 5 statistics.
+    """
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Environmental conditions of one reconstruction."""
+
+    temperature: Optional[float] = None
+    voltage: Optional[float] = None
+
+
+#: A provider maps a response length to the block code protecting it.
+CodeProvider = Callable[[int], BlockCode]
+
+
+def bch_provider(t: int, max_m: int = 12) -> CodeProvider:
+    """Provider returning the smallest shortened BCH with the given t."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    if t == 0:
+        from repro.ecc.simple import TrivialCode
+
+        return lambda bits: TrivialCode(bits)
+    return lambda bits: design_bch(bits, t, max_m=max_m)
+
+
+def blockwise_provider(t: int, block_data_bits: int,
+                       max_m: int = 12) -> CodeProvider:
+    """Provider that splits the response across independent ECC blocks.
+
+    Paper §VI assumes all bits fit one block "for ease of explanation"
+    and notes the multi-block extension is straightforward; this
+    provider builds that extension: the response is covered by
+    ``ceil(bits / block_data_bits)`` copies of a shortened BCH, each
+    correcting *t* errors independently.
+    """
+    if block_data_bits < 1:
+        raise ValueError("block_data_bits must be positive")
+    from repro.ecc.simple import BlockwiseCode
+
+    inner_provider = bch_provider(t, max_m=max_m)
+
+    def provide(bits: int) -> BlockCode:
+        blocks = max(1, -(-bits // block_data_bits))
+        inner = inner_provider(block_data_bits)
+        if blocks == 1:
+            return inner
+        return BlockwiseCode(inner, blocks)
+
+    return provide
+
+
+def fixed_code(code: BlockCode) -> CodeProvider:
+    """Provider returning one pre-built code regardless of length."""
+
+    def provide(bits: int) -> BlockCode:
+        if bits > code.n:
+            raise ValueError(
+                f"response of {bits} bits exceeds code length {code.n}")
+        return code
+
+    return provide
+
+
+def key_check_digest(key_bits: np.ndarray) -> bytes:
+    """Public commitment to a key: truncated SHA-256 over the bit string.
+
+    Stored in helper data so the device (application) can detect a wrong
+    key; attackers recompute it freely when reprogramming keys (§VI-C).
+    """
+    bits = as_bits(key_bits)
+    payload = np.packbits(bits).tobytes() + len(bits).to_bytes(4, "big")
+    return hashlib.sha256(payload).digest()[:16]
+
+
+class KeyGenerator(abc.ABC):
+    """Enroll/reconstruct interface shared by all constructions."""
+
+    @abc.abstractmethod
+    def enroll(self, array: ROArray, rng: RNGLike = None):
+        """One-time enrollment; returns ``(helper, key_bits)``."""
+
+    @abc.abstractmethod
+    def reconstruct(self, array: ROArray, helper,
+                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Regenerate the key from a fresh noisy measurement.
+
+        Raises :class:`ReconstructionFailure` when the device observably
+        fails (ECC failure or key-check mismatch).
+        """
+
+    def _finish(self, recovered_key: np.ndarray,
+                key_check: bytes) -> np.ndarray:
+        """Apply the application-level key check."""
+        if key_check_digest(recovered_key) != key_check:
+            raise ReconstructionFailure("key check mismatch")
+        return recovered_key
+
+    @staticmethod
+    def _decode_or_fail(action: Callable[[], np.ndarray]) -> np.ndarray:
+        """Translate ECC failures into observable reconstruction failures."""
+        try:
+            return action()
+        except DecodingFailure as exc:
+            raise ReconstructionFailure(str(exc)) from exc

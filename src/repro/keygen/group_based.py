@@ -1,0 +1,151 @@
+"""End-to-end group-based RO PUF key generator (paper Fig. 4).
+
+Pipeline: RO array → entropy distillation → grouping algorithm →
+Kendall coding → ECC → entropy packing → secret key.  Public helper
+data, exactly as drawn on the IC boundary in Fig. 4: polynomial
+coefficients, group information and ECC redundancy (plus the key-check
+commitment that models the key-dependent application).
+
+Every helper component is attacker-writable; the §VI-C attack rewrites
+all of them at once to *reprogram* the device key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._rng import RNGLike, ensure_rng
+from repro.distiller.distiller import DistillerHelper, EntropyDistiller
+from repro.ecc.sketch import CodeOffsetSketch, SketchData
+from repro.grouping.algorithm import GroupingHelper, GroupingScheme
+from repro.grouping.kendall import (
+    kendall_bit_count,
+    kendall_encode,
+    order_from_frequencies,
+)
+from repro.grouping.packing import pack_key
+from repro.keygen.base import (
+    CodeProvider,
+    KeyGenerator,
+    OperatingPoint,
+    ReconstructionFailure,
+    bch_provider,
+    key_check_digest,
+)
+from repro.puf.measurement import enroll_frequencies
+from repro.puf.ro_array import ROArray
+
+
+@dataclass(frozen=True)
+class GroupBasedKeyHelper:
+    """Complete public helper data of the group-based construction."""
+
+    distiller: DistillerHelper
+    grouping: GroupingHelper
+    sketch: SketchData
+    key_check: bytes
+
+    def with_distiller(self, distiller: DistillerHelper
+                       ) -> "GroupBasedKeyHelper":
+        """Manipulated copy with replaced polynomial coefficients."""
+        return replace(self, distiller=distiller)
+
+    def with_grouping(self, grouping: GroupingHelper
+                      ) -> "GroupBasedKeyHelper":
+        """Manipulated copy with a repartitioned group map."""
+        return replace(self, grouping=grouping)
+
+    def with_sketch(self, sketch: SketchData) -> "GroupBasedKeyHelper":
+        """Manipulated copy with replaced ECC redundancy."""
+        return replace(self, sketch=sketch)
+
+    def with_key_check(self, key_check: bytes) -> "GroupBasedKeyHelper":
+        """Manipulated copy committing to a (reprogrammed) key."""
+        return replace(self, key_check=key_check)
+
+
+def kendall_stream(residuals: np.ndarray,
+                   grouping: GroupingHelper) -> np.ndarray:
+    """Concatenated Kendall bits of every group, in stored-member labelling.
+
+    The canonical label of a member is its position in the stored group
+    tuple; the measured descending-residual order of the labels is
+    Kendall-encoded per group and concatenated in group order.
+    """
+    residuals = np.asarray(residuals, dtype=float)
+    chunks: List[np.ndarray] = []
+    for group in grouping.groups:
+        member_values = residuals[list(group)]
+        chunks.append(kendall_encode(order_from_frequencies(member_values)))
+    if not chunks:
+        return np.zeros(0, dtype=np.uint8)
+    return np.concatenate(chunks)
+
+
+class GroupBasedKeyGen(KeyGenerator):
+    """Device model of the DATE 2013 group-based construction."""
+
+    def __init__(self, distiller_degree: int = 2,
+                 group_threshold: float = 50e3,
+                 code_provider: CodeProvider = None,
+                 storage_order: str = "sorted",
+                 enrollment_samples: int = 9,
+                 min_group_size: int = 2):
+        self._distiller = EntropyDistiller(distiller_degree)
+        self._grouping = GroupingScheme(group_threshold,
+                                        storage_order=storage_order,
+                                        min_group_size=min_group_size)
+        self._code_provider = code_provider or bch_provider(3)
+        self._samples = int(enrollment_samples)
+
+    @property
+    def distiller(self) -> EntropyDistiller:
+        return self._distiller
+
+    @property
+    def grouping(self) -> GroupingScheme:
+        return self._grouping
+
+    def sketch_for(self, bits: int) -> CodeOffsetSketch:
+        """Sketch protecting a *bits*-long Kendall stream."""
+        return CodeOffsetSketch(self._code_provider(bits), bits)
+
+    # ------------------------------------------------------------------
+
+    def enroll(self, array: ROArray, rng: RNGLike = None
+               ) -> Tuple[GroupBasedKeyHelper, np.ndarray]:
+        gen = ensure_rng(rng)
+        freqs = enroll_frequencies(array, self._samples, rng=gen)
+        distiller_helper, residuals = self._distiller.enroll(
+            array.x, array.y, freqs)
+        grouping_helper = self._grouping.enroll(residuals)
+        if not grouping_helper.groups:
+            raise ValueError("grouping produced no usable groups; "
+                             "lower the threshold")
+        stream = kendall_stream(residuals, grouping_helper)
+        sketch = self.sketch_for(stream.size)
+        sketch_data = sketch.generate(stream, gen)
+        key = pack_key(stream, grouping_helper.sizes)
+        helper = GroupBasedKeyHelper(distiller_helper, grouping_helper,
+                                     sketch_data, key_check_digest(key))
+        return helper, key
+
+    def reconstruct(self, array: ROArray, helper: GroupBasedKeyHelper,
+                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        freqs = array.measure_frequencies(op.temperature, op.voltage)
+        residuals = self._distiller.residuals(array.x, array.y, freqs,
+                                              helper.distiller)
+        try:
+            stream = kendall_stream(residuals, helper.grouping)
+            sketch = self.sketch_for(stream.size)
+            corrected = self._decode_or_fail(
+                lambda: sketch.recover(stream, helper.sketch))
+            key = pack_key(corrected, helper.grouping.sizes)
+        except ValueError as exc:
+            # Malformed helper data (wrong payload length, invalid
+            # Kendall word after mis-correction, bad group indices).
+            raise ReconstructionFailure(str(exc)) from exc
+        return self._finish(key, helper.key_check)

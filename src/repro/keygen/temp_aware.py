@@ -1,0 +1,91 @@
+"""End-to-end key generator over the temperature-aware cooperative PUF.
+
+Pipeline (paper §IV-D + generic ECC): classify neighbour pairs over the
+operating range → good bits + cooperating reference bits → code-offset
+sketch → helper data {pair classification & cooperation records, ECC
+redundancy, key check}.  Reconstruction reads the on-chip temperature
+sensor to interpret the crossover intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro._rng import RNGLike, ensure_rng
+from repro.ecc.sketch import CodeOffsetSketch, SketchData
+from repro.keygen.base import (
+    CodeProvider,
+    KeyGenerator,
+    OperatingPoint,
+    ReconstructionFailure,
+    bch_provider,
+    key_check_digest,
+)
+from repro.pairing.temp_aware import TempAwareCooperative, TempAwareHelper
+from repro.puf.measurement import TemperatureSensor
+from repro.puf.ro_array import ROArray
+
+
+@dataclass(frozen=True)
+class TempAwareKeyHelper:
+    """Complete public helper data of the construction."""
+
+    scheme: TempAwareHelper
+    sketch: SketchData
+    key_check: bytes
+
+    def with_scheme(self, scheme: TempAwareHelper) -> "TempAwareKeyHelper":
+        """Manipulated copy with replaced cooperation records (§VI-B)."""
+        return replace(self, scheme=scheme)
+
+
+class TempAwareKeyGen(KeyGenerator):
+    """Device model: temperature-aware cooperative pairs + ECC + check."""
+
+    def __init__(self, t_min: float, t_max: float, threshold: float,
+                 code_provider: CodeProvider = None,
+                 selection: str = "randomized",
+                 enrollment_samples: int = 9,
+                 sensor: TemperatureSensor = TemperatureSensor()):
+        self._scheme = TempAwareCooperative(
+            t_min, t_max, threshold, selection=selection,
+            enrollment_samples=enrollment_samples)
+        self._code_provider = code_provider or bch_provider(3)
+        self._sensor = sensor
+
+    @property
+    def scheme(self) -> TempAwareCooperative:
+        return self._scheme
+
+    def sketch_for(self, bits: int) -> CodeOffsetSketch:
+        return CodeOffsetSketch(self._code_provider(bits), bits)
+
+    def enroll(self, array: ROArray, rng: RNGLike = None
+               ) -> Tuple[TempAwareKeyHelper, np.ndarray]:
+        gen = ensure_rng(rng)
+        scheme_helper, key = self._scheme.enroll(array, gen)
+        if key.size == 0:
+            raise ValueError("no usable pairs; relax the threshold")
+        sketch = self.sketch_for(key.size)
+        sketch_data = sketch.generate(key, gen)
+        helper = TempAwareKeyHelper(scheme_helper, sketch_data,
+                                    key_check_digest(key))
+        return helper, key
+
+    def reconstruct(self, array: ROArray, helper: TempAwareKeyHelper,
+                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        temperature = (op.temperature if op.temperature is not None
+                       else array.params.temp_nominal)
+        sensed = self._sensor.read(temperature)
+        freqs = array.measure_frequencies(temperature, op.voltage)
+        try:
+            bits = self._scheme.evaluate(freqs, helper.scheme, sensed)
+        except ValueError as exc:
+            raise ReconstructionFailure(str(exc)) from exc
+        sketch = self.sketch_for(bits.size)
+        recovered = self._decode_or_fail(
+            lambda: sketch.recover(bits, helper.sketch))
+        return self._finish(recovered, helper.key_check)

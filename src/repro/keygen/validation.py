@@ -1,0 +1,169 @@
+"""Device-side helper-data validation (hardening experiments).
+
+Paper §VII-C argues that helper-data *formats and sanity checks* are
+security-critical yet typically unspecified.  This module implements the
+checks a defensive device could realistically perform on incoming
+helper data, plus hardened key-generator variants that enforce them:
+
+* **pair disjointness** for pair lists (already enforced by
+  :class:`~repro.pairing.sequential.SequentialPairing`);
+* **polynomial amplitude bounds** for distiller coefficients — the
+  systematic trend of a real IC spans a few MHz, so a surface swinging
+  orders of magnitude more is necessarily an attack payload (§VI-C);
+* **measured-threshold verification** for group maps — the device can
+  recompute, on its own residual measurements, whether every intra-group
+  pair actually exceeds ``Δf_th``;
+* **interval sanity** for temperature-aware cooperation records.
+
+The hardening is deliberately *imperfect*: the checks close the steep
+payload channels but are construction-specific patchwork — which is
+exactly the paper's argument for preferring the fuzzy extractor.  The
+bench ``bench_countermeasures.py`` quantifies what each check stops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distiller.distiller import DistillerHelper
+from repro.grouping.algorithm import GroupingHelper
+from repro.keygen.base import OperatingPoint, ReconstructionFailure
+from repro.keygen.group_based import GroupBasedKeyGen, GroupBasedKeyHelper
+from repro.keygen.temp_aware import TempAwareKeyGen, TempAwareKeyHelper
+from repro.pairing.temp_aware import TempAwareHelper
+
+
+class HelperDataRejected(ReconstructionFailure):
+    """A device-side sanity check refused the helper data.
+
+    Subclasses :class:`ReconstructionFailure` because a rejection is
+    externally just another failed reconstruction (the attacker cannot
+    tell a validation refusal from an ECC failure).
+    """
+
+
+def validate_distiller_amplitude(helper: DistillerHelper, rows: int,
+                                 cols: int,
+                                 max_span: float) -> None:
+    """Reject polynomial coefficients whose surface span is implausible.
+
+    Evaluates the stored polynomial over the physical array and compares
+    its peak-to-peak span against *max_span* (a design-time bound, e.g.
+    four times the expected systematic amplitude).
+    """
+    xs = np.arange(rows * cols, dtype=float) % cols
+    ys = np.arange(rows * cols, dtype=float) // cols
+    values = helper.polynomial(xs, ys)
+    span = float(values.max() - values.min())
+    if span > max_span:
+        raise HelperDataRejected(
+            f"distiller surface spans {span:.3e} Hz, exceeding the "
+            f"plausibility bound {max_span:.3e} Hz")
+
+
+def validate_group_thresholds(residuals: np.ndarray,
+                              grouping: GroupingHelper,
+                              threshold: float,
+                              tolerance: float = 0.5) -> None:
+    """Verify the grouping property on the device's own measurements.
+
+    Every intra-group pair must exceed ``threshold`` (scaled by
+    *tolerance* to absorb measurement noise) on the residuals the device
+    just measured.  A repartitioned group map whose pairs owe their
+    separation to an injected surface fails this check as soon as the
+    injection itself is rejected or absent.
+    """
+    residuals = np.asarray(residuals, dtype=float)
+    floor = threshold * tolerance
+    for group in grouping.groups:
+        members = list(group)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if abs(residuals[a] - residuals[b]) <= floor:
+                    raise HelperDataRejected(
+                        f"group pair ({a}, {b}) violates the measured "
+                        f"threshold")
+
+
+def validate_group_membership(grouping: GroupingHelper, n: int) -> None:
+    """Structural checks: indices in range, no oscillator re-used."""
+    seen = set()
+    for group in grouping.groups:
+        for member in group:
+            if not 0 <= member < n:
+                raise HelperDataRejected(
+                    f"group member {member} out of range")
+            if member in seen:
+                raise HelperDataRejected(
+                    f"oscillator {member} appears in two groups")
+            seen.add(member)
+
+
+def validate_cooperation_records(scheme: TempAwareHelper) -> None:
+    """Sanity checks on temperature-aware cooperation records.
+
+    Intervals must be ordered and inside the operating range; assistant
+    indices must reference cooperating pairs with non-intersecting
+    intervals; good indices must reference good pairs.
+    """
+    coop_entries = {e.pair_index: e for e in scheme.cooperation}
+    good = set(scheme.good_indices)
+    for entry in scheme.cooperation:
+        if not (scheme.t_min <= entry.t_low <= entry.t_high
+                <= scheme.t_max):
+            raise HelperDataRejected(
+                f"cooperation interval [{entry.t_low}, {entry.t_high}] "
+                f"outside the operating range")
+        if entry.good_index not in good:
+            raise HelperDataRejected(
+                f"masking index {entry.good_index} is not a good pair")
+        assistant = coop_entries.get(entry.assist_index)
+        if assistant is None:
+            raise HelperDataRejected(
+                f"assistant {entry.assist_index} is not a cooperating "
+                f"pair")
+        if not (entry.t_high < assistant.t_low
+                or assistant.t_high < entry.t_low):
+            raise HelperDataRejected(
+                "assistant interval intersects the requester's")
+
+
+class HardenedGroupBasedKeyGen(GroupBasedKeyGen):
+    """Group-based device that validates helper data before use.
+
+    Enforces the distiller amplitude bound, group-map structure and the
+    measured-threshold property on every reconstruction.
+    """
+
+    def __init__(self, rows: int, cols: int,
+                 max_polynomial_span: float,
+                 threshold_tolerance: float = 0.5, **kwargs):
+        super().__init__(**kwargs)
+        self._rows = int(rows)
+        self._cols = int(cols)
+        self._max_span = float(max_polynomial_span)
+        self._tolerance = float(threshold_tolerance)
+
+    def reconstruct(self, array, helper: GroupBasedKeyHelper,
+                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        validate_distiller_amplitude(helper.distiller, self._rows,
+                                     self._cols, self._max_span)
+        validate_group_membership(helper.grouping, array.n)
+        freqs = array.measure_frequencies(op.temperature, op.voltage)
+        residuals = self.distiller.residuals(array.x, array.y, freqs,
+                                             helper.distiller)
+        validate_group_thresholds(residuals, helper.grouping,
+                                  self.grouping.threshold,
+                                  self._tolerance)
+        return super().reconstruct(array, helper, op)
+
+
+class HardenedTempAwareKeyGen(TempAwareKeyGen):
+    """Temperature-aware device that validates cooperation records."""
+
+    def reconstruct(self, array, helper: TempAwareKeyHelper,
+                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        validate_cooperation_records(helper.scheme)
+        return super().reconstruct(array, helper, op)

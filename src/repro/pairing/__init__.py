@@ -1,0 +1,55 @@
+"""RO pair selection schemes (paper §IV).
+
+Four constructions in order of increasing complexity: chain of
+neighbours, 1-out-of-k masking, the sequential pairing algorithm
+(Algorithm 1) and the temperature-aware cooperative scheme, plus the
+shared pair/response-bit primitives.
+"""
+
+from repro.pairing.base import (
+    Pair,
+    orient_pairs,
+    pair_deltas,
+    response_bits,
+    validate_pairs,
+)
+from repro.pairing.neighbor import neighbor_chain_pairs, snake_order
+from repro.pairing.masking import MaskingHelper, OneOutOfKMasking
+from repro.pairing.sequential import (
+    SequentialPairing,
+    SequentialPairingHelper,
+    run_sequential_pairing,
+)
+from repro.pairing.temp_aware import (
+    AssistantSelectionError,
+    CooperationEntry,
+    PairClass,
+    PairProfile,
+    TempAwareCooperative,
+    TempAwareHelper,
+    classify_pair,
+    deterministic_selection_leakage,
+)
+
+__all__ = [
+    "Pair",
+    "orient_pairs",
+    "pair_deltas",
+    "response_bits",
+    "validate_pairs",
+    "neighbor_chain_pairs",
+    "snake_order",
+    "MaskingHelper",
+    "OneOutOfKMasking",
+    "SequentialPairing",
+    "SequentialPairingHelper",
+    "run_sequential_pairing",
+    "AssistantSelectionError",
+    "CooperationEntry",
+    "PairClass",
+    "PairProfile",
+    "TempAwareCooperative",
+    "TempAwareHelper",
+    "classify_pair",
+    "deterministic_selection_leakage",
+]

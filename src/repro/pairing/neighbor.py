@@ -1,0 +1,57 @@
+"""Chain-of-neighbours pair selection (paper §IV-A).
+
+Pairing physically adjacent oscillators reduces the impact of spatially
+correlated (systematic) variation, because a smooth trend contributes
+almost the same offset to both elements of a pair.  The chain traverses
+the two-dimensional array in boustrophedon ("snake") order so that
+consecutive chain elements are always layout neighbours:
+
+* *disjoint* chains pair elements ``(s0, s1), (s2, s3), ...`` giving
+  ``floor(N / 2)`` independent bits;
+* *overlapping* chains pair ``(s0, s1), (s1, s2), ...`` giving up to
+  ``N - 1`` bits (still independent: they encode the rank order along
+  the chain).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.pairing.base import Pair
+
+
+def snake_order(rows: int, cols: int) -> np.ndarray:
+    """Univariate oscillator indices in boustrophedon layout order.
+
+    Even rows run left-to-right, odd rows right-to-left, so consecutive
+    entries are always physically adjacent cells.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("array must have at least one row and column")
+    order = np.empty(rows * cols, dtype=np.int64)
+    position = 0
+    for row in range(rows):
+        columns = range(cols) if row % 2 == 0 else range(cols - 1, -1, -1)
+        for col in columns:
+            order[position] = row * cols + col
+            position += 1
+    return order
+
+
+def neighbor_chain_pairs(rows: int, cols: int,
+                         overlap: bool = False) -> List[Pair]:
+    """Neighbour pairs along the snake chain.
+
+    With *overlap* the chain shares oscillators across pairs (``N - 1``
+    pairs); otherwise pairs are disjoint (``floor(N / 2)`` pairs).
+    Orientation follows chain order; the response bit of each pair is
+    determined by the (secret) process variation.
+    """
+    chain = snake_order(rows, cols)
+    if overlap:
+        return [(int(chain[i]), int(chain[i + 1]))
+                for i in range(len(chain) - 1)]
+    return [(int(chain[2 * i]), int(chain[2 * i + 1]))
+            for i in range(len(chain) // 2)]

@@ -1,0 +1,161 @@
+"""The sequential pairing algorithm ("LISA", paper §IV-C, Algorithm 1).
+
+The algorithm sorts enrollment frequencies in descending order and pairs
+entries from the top half with entries from the bottom half whenever
+their discrepancy exceeds a threshold ``Δf_th``, producing up to
+``floor(N / 2)`` disjoint, reliable pairs.  The resulting pair list is
+stored in public helper NVM.
+
+Two storage-format policies are implemented because the paper's §VII-C
+shows the choice is security-critical:
+
+* ``"randomized"`` — each pair's index order is randomised at enrollment,
+  so the response bit (``f_first > f_second``) is a uniform secret;
+* ``"sorted"`` — the higher-frequency oscillator is stored first; every
+  response bit is then 1 by construction and a *read-only* attacker
+  learns the full key without a single device query.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._rng import RNGLike, ensure_rng
+from repro.pairing.base import (
+    Pair,
+    orient_pairs,
+    response_bits,
+    validate_pairs,
+)
+
+
+def run_sequential_pairing(frequencies: np.ndarray,
+                           threshold: float) -> List[Pair]:
+    """Algorithm 1 verbatim (0-based indices).
+
+    Returns pairs oriented ``(faster, slower)``; every returned pair has
+    ``f_a - f_b > threshold``.  Orientation/storage policy is applied
+    separately by :class:`SequentialPairing`.
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    n = freqs.shape[0]
+    if n < 2:
+        raise ValueError("need at least two oscillators")
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    # pi: indices sorted by descending frequency.
+    pi = np.argsort(-freqs, kind="stable")
+    pairs: List[Pair] = []
+    i = 0
+    for j in range(math.ceil(n / 2), n):
+        if freqs[pi[i]] - freqs[pi[j]] > threshold:
+            pairs.append((int(pi[i]), int(pi[j])))
+            i += 1
+    return pairs
+
+
+@dataclass(frozen=True)
+class SequentialPairingHelper:
+    """Public helper data: the stored pair list, in stored order.
+
+    Both the *order of the list* (which key-bit position each pair feeds)
+    and the *orientation within each pair* (which oscillator is "first")
+    are attacker-writable, which is precisely what the §VI-A attack
+    manipulates.
+    """
+
+    pairs: Tuple[Pair, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "pairs",
+            tuple((int(a), int(b)) for a, b in self.pairs))
+
+    @property
+    def bits(self) -> int:
+        """Number of response bits (= number of pairs)."""
+        return len(self.pairs)
+
+    def with_swapped_positions(self, i: int, j: int
+                               ) -> "SequentialPairingHelper":
+        """Swap the *list positions* of pairs ``i`` and ``j``.
+
+        This is the §VI-A manipulation: response bits swap key positions,
+        introducing two bit errors iff ``r_i != r_j``.
+        """
+        pairs = list(self.pairs)
+        pairs[i], pairs[j] = pairs[j], pairs[i]
+        return SequentialPairingHelper(tuple(pairs))
+
+    def with_flipped_orientation(self, i: int) -> "SequentialPairingHelper":
+        """Reverse the stored index order of pair ``i``.
+
+        Deterministically inverts that pair's response bit — the
+        attacker's precision error-injection tool once some bit
+        relations are known.
+        """
+        pairs = list(self.pairs)
+        a, b = pairs[i]
+        pairs[i] = (b, a)
+        return SequentialPairingHelper(tuple(pairs))
+
+
+class SequentialPairing:
+    """Enrollment/reconstruction of the sequential pairing construction."""
+
+    def __init__(self, threshold: float,
+                 storage_order: str = "randomized",
+                 enforce_disjoint: bool = True):
+        """
+        Parameters
+        ----------
+        threshold:
+            Frequency discrepancy threshold ``Δf_th`` in Hz.
+        storage_order:
+            ``"randomized"`` (secure) or ``"sorted"`` (the §VII-C leak).
+        enforce_disjoint:
+            Whether reconstruction validates that helper pairs do not
+            re-use oscillators — the sanity check the paper recommends.
+        """
+        if storage_order not in ("randomized", "sorted"):
+            raise ValueError("storage_order must be 'randomized' or "
+                             "'sorted'")
+        self._threshold = float(threshold)
+        self._storage_order = storage_order
+        self._enforce_disjoint = enforce_disjoint
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def storage_order(self) -> str:
+        return self._storage_order
+
+    def enroll(self, frequencies: np.ndarray, rng: RNGLike = None
+               ) -> Tuple[SequentialPairingHelper, np.ndarray]:
+        """Run Algorithm 1 and store pairs under the configured policy.
+
+        Returns the helper data and the enrolled response bits
+        (all ones when ``storage_order == "sorted"``).
+        """
+        oriented = run_sequential_pairing(frequencies, self._threshold)
+        gen = ensure_rng(rng)
+        stored = orient_pairs(oriented, frequencies,
+                              "randomized" if
+                              self._storage_order == "randomized"
+                              else "sorted", gen)
+        helper = SequentialPairingHelper(tuple(stored))
+        return helper, response_bits(frequencies, helper.pairs)
+
+    def evaluate(self, frequencies: np.ndarray,
+                 helper: SequentialPairingHelper) -> np.ndarray:
+        """Device-side response bits under (possibly modified) helper data."""
+        n = np.asarray(frequencies).shape[0]
+        validate_pairs(helper.pairs, n,
+                       allow_reuse=not self._enforce_disjoint)
+        return response_bits(frequencies, helper.pairs)

@@ -1,0 +1,47 @@
+"""Ring-oscillator PUF substrate: arrays, variation, measurement.
+
+This subpackage simulates the physical layer the paper's constructions
+and attacks operate on: an array of identically laid-out ring oscillators
+whose frequencies carry systematic spatial trends, static random process
+variation (the entropy source) and per-measurement noise.
+"""
+
+from repro.puf.parameters import DAC13_PARAMS, FIG6_PARAMS, ROArrayParams
+from repro.puf.ro_array import ROArray
+from repro.puf.measurement import (
+    CounterParams,
+    FrequencyCounter,
+    TemperatureSensor,
+    compare_counts,
+    enroll_frequencies,
+)
+from repro.puf.variation import (
+    Polynomial2D,
+    correlated_roughness,
+    default_systematic_surface,
+    design_matrix,
+    n_terms,
+    polynomial_terms,
+    quadratic_ridge_x,
+    tilted_plane,
+)
+
+__all__ = [
+    "DAC13_PARAMS",
+    "FIG6_PARAMS",
+    "ROArrayParams",
+    "ROArray",
+    "CounterParams",
+    "FrequencyCounter",
+    "TemperatureSensor",
+    "compare_counts",
+    "enroll_frequencies",
+    "Polynomial2D",
+    "correlated_roughness",
+    "default_systematic_surface",
+    "design_matrix",
+    "n_terms",
+    "polynomial_terms",
+    "quadratic_ridge_x",
+    "tilted_plane",
+]

@@ -1,0 +1,95 @@
+"""Physical parameters of the simulated ring-oscillator array.
+
+The defaults model a mid-size FPGA RO PUF in the style of the prototypes
+attacked by the paper (Xilinx Spartan-3 class): oscillators around 200 MHz,
+random process variation of a few hundred kHz, measurement noise an order
+of magnitude smaller, and a linear frequency decrease with temperature
+whose per-oscillator slope spread produces the Δf(T) crossovers exploited
+by the temperature-aware cooperative construction (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ROArrayParams:
+    """Static description of an RO array and its variability sources.
+
+    Attributes
+    ----------
+    rows, cols:
+        Physical layout of the array; ``n = rows * cols`` oscillators.
+        Oscillator *i* sits at column ``x = i % cols`` and row
+        ``y = i // cols`` (row-major order).
+    f_nominal:
+        Design-target oscillation frequency in Hz.
+    sigma_process:
+        Standard deviation (Hz) of the static random (desired) process
+        variation of each oscillator.  This is the entropy source.
+    sigma_noise:
+        Standard deviation (Hz) of the additive noise of a *single*
+        frequency measurement.  Redrawn on every measurement.
+    systematic_amplitude:
+        Peak amplitude (Hz) of the default systematic spatial trend used
+        when no explicit surface is supplied.  Models the correlated
+        manufacturing gradient of paper Fig. 2.
+    temp_nominal:
+        Enrollment temperature in °C.
+    temp_slope_mean:
+        Mean frequency decrease per °C (Hz/°C).  RO frequencies fall with
+        rising temperature (paper §III-A), hence the slope *subtracts*.
+    temp_slope_sigma:
+        Per-oscillator spread of the temperature slope (Hz/°C).  Non-zero
+        spread makes the frequency curves of some neighbouring pairs cross
+        inside the operating range, creating the "cooperating pairs" of
+        the HOST 2009 construction.
+    v_nominal:
+        Nominal supply voltage in volts.
+    voltage_coeff:
+        Fractional frequency increase per volt of supply increase
+        (frequencies rise with voltage, paper §III-A).
+    """
+
+    rows: int = 16
+    cols: int = 32
+    f_nominal: float = 200e6
+    sigma_process: float = 400e3
+    sigma_noise: float = 25e3
+    systematic_amplitude: float = 1.5e6
+    temp_nominal: float = 25.0
+    temp_slope_mean: float = 40e3
+    temp_slope_sigma: float = 4e3
+    v_nominal: float = 1.20
+    voltage_coeff: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array must have at least one row and column")
+        if self.f_nominal <= 0:
+            raise ValueError("f_nominal must be positive")
+        for name in ("sigma_process", "sigma_noise", "temp_slope_sigma",
+                     "systematic_amplitude"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def n(self) -> int:
+        """Total number of oscillators."""
+        return self.rows * self.cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Array shape as ``(rows, cols)``."""
+        return (self.rows, self.cols)
+
+
+#: Parameter set matching the 4 x 10 array of paper Fig. 6 (attack
+#: illustrations on the group-based construction and pairing schemes).
+FIG6_PARAMS = ROArrayParams(rows=4, cols=10)
+
+#: Parameter set matching the 16 x 32 array used by the DAC 2013 entropy
+#: distiller experiments referenced in paper §V-A.
+DAC13_PARAMS = ROArrayParams(rows=16, cols=32)

@@ -1,0 +1,323 @@
+"""Precisely specified binary storage formats for helper data.
+
+Paper §VII-C: *"many proposals are rather vague about their use of
+helper data.  The precise storage format, parsing procedure and/or
+sanity checks are typically not specified.  Although subtle differences
+might impact security tremendously."*  This module is the library's
+answer for its own helper-data types: a fully specified, versioned,
+length-checked binary format with a strict parser.
+
+Container layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"ROHD"
+    4       1     format version (currently 1)
+    5       1     payload type tag (TAG_* constants)
+    6       4     payload length in bytes (u32)
+    10      n     payload (type-specific, see per-type functions)
+
+The parser rejects wrong magic, unknown versions/tags, truncated input
+and trailing bytes — every malformed case is a distinct, explicit
+:class:`FormatError`, never silent truncation or best-effort reads.
+
+Bit vectors are stored as a u32 bit count followed by the bits packed
+MSB-first into ``ceil(n / 8)`` bytes (``numpy.packbits`` convention).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.distiller.distiller import DistillerHelper
+from repro.ecc.sketch import SketchData
+from repro.grouping.algorithm import GroupingHelper
+from repro.keygen.group_based import GroupBasedKeyHelper
+from repro.keygen.sequential import SequentialKeyHelper
+from repro.keygen.temp_aware import TempAwareKeyHelper
+from repro.pairing.masking import MaskingHelper
+from repro.pairing.sequential import SequentialPairingHelper
+from repro.pairing.temp_aware import CooperationEntry, TempAwareHelper
+
+MAGIC = b"ROHD"
+VERSION = 1
+
+TAG_SEQUENTIAL = 1
+TAG_GROUP_BASED = 2
+TAG_TEMP_AWARE = 3
+TAG_MASKING = 4
+
+
+class FormatError(ValueError):
+    """Helper-data blob violates the specified storage format."""
+
+
+# ----------------------------------------------------------------------
+# primitive readers/writers
+
+
+class _Writer:
+    def __init__(self):
+        self._parts: List[bytes] = []
+
+    def u16(self, value: int) -> None:
+        if not 0 <= value < (1 << 16):
+            raise FormatError(f"u16 out of range: {value}")
+        self._parts.append(struct.pack("<H", value))
+
+    def u32(self, value: int) -> None:
+        if not 0 <= value < (1 << 32):
+            raise FormatError(f"u32 out of range: {value}")
+        self._parts.append(struct.pack("<I", value))
+
+    def f64(self, value: float) -> None:
+        self._parts.append(struct.pack("<d", float(value)))
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(bytes(data))
+
+    def bits(self, bits: np.ndarray) -> None:
+        bits = np.asarray(bits, dtype=np.uint8)
+        self.u32(bits.size)
+        self.raw(np.packbits(bits).tobytes() if bits.size else b"")
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._offset = 0
+
+    def _take(self, count: int) -> bytes:
+        if self._offset + count > len(self._data):
+            raise FormatError("truncated helper data")
+        chunk = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return chunk
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def raw(self, count: int) -> bytes:
+        return self._take(count)
+
+    def bits(self) -> np.ndarray:
+        count = self.u32()
+        packed = self._take((count + 7) // 8)
+        if count == 0:
+            return np.zeros(0, dtype=np.uint8)
+        return np.unpackbits(np.frombuffer(packed,
+                                           dtype=np.uint8))[:count]
+
+    def finish(self) -> None:
+        if self._offset != len(self._data):
+            raise FormatError(
+                f"{len(self._data) - self._offset} trailing bytes")
+
+
+def _frame(tag: int, payload: bytes) -> bytes:
+    return MAGIC + bytes([VERSION, tag]) + struct.pack(
+        "<I", len(payload)) + payload
+
+
+def _unframe(blob: bytes, expected_tag: int) -> _Reader:
+    if len(blob) < 10:
+        raise FormatError("blob shorter than the container header")
+    if blob[:4] != MAGIC:
+        raise FormatError("bad magic")
+    if blob[4] != VERSION:
+        raise FormatError(f"unsupported format version {blob[4]}")
+    if blob[5] != expected_tag:
+        raise FormatError(
+            f"payload tag {blob[5]} does not match expected "
+            f"{expected_tag}")
+    length = struct.unpack("<I", blob[6:10])[0]
+    if len(blob) != 10 + length:
+        raise FormatError("payload length field disagrees with blob "
+                          "size")
+    return _Reader(blob[10:])
+
+
+# ----------------------------------------------------------------------
+# sequential pairing
+
+
+def dump_sequential(helper: SequentialKeyHelper) -> bytes:
+    """Serialise the full sequential-pairing helper bundle.
+
+    Payload: u16 pair count, then per pair two u16 oscillator indices
+    *in stored order* (the order is security-relevant, §VII-C), the
+    sketch bit vector, and the 16-byte key-check digest.
+    """
+    writer = _Writer()
+    writer.u16(len(helper.pairing.pairs))
+    for a, b in helper.pairing.pairs:
+        writer.u16(a)
+        writer.u16(b)
+    writer.bits(helper.sketch.payload)
+    if len(helper.key_check) != 16:
+        raise FormatError("key check must be 16 bytes")
+    writer.raw(helper.key_check)
+    return _frame(TAG_SEQUENTIAL, writer.getvalue())
+
+
+def load_sequential(blob: bytes) -> SequentialKeyHelper:
+    """Parse a sequential-pairing helper bundle (strict)."""
+    reader = _unframe(blob, TAG_SEQUENTIAL)
+    count = reader.u16()
+    pairs = tuple((reader.u16(), reader.u16()) for _ in range(count))
+    payload = reader.bits()
+    key_check = reader.raw(16)
+    reader.finish()
+    return SequentialKeyHelper(SequentialPairingHelper(pairs),
+                               SketchData(payload), key_check)
+
+
+# ----------------------------------------------------------------------
+# group-based
+
+
+def dump_group_based(helper: GroupBasedKeyHelper) -> bytes:
+    """Serialise the group-based helper bundle (Fig. 4 NVM contents).
+
+    Payload: u16 polynomial degree + f64 coefficients; f64 grouping
+    threshold, u16 group count, per group u16 size + u16 member
+    indices; sketch bits; 16-byte key check.
+    """
+    writer = _Writer()
+    writer.u16(helper.distiller.degree)
+    for coefficient in helper.distiller.coefficients:
+        writer.f64(coefficient)
+    writer.f64(helper.grouping.threshold)
+    writer.u16(len(helper.grouping.groups))
+    for group in helper.grouping.groups:
+        writer.u16(len(group))
+        for member in group:
+            writer.u16(member)
+    writer.bits(helper.sketch.payload)
+    if len(helper.key_check) != 16:
+        raise FormatError("key check must be 16 bytes")
+    writer.raw(helper.key_check)
+    return _frame(TAG_GROUP_BASED, writer.getvalue())
+
+
+def load_group_based(blob: bytes) -> GroupBasedKeyHelper:
+    """Parse a group-based helper bundle (strict)."""
+    from repro.puf.variation import n_terms
+
+    reader = _unframe(blob, TAG_GROUP_BASED)
+    degree = reader.u16()
+    coefficients = np.array([reader.f64()
+                             for _ in range(n_terms(degree))])
+    threshold = reader.f64()
+    group_count = reader.u16()
+    groups = []
+    for _ in range(group_count):
+        size = reader.u16()
+        groups.append(tuple(reader.u16() for _ in range(size)))
+    payload = reader.bits()
+    key_check = reader.raw(16)
+    reader.finish()
+    return GroupBasedKeyHelper(
+        DistillerHelper(degree, coefficients),
+        GroupingHelper(tuple(groups), threshold),
+        SketchData(payload), key_check)
+
+
+# ----------------------------------------------------------------------
+# temperature-aware
+
+
+def dump_temp_aware(helper: TempAwareKeyHelper) -> bytes:
+    """Serialise the temperature-aware helper bundle.
+
+    Payload: f64 t_min/t_max/threshold; u16 pair count + pairs; u16
+    good count + indices; u16 cooperation count + per record (u16 pair
+    index, f64 t_low, f64 t_high, u16 good index, u16 assist index);
+    sketch bits; 16-byte key check.
+    """
+    scheme = helper.scheme
+    writer = _Writer()
+    writer.f64(scheme.t_min)
+    writer.f64(scheme.t_max)
+    writer.f64(scheme.threshold)
+    writer.u16(len(scheme.pairs))
+    for a, b in scheme.pairs:
+        writer.u16(a)
+        writer.u16(b)
+    writer.u16(len(scheme.good_indices))
+    for index in scheme.good_indices:
+        writer.u16(index)
+    writer.u16(len(scheme.cooperation))
+    for entry in scheme.cooperation:
+        writer.u16(entry.pair_index)
+        writer.f64(entry.t_low)
+        writer.f64(entry.t_high)
+        writer.u16(entry.good_index)
+        writer.u16(entry.assist_index)
+    writer.bits(helper.sketch.payload)
+    if len(helper.key_check) != 16:
+        raise FormatError("key check must be 16 bytes")
+    writer.raw(helper.key_check)
+    return _frame(TAG_TEMP_AWARE, writer.getvalue())
+
+
+def load_temp_aware(blob: bytes) -> TempAwareKeyHelper:
+    """Parse a temperature-aware helper bundle (strict)."""
+    reader = _unframe(blob, TAG_TEMP_AWARE)
+    t_min = reader.f64()
+    t_max = reader.f64()
+    threshold = reader.f64()
+    pair_count = reader.u16()
+    pairs = tuple((reader.u16(), reader.u16())
+                  for _ in range(pair_count))
+    good_count = reader.u16()
+    good = tuple(reader.u16() for _ in range(good_count))
+    coop_count = reader.u16()
+    records = []
+    for _ in range(coop_count):
+        records.append(CooperationEntry(
+            pair_index=reader.u16(), t_low=reader.f64(),
+            t_high=reader.f64(), good_index=reader.u16(),
+            assist_index=reader.u16()))
+    payload = reader.bits()
+    key_check = reader.raw(16)
+    reader.finish()
+    scheme = TempAwareHelper(pairs, good, tuple(records), t_min, t_max,
+                             threshold)
+    return TempAwareKeyHelper(scheme, SketchData(payload), key_check)
+
+
+# ----------------------------------------------------------------------
+# masking selections (scheme-level helper, e.g. inside the distiller
+# composition)
+
+
+def dump_masking(helper: MaskingHelper) -> bytes:
+    """Serialise a 1-out-of-k selection vector."""
+    writer = _Writer()
+    writer.u16(helper.k)
+    writer.u16(len(helper.selected))
+    for index in helper.selected:
+        writer.u16(index)
+    return _frame(TAG_MASKING, writer.getvalue())
+
+
+def load_masking(blob: bytes) -> MaskingHelper:
+    """Parse a 1-out-of-k selection vector (strict)."""
+    reader = _unframe(blob, TAG_MASKING)
+    k = reader.u16()
+    count = reader.u16()
+    selected = tuple(reader.u16() for _ in range(count))
+    reader.finish()
+    return MaskingHelper(k, selected)

@@ -1,0 +1,183 @@
+"""Tests for the entropy / reliability / statistics toolbox."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SummaryStats,
+    bit_bias,
+    bit_correlation_matrix,
+    ecc_failure_probability,
+    expected_queries_per_relation,
+    extraction_summary,
+    failure_rate_gap,
+    flip_probability,
+    fractional_hamming_distance,
+    gaussian_cdf,
+    histogram,
+    hoeffding_bound,
+    inter_device_distances,
+    intra_device_distances,
+    leaked_parity_count,
+    min_entropy_per_bit,
+    pairwise_comparisons,
+    permutation_entropy,
+    poisson_binomial_pmf,
+    shannon_entropy_per_bit,
+    wilson_interval,
+)
+
+
+class TestEntropy:
+    def test_permutation_entropy_values(self):
+        assert permutation_entropy(1) == pytest.approx(0.0)
+        assert permutation_entropy(4) == pytest.approx(np.log2(24))
+        # Paper §II: N! orderings, not N(N-1)/2 independent bits.
+        assert permutation_entropy(64) < pairwise_comparisons(64)
+
+    def test_pairwise_comparison_count(self):
+        assert pairwise_comparisons(8) == 28
+
+    def test_bias_of_uniform_population(self, rng):
+        samples = rng.integers(0, 2, (400, 16))
+        bias = bit_bias(samples)
+        assert np.all(np.abs(bias - 0.5) < 0.1)
+
+    def test_bias_detects_constant_position(self, rng):
+        samples = rng.integers(0, 2, (100, 4))
+        samples[:, 2] = 1
+        assert bit_bias(samples)[2] == pytest.approx(1.0)
+
+    def test_entropy_measures_ordering(self, rng):
+        samples = rng.integers(0, 2, (500, 3))
+        samples[:, 0] = (rng.random(500) < 0.9).astype(int)
+        shannon = shannon_entropy_per_bit(samples)
+        minent = min_entropy_per_bit(samples)
+        assert shannon[0] < shannon[1]
+        assert np.all(minent <= shannon + 1e-9)
+
+    def test_correlation_matrix_identifies_copies(self, rng):
+        base = rng.integers(0, 2, (300, 1))
+        noise = rng.integers(0, 2, (300, 1))
+        samples = np.hstack([base, base, noise])
+        corr = bit_correlation_matrix(samples)
+        assert corr[0, 1] == pytest.approx(1.0)
+        assert abs(corr[0, 2]) < 0.2
+
+    def test_distances(self, rng):
+        population = rng.integers(0, 2, (20, 64))
+        inter = inter_device_distances(population)
+        assert inter.shape == (190,)
+        assert inter.mean() == pytest.approx(0.5, abs=0.05)
+        reads = np.tile(population[0], (5, 1))
+        intra = intra_device_distances(population[0], reads)
+        assert np.all(intra == 0.0)
+
+    def test_hamming_distance_validation(self):
+        with pytest.raises(ValueError):
+            fractional_hamming_distance(np.zeros(3), np.zeros(4))
+
+    def test_extraction_summary(self):
+        summary = extraction_summary(40, {"sequential": 20,
+                                          "group": 66})
+        assert summary["sequential"]["fraction"] < \
+            summary["group"]["fraction"]
+        assert summary["group"]["budget_bits"] == \
+            pytest.approx(permutation_entropy(40))
+
+    def test_leaked_parities(self):
+        assert leaked_parity_count(17) == 17
+        with pytest.raises(ValueError):
+            leaked_parity_count(-1)
+
+
+class TestReliability:
+    def test_flip_probability_monotone_in_margin(self):
+        sigma = 25e3
+        probs = [flip_probability(d, sigma)
+                 for d in (0.0, 10e3, 50e3, 200e3)]
+        assert probs[0] == pytest.approx(0.5)
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_flip_probability_zero_noise(self):
+        assert flip_probability(1.0, 0.0) == 0.0
+        assert flip_probability(0.0, 0.0) == 0.5
+
+    def test_gaussian_cdf_symmetry(self):
+        assert gaussian_cdf(0.0) == pytest.approx(0.5)
+        assert gaussian_cdf(1.0) + gaussian_cdf(-1.0) == \
+            pytest.approx(1.0)
+
+    def test_poisson_binomial_matches_binomial(self):
+        from math import comb
+
+        p = 0.3
+        pmf = poisson_binomial_pmf([p] * 10)
+        for k in range(11):
+            expected = comb(10, k) * p ** k * (1 - p) ** (10 - k)
+            assert pmf[k] == pytest.approx(expected)
+
+    def test_poisson_binomial_heterogeneous(self):
+        pmf = poisson_binomial_pmf([0.0, 1.0, 0.5])
+        # exactly one guaranteed error plus a fair coin
+        assert pmf[0] == pytest.approx(0.0)
+        assert pmf[1] == pytest.approx(0.5)
+        assert pmf[2] == pytest.approx(0.5)
+
+    def test_pmf_normalised(self, rng):
+        probs = rng.random(25)
+        assert poisson_binomial_pmf(probs).sum() == pytest.approx(1.0)
+
+    def test_ecc_failure_probability(self):
+        probs = [0.5] * 4
+        # P[#errors > 1] for Bin(4, 0.5): 1 - (1 + 4)/16
+        assert ecc_failure_probability(probs, 1) == \
+            pytest.approx(1 - 5 / 16)
+
+    def test_failure_rate_gap_grows_with_injection(self):
+        probs = [0.01] * 60
+        t = 5
+        gaps = [failure_rate_gap(probs, t, injected)
+                for injected in range(t)]
+        assert all(b >= a - 1e-12 for a, b in zip(gaps, gaps[1:]))
+        # t-1 injected + 2 extra errors exceed t: the wrong hypothesis
+        # fails almost surely while the correct one rarely does.
+        assert gaps[-1] > 0.8
+
+
+class TestStats:
+    def test_hoeffding_monotone_in_samples(self):
+        assert hoeffding_bound(100, 0.99) < hoeffding_bound(10, 0.99)
+
+    def test_wilson_interval_contains_point_estimate(self):
+        low, high = wilson_interval(3, 20)
+        assert low < 3 / 20 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_wilson_extremes(self):
+        low, _ = wilson_interval(0, 50)
+        assert low == 0.0
+        _, high = wilson_interval(50, 50)
+        assert high == 1.0
+
+    def test_expected_queries_decrease_with_gap(self):
+        few = expected_queries_per_relation(0.0, 1.0)
+        many = expected_queries_per_relation(0.4, 0.6)
+        assert few < many
+
+    def test_summary_stats(self):
+        stats = SummaryStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.count == 3
+        row = stats.as_row()
+        assert row["min"] == 1.0 and row["max"] == 3.0
+
+    def test_summary_stats_empty(self):
+        stats = SummaryStats.from_samples([])
+        assert stats.count == 0
+        assert np.isnan(stats.mean)
+
+    def test_histogram_density(self, rng):
+        densities, edges = histogram(rng.normal(size=1000), bins=10)
+        widths = np.diff(edges)
+        assert np.sum(densities * widths) == pytest.approx(1.0)

@@ -1,0 +1,47 @@
+"""Shared fixtures: deterministic devices of the paper's geometries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.puf import ROArray, ROArrayParams
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_params():
+    """The 4 x 10 array of paper Fig. 6."""
+    return ROArrayParams(rows=4, cols=10)
+
+
+@pytest.fixture
+def small_array(small_params):
+    return ROArray(small_params, rng=33)
+
+
+@pytest.fixture
+def medium_params():
+    """An 8 x 16 array: large enough for meaningful key lengths."""
+    return ROArrayParams(rows=8, cols=16)
+
+
+@pytest.fixture
+def medium_array(medium_params):
+    return ROArray(medium_params, rng=21)
+
+
+@pytest.fixture
+def thermal_params():
+    """Wide temperature-slope spread so crossover pairs are plentiful."""
+    return ROArrayParams(rows=8, cols=16, temp_slope_sigma=8e3)
+
+
+@pytest.fixture
+def thermal_array(thermal_params):
+    return ROArray(thermal_params, rng=7)

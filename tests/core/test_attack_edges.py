@@ -1,0 +1,105 @@
+"""Edge-case coverage for the attack drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistillerPairingAttack,
+    GroupBasedAttack,
+    HelperDataOracle,
+)
+from repro.keygen import (
+    DistillerPairingKeyGen,
+    GroupBasedKeyGen,
+    bch_provider,
+)
+from repro.puf import ROArray, ROArrayParams
+
+
+class TestDistillerAttackEdges:
+    @pytest.fixture
+    def setup(self, small_array):
+        keygen = DistillerPairingKeyGen(4, 10, pairing_mode="masking",
+                                        k=5)
+        helper, key = keygen.enroll(small_array, rng=3)
+        oracle = HelperDataOracle(small_array, keygen)
+        return oracle, keygen, helper, key
+
+    def test_joint_hypothesis_cap_enforced(self, setup):
+        oracle, keygen, helper, _ = setup
+        attack = DistillerPairingAttack(oracle, keygen, helper, 4, 10,
+                                        max_joint_bits=0)
+        with pytest.raises(ValueError):
+            attack.isolate(0)
+
+    def test_excessive_injection_rejected(self, setup):
+        oracle, keygen, helper, _ = setup
+        attack = DistillerPairingAttack(oracle, keygen, helper, 4, 10,
+                                        injected_errors=99)
+        with pytest.raises(ValueError):
+            attack.isolate(0)
+
+    def test_zero_injection_with_trivial_code(self, small_array):
+        # t = 0 device: every error is observable; the attack needs no
+        # injection at all.
+        keygen = DistillerPairingKeyGen(4, 10, pairing_mode="masking",
+                                        k=5,
+                                        code_provider=bch_provider(0))
+        helper, key = keygen.enroll(small_array, rng=3)
+        oracle = HelperDataOracle(small_array, keygen)
+        attack = DistillerPairingAttack(oracle, keygen, helper, 4, 10,
+                                        injected_errors=0)
+        result = attack.run()
+        np.testing.assert_array_equal(result.key, key)
+
+
+class TestGroupAttackEdges:
+    @pytest.fixture
+    def setup(self, small_array):
+        keygen = GroupBasedKeyGen(group_threshold=120e3)
+        helper, key = keygen.enroll(small_array, rng=2)
+        oracle = HelperDataOracle(small_array, keygen)
+        return oracle, keygen, helper, key
+
+    def test_explicit_injection_count(self, setup):
+        # The boundary value (t of the repartitioned code) must be
+        # injected for the +1 error of a wrong hypothesis to overflow;
+        # passing it explicitly follows the same path as the default.
+        oracle, keygen, helper, key = setup
+        t = keygen.sketch_for(20).code.t
+        attack = GroupBasedAttack(oracle, keygen, helper, 4, 10,
+                                  injected_errors=t)
+        result = attack.run()
+        np.testing.assert_array_equal(result.key, key)
+
+    def test_insufficient_injection_yields_no_signal(self, setup):
+        # An attacker who under-injects (t - 1) leaves both hypotheses
+        # inside the correction radius: the channel carries nothing.
+        oracle, keygen, helper, _ = setup
+        t = keygen.sketch_for(20).code.t
+        attack = GroupBasedAttack(oracle, keygen, helper, 4, 10,
+                                  injected_errors=t - 1)
+        helper0, helper1 = attack._attack_helpers(
+            helper.grouping.groups[0][0], helper.grouping.groups[0][1])
+        assert oracle.failure_rate(helper0, 5) == 0.0
+        assert oracle.failure_rate(helper1, 5) == 0.0
+
+    def test_single_group_order_recovery(self, setup, small_array):
+        oracle, keygen, helper, _ = setup
+        from repro.grouping import order_from_frequencies
+
+        attack = GroupBasedAttack(oracle, keygen, helper, 4, 10)
+        group = helper.grouping.groups[1]
+        recovered = attack.recover_group_order(group)
+        residuals = keygen.distiller.residuals(
+            small_array.x, small_array.y,
+            small_array.true_frequencies(), helper.distiller)
+        truth = order_from_frequencies(residuals[list(group)])
+        assert recovered == truth
+
+    def test_comparisons_counted(self, setup):
+        oracle, keygen, helper, _ = setup
+        attack = GroupBasedAttack(oracle, keygen, helper, 4, 10)
+        attack.compare_ros(0, 1)
+        attack.compare_ros(2, 3)
+        assert attack._comparisons == 2

@@ -1,0 +1,247 @@
+"""End-to-end tests of the four §VI attacks — the paper's main claims."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistillerPairingAttack,
+    GroupBasedAttack,
+    HelperDataOracle,
+    SequentialPairingAttack,
+    TempAwareAttack,
+)
+from repro.keygen import (
+    DistillerPairingKeyGen,
+    GroupBasedKeyGen,
+    SequentialPairingKeyGen,
+    TempAwareKeyGen,
+)
+from repro.puf import ROArray, ROArrayParams
+
+
+class TestSequentialAttack:
+    """Paper §VI-A: full key recovery on sequential pairing."""
+
+    @pytest.fixture
+    def setup(self, medium_array):
+        keygen = SequentialPairingKeyGen(threshold=300e3)
+        helper, key = keygen.enroll(medium_array, rng=1)
+        oracle = HelperDataOracle(medium_array, keygen)
+        return oracle, keygen, helper, key
+
+    def test_full_key_recovery(self, setup):
+        oracle, keygen, helper, key = setup
+        result = SequentialPairingAttack(oracle, keygen, helper).run()
+        assert result.key is not None
+        np.testing.assert_array_equal(result.key, key)
+
+    def test_relations_match_ground_truth(self, setup):
+        oracle, keygen, helper, key = setup
+        attack = SequentialPairingAttack(oracle, keygen, helper)
+        relations, _ = attack.recover_relations()
+        np.testing.assert_array_equal(relations, key ^ key[0])
+
+    def test_single_relation_test(self, setup):
+        oracle, keygen, helper, key = setup
+        attack = SequentialPairingAttack(oracle, keygen, helper)
+        relation, outcome = attack.test_relation(5)
+        assert relation == int(key[0] ^ key[5])
+        assert outcome.queries >= 2
+
+    def test_query_cost_scales_linearly(self, setup):
+        oracle, keygen, helper, key = setup
+        result = SequentialPairingAttack(oracle, keygen, helper).run()
+        # A handful of queries per bit relation, not hundreds.
+        assert result.queries < 40 * key.size
+
+    def test_candidates_are_complements(self, setup):
+        oracle, keygen, helper, _ = setup
+        result = SequentialPairingAttack(oracle, keygen, helper).run()
+        first, second = result.candidates
+        np.testing.assert_array_equal(first ^ second,
+                                      np.ones_like(first))
+
+    def test_attack_without_ecc(self, medium_array):
+        # Degenerate t = 0 case: no injection needed, errors observable
+        # directly through the key check.
+        from repro.keygen import bch_provider
+
+        keygen = SequentialPairingKeyGen(threshold=300e3,
+                                         code_provider=bch_provider(0))
+        helper, key = keygen.enroll(medium_array, rng=2)
+        oracle = HelperDataOracle(medium_array, keygen)
+        result = SequentialPairingAttack(oracle, keygen, helper,
+                                         injected_errors=0).run()
+        assert result.key is not None
+        np.testing.assert_array_equal(result.key, key)
+
+    def test_too_few_pairs_rejected(self, medium_array):
+        keygen = SequentialPairingKeyGen(threshold=300e3)
+        helper, _ = keygen.enroll(medium_array, rng=1)
+        single = type(helper)(helper.pairing.__class__(
+            helper.pairing.pairs[:1]), helper.sketch, helper.key_check)
+        oracle = HelperDataOracle(medium_array, keygen)
+        with pytest.raises(ValueError):
+            SequentialPairingAttack(oracle, keygen, single)
+
+
+class TestTempAwareAttack:
+    """Paper §VI-B: relations among all cooperating pairs."""
+
+    @pytest.fixture
+    def setup(self, thermal_array):
+        keygen = TempAwareKeyGen(t_min=-10, t_max=80, threshold=150e3)
+        helper, key = keygen.enroll(thermal_array, rng=6)
+        oracle = HelperDataOracle(thermal_array, keygen)
+        return oracle, keygen, helper, key
+
+    def test_all_cooperating_relations_recovered(self, setup):
+        oracle, keygen, helper, key = setup
+        result = TempAwareAttack(oracle, keygen, helper).run()
+        n_good = len(helper.scheme.good_indices)
+        coop_truth = key[n_good:]
+        assert result.resolved_fraction == 1.0
+        np.testing.assert_array_equal(
+            result.coop_relations, coop_truth ^ coop_truth[0])
+
+    def test_good_pair_bits_recovered_absolutely(self, setup):
+        oracle, keygen, helper, key = setup
+        result = TempAwareAttack(oracle, keygen, helper).run()
+        assert result.good_bits, "no free good-pair bits"
+        good_positions = {pair: idx for idx, pair
+                          in enumerate(helper.scheme.good_indices)}
+        for pair_index, bit in result.good_bits.items():
+            # The masking constraint r_good = r_coop XOR r_assist hands
+            # the attacker the good pair's bit outright — no global
+            # unknown survives the XOR of same-component variables.
+            assert bit == key[good_positions[pair_index]]
+
+    def test_single_candidate_test(self, setup):
+        oracle, keygen, helper, key = setup
+        attack = TempAwareAttack(oracle, keygen, helper)
+        scheme = helper.scheme
+        pair_to_pos = {e.pair_index: i
+                       for i, e in enumerate(scheme.cooperation)}
+        target = 0
+        assist_pos = pair_to_pos[scheme.cooperation[0].assist_index]
+        candidate = next(
+            i for i in range(len(scheme.cooperation))
+            if i not in (target, assist_pos)
+            and attack._attack_temperature(target, i) is not None)
+        relation, outcome = attack.test_candidate(target, candidate)
+        n_good = len(scheme.good_indices)
+        coop_truth = key[n_good:]
+        assert relation == int(coop_truth[candidate]
+                               ^ coop_truth[assist_pos])
+        assert outcome.queries >= 2
+
+    def test_unstable_candidate_rejected(self, setup):
+        oracle, keygen, helper, _ = setup
+        attack = TempAwareAttack(oracle, keygen, helper)
+        scheme = helper.scheme
+        entry = scheme.cooperation[0]
+        inside = (entry.t_low + entry.t_high) / 2
+        unstable = next(
+            (i for i in range(1, len(scheme.cooperation))
+             if not attack._stable_at(i, inside)), None)
+        if unstable is None:
+            pytest.skip("fixture has no overlapping intervals")
+        with pytest.raises(ValueError):
+            attack.test_candidate(0, unstable, temperature=inside)
+
+
+class TestGroupBasedAttack:
+    """Paper §VI-C / Fig. 6a: full key recovery on the 4 x 10 array."""
+
+    @pytest.fixture
+    def setup(self, small_array):
+        keygen = GroupBasedKeyGen(distiller_degree=2,
+                                  group_threshold=120e3)
+        helper, key = keygen.enroll(small_array, rng=2)
+        oracle = HelperDataOracle(small_array, keygen)
+        return oracle, keygen, helper, key
+
+    def test_full_key_recovery(self, setup):
+        oracle, keygen, helper, key = setup
+        attack = GroupBasedAttack(oracle, keygen, helper, 4, 10)
+        result = attack.run()
+        np.testing.assert_array_equal(result.key, key)
+        assert result.confirmed
+
+    def test_single_comparison_matches_residual_order(self, setup,
+                                                      small_array):
+        oracle, keygen, helper, _ = setup
+        from repro.puf.measurement import enroll_frequencies
+
+        attack = GroupBasedAttack(oracle, keygen, helper, 4, 10)
+        freqs = small_array.true_frequencies()
+        residuals = keygen.distiller.residuals(
+            small_array.x, small_array.y, freqs, helper.distiller)
+        group = helper.grouping.groups[0]
+        u, v = group[0], group[1]
+        assert attack.compare_ros(u, v) == (residuals[u] > residuals[v])
+        assert attack.compare_ros(v, u) == (residuals[v] > residuals[u])
+
+    def test_comparison_cost_near_g_log_g(self, setup):
+        oracle, keygen, helper, _ = setup
+        attack = GroupBasedAttack(oracle, keygen, helper, 4, 10)
+        result = attack.run()
+        import math
+
+        bound = sum(max(1, int(np.ceil(
+            sum(math.log2(i + 1) for i in range(1, len(g))))))
+            for g in helper.grouping.groups) + len(
+                helper.grouping.groups) * 2
+        assert result.comparisons <= bound + 10
+
+    def test_recovered_orders_are_permutations(self, setup):
+        oracle, keygen, helper, _ = setup
+        result = GroupBasedAttack(oracle, keygen, helper, 4, 10).run()
+        for order, group in zip(result.orders, helper.grouping.groups):
+            assert sorted(order) == list(range(len(group)))
+
+
+class TestDistillerPairingAttack:
+    """Paper §VI-D / Fig. 6b-6c: distiller + pairing schemes."""
+
+    @pytest.mark.parametrize("mode", ["masking", "neighbor-disjoint",
+                                      "neighbor-overlap"])
+    def test_full_key_recovery(self, small_array, mode):
+        keygen = DistillerPairingKeyGen(4, 10, pairing_mode=mode, k=5)
+        helper, key = keygen.enroll(small_array, rng=3)
+        oracle = HelperDataOracle(small_array, keygen)
+        attack = DistillerPairingAttack(oracle, keygen, helper, 4, 10)
+        result = attack.run()
+        np.testing.assert_array_equal(result.key, key)
+        assert result.confirmed
+
+    def test_overlap_mode_needs_joint_hypotheses(self, small_array):
+        # Fig. 6c: overlapping chains can leave several bits isolated at
+        # once; at least one placement must enumerate > 2 hypotheses.
+        keygen = DistillerPairingKeyGen(4, 10,
+                                        pairing_mode="neighbor-overlap")
+        helper, _ = keygen.enroll(small_array, rng=4)
+        oracle = HelperDataOracle(small_array, keygen)
+        result = DistillerPairingAttack(oracle, keygen, helper, 4,
+                                        10).run()
+        assert max(result.hypothesis_rounds) >= 2
+
+    def test_isolation_learns_target(self, small_array):
+        keygen = DistillerPairingKeyGen(4, 10, pairing_mode="masking",
+                                        k=5)
+        helper, key = keygen.enroll(small_array, rng=3)
+        oracle = HelperDataOracle(small_array, keygen)
+        attack = DistillerPairingAttack(oracle, keygen, helper, 4, 10)
+        learned, hypotheses = attack.isolate(0)
+        assert 0 in learned
+        assert learned[0] == key[0]
+        assert hypotheses >= 2
+
+    def test_bad_target_rejected(self, small_array):
+        keygen = DistillerPairingKeyGen(4, 10, pairing_mode="masking",
+                                        k=5)
+        helper, _ = keygen.enroll(small_array, rng=3)
+        oracle = HelperDataOracle(small_array, keygen)
+        attack = DistillerPairingAttack(oracle, keygen, helper, 4, 10)
+        with pytest.raises(ValueError):
+            attack.isolate(99)

@@ -1,0 +1,183 @@
+"""Tests for the failure oracle and the error-injection primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HelperDataOracle,
+    break_inversions,
+    flip_orientations,
+    pair_cells_by_value,
+    predicted_pair_bits,
+    swap_positions,
+    symmetric_quadratic,
+)
+from repro.keygen import OperatingPoint, SequentialPairingKeyGen, \
+    TempAwareKeyGen
+from repro.pairing import SequentialPairingHelper
+
+
+class TestHelperDataOracle:
+    @pytest.fixture
+    def device(self, medium_array):
+        keygen = SequentialPairingKeyGen(threshold=300e3)
+        helper, key = keygen.enroll(medium_array, rng=1)
+        return medium_array, keygen, helper, key
+
+    def test_query_counts(self, device):
+        array, keygen, helper, _ = device
+        oracle = HelperDataOracle(array, keygen)
+        for _ in range(7):
+            oracle.query(helper)
+        assert oracle.queries == 7
+        oracle.reset_query_count()
+        assert oracle.queries == 0
+
+    def test_nominal_helper_succeeds(self, device):
+        array, keygen, helper, _ = device
+        oracle = HelperDataOracle(array, keygen)
+        assert oracle.failure_rate(helper, 10) <= 0.1
+
+    def test_heavily_corrupted_helper_fails(self, device):
+        array, keygen, helper, _ = device
+        oracle = HelperDataOracle(array, keygen)
+        corrupted = helper.with_pairing(flip_orientations(
+            helper.pairing, range(10)))
+        assert oracle.failure_rate(corrupted, 10) >= 0.9
+
+    def test_operating_point_override(self, device):
+        array, keygen, helper, _ = device
+        oracle = HelperDataOracle(array, keygen)
+        assert oracle.query(helper,
+                            OperatingPoint(temperature=30.0)) in (True,
+                                                                  False)
+
+    def test_invalid_query_count_rejected(self, device):
+        array, keygen, helper, _ = device
+        oracle = HelperDataOracle(array, keygen)
+        with pytest.raises(ValueError):
+            oracle.failure_rate(helper, 0)
+
+
+class TestSequentialInjection:
+    @pytest.fixture
+    def helper(self):
+        return SequentialPairingHelper(tuple((2 * i, 2 * i + 1)
+                                             for i in range(8)))
+
+    def test_flips_reverse_orientation(self, helper):
+        flipped = flip_orientations(helper, [0, 3])
+        assert flipped.pairs[0] == (1, 0)
+        assert flipped.pairs[3] == (7, 6)
+        assert flipped.pairs[1] == helper.pairs[1]
+
+    def test_swaps_exchange_positions(self, helper):
+        swapped = swap_positions(helper, [(0, 7), (1, 2)])
+        assert swapped.pairs[0] == helper.pairs[7]
+        assert swapped.pairs[7] == helper.pairs[0]
+        assert swapped.pairs[1] == helper.pairs[2]
+
+    def test_original_untouched(self, helper):
+        flip_orientations(helper, [0])
+        swap_positions(helper, [(0, 1)])
+        assert helper.pairs[0] == (0, 1)
+
+
+class TestBreakInversions:
+    @pytest.fixture
+    def enrolled(self, thermal_array):
+        keygen = TempAwareKeyGen(t_min=-10, t_max=80, threshold=150e3)
+        helper, key = keygen.enroll(thermal_array, rng=6)
+        return thermal_array, keygen, helper, key
+
+    def test_injects_exact_error_count(self, enrolled):
+        array, keygen, helper, key = enrolled
+        temperature = 45.0
+        scheme = break_inversions(helper.scheme, temperature, 2)
+        freqs = array.true_frequencies(temperature=temperature)
+        original = keygen.scheme.evaluate(freqs, helper.scheme,
+                                          temperature)
+        modified = keygen.scheme.evaluate(freqs, scheme, temperature)
+        assert int(np.sum(original != modified)) == 2
+
+    def test_respects_exclusions(self, enrolled):
+        array, keygen, helper, _ = enrolled
+        entry = helper.scheme.cooperation[0]
+        scheme = break_inversions(helper.scheme, 45.0, 1,
+                                  exclude=[entry.pair_index])
+        assert scheme.cooperation[0] == entry
+
+    def test_insufficient_capacity_rejected(self, enrolled):
+        _, _, helper, _ = enrolled
+        with pytest.raises(ValueError):
+            break_inversions(helper.scheme, 45.0, 10_000)
+
+
+class TestSymmetricQuadratic:
+    def test_equal_at_targets(self):
+        payload = symmetric_quadratic((2.0, 1.0), (7.0, 3.0), rows=4)
+        assert payload(2.0, 1.0) == pytest.approx(payload(7.0, 3.0))
+
+    def test_steepness_scales_values(self):
+        weak = symmetric_quadratic((0.0, 0.0), (3.0, 0.0), 4,
+                                   steepness=1.0)
+        strong = symmetric_quadratic((0.0, 0.0), (3.0, 0.0), 4,
+                                     steepness=100.0)
+        assert strong(9.0, 2.0) == pytest.approx(100.0 * weak(9.0, 2.0))
+
+    def test_identical_targets_rejected(self):
+        with pytest.raises(ValueError):
+            symmetric_quadratic((1.0, 1.0), (1.0, 1.0), 4)
+
+    def test_collisions_only_on_mirror_cells(self):
+        payload = symmetric_quadratic((2.0, 0.0), (5.0, 2.0), rows=4,
+                                      steepness=1e6)
+        xs, ys = np.meshgrid(np.arange(10.0), np.arange(4.0))
+        values = np.round(payload(xs, ys).ravel(), 3)
+        cells = [(i % 10, i // 10) for i in range(40)]
+        mx, my = 3.5, 1.0
+        for i in range(40):
+            for j in range(i + 1, 40):
+                if values[i] == values[j]:
+                    # Colliding cells must be exactly symmetric about
+                    # the midpoint of the two targets.
+                    xi, yi = cells[i]
+                    xj, yj = cells[j]
+                    assert (xi + xj) / 2 == mx and (yi + yj) / 2 == my
+
+    def test_collision_classes_have_size_two(self):
+        payload = symmetric_quadratic((2.0, 0.0), (5.0, 2.0), rows=4,
+                                      steepness=1e6)
+        xs, ys = np.meshgrid(np.arange(10.0), np.arange(4.0))
+        values = np.round(payload(xs, ys).ravel(), 3)
+        _, counts = np.unique(values, return_counts=True)
+        assert counts.max() == 2
+
+
+class TestPredictionAndPairing:
+    def test_predicted_bits_follow_margins(self):
+        values = np.array([100.0, 0.0, 50.0, 49.0])
+        bits = predicted_pair_bits(values, [(0, 1), (1, 0), (2, 3)],
+                                   margin=10.0)
+        assert bits == [1, 0, -1]
+
+    def test_pair_cells_respect_min_gap_and_exclusion(self):
+        values = np.array([0.0, 0.0, 10.0, 20.0, 30.0, 40.0])
+        pairs = pair_cells_by_value(values, exclude=[0], min_gap=5.0)
+        flat = [c for pair in pairs for c in pair]
+        assert 0 not in flat
+        for a, b in pairs:
+            assert abs(values[a] - values[b]) >= 5.0
+
+    def test_full_grid_pairing_covers_almost_all(self):
+        payload = symmetric_quadratic((2.0, 1.0), (5.0, 1.0), rows=4,
+                                      steepness=1e12)
+        xs = np.arange(40) % 10
+        ys = np.arange(40) // 10
+        values = -payload(xs.astype(float), ys.astype(float))
+        margin = 1e12 / (2.0 * 25)
+        pairs = pair_cells_by_value(values, exclude=[12, 15],
+                                    min_gap=margin)
+        covered = {c for pair in pairs for c in pair}
+        assert len(covered) >= 34
+        assert covered.isdisjoint({12, 15})

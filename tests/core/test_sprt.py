@@ -1,0 +1,112 @@
+"""Tests for the SPRT distinguisher and its attack integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HelperDataOracle,
+    SequentialPairingAttack,
+    SPRTDistinguisher,
+)
+from repro.keygen import SequentialPairingKeyGen
+from repro.puf import ROArray, ROArrayParams
+
+
+class FakeOracle:
+    def __init__(self, seed=0):
+        self._rng = np.random.default_rng(seed)
+        self.queries = 0
+
+    def query(self, helper, op=None):
+        self.queries += 1
+        return self._rng.random() >= float(helper)
+
+
+class TestSPRTDistinguisher:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SPRTDistinguisher(0.5, 0.5)
+        with pytest.raises(ValueError):
+            SPRTDistinguisher(0.9, 0.1)
+        with pytest.raises(ValueError):
+            SPRTDistinguisher(0.1, 0.9, alpha=0.7)
+
+    def test_decides_low_rate_as_eq(self):
+        sprt = SPRTDistinguisher(0.05, 0.95)
+        oracle = FakeOracle(1)
+        outcome = sprt.test(oracle, 0.05)
+        assert outcome.decision == "eq"
+
+    def test_decides_high_rate_as_neq(self):
+        sprt = SPRTDistinguisher(0.05, 0.95)
+        oracle = FakeOracle(2)
+        outcome = sprt.test(oracle, 0.95)
+        assert outcome.decision == "neq"
+
+    def test_near_deterministic_regime_is_cheap(self):
+        sprt = SPRTDistinguisher(0.02, 0.98)
+        oracle = FakeOracle(3)
+        total = 0
+        for _ in range(20):
+            total += sprt.test(oracle, 0.02).queries
+        assert total / 20 <= 5
+
+    def test_expected_queries_approximation(self):
+        sprt = SPRTDistinguisher(0.02, 0.98)
+        assert sprt.expected_queries(0.02) < 10
+        assert sprt.expected_queries(0.98) < 10
+        # At the indifference point the drift vanishes.
+        assert sprt.expected_queries(0.5) >= \
+            sprt.expected_queries(0.02)
+
+    def test_error_rates_bounded(self):
+        # Empirical error probability stays near the designed alpha.
+        sprt = SPRTDistinguisher(0.1, 0.9, alpha=0.01, beta=0.01)
+        wrong = 0
+        trials = 200
+        for seed in range(trials):
+            oracle = FakeOracle(seed)
+            if sprt.test(oracle, 0.1).decision != "eq":
+                wrong += 1
+        assert wrong / trials < 0.05
+
+    def test_calibration_from_helpers(self):
+        oracle = FakeOracle(5)
+        sprt = SPRTDistinguisher.calibrate(oracle, 0.05, 0.9,
+                                           queries=40)
+        assert sprt.p_low < sprt.p_high
+
+    def test_calibration_rejects_unseparated(self):
+        oracle = FakeOracle(6)
+        with pytest.raises(ValueError):
+            SPRTDistinguisher.calibrate(oracle, 0.5, 0.5, queries=40)
+
+
+class TestSPRTAttackIntegration:
+    @pytest.fixture
+    def setup(self, medium_array):
+        keygen = SequentialPairingKeyGen(threshold=300e3)
+        helper, key = keygen.enroll(medium_array, rng=1)
+        oracle = HelperDataOracle(medium_array, keygen)
+        return oracle, keygen, helper, key
+
+    def test_sprt_run_recovers_key(self, setup):
+        oracle, keygen, helper, key = setup
+        result = SequentialPairingAttack(oracle, keygen,
+                                         helper).run(method="sprt")
+        assert result.key is not None
+        np.testing.assert_array_equal(result.key, key)
+
+    def test_sprt_cheaper_than_paired(self, setup):
+        oracle, keygen, helper, key = setup
+        paired = SequentialPairingAttack(oracle, keygen,
+                                         helper).run(method="paired")
+        sprt = SequentialPairingAttack(oracle, keygen,
+                                       helper).run(method="sprt")
+        assert sprt.queries < paired.queries
+
+    def test_unknown_method_rejected(self, setup):
+        oracle, keygen, helper, _ = setup
+        with pytest.raises(ValueError):
+            SequentialPairingAttack(oracle, keygen,
+                                    helper).run(method="magic")

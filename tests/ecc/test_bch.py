@@ -1,0 +1,154 @@
+"""Tests for BCH encoding and Berlekamp–Massey/Chien decoding."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import BCHCode, DecodingFailure, design_bch
+from repro.ecc.gf2m import poly_degree
+
+
+class TestParameters:
+    def test_known_code_dimensions(self):
+        # Classic BCH parameter table entries.
+        assert (BCHCode(4, 1).n, BCHCode(4, 1).k) == (15, 11)
+        assert (BCHCode(4, 2).n, BCHCode(4, 2).k) == (15, 7)
+        assert (BCHCode(4, 3).n, BCHCode(4, 3).k) == (15, 5)
+        assert (BCHCode(5, 2).n, BCHCode(5, 2).k) == (31, 21)
+        assert (BCHCode(6, 3).n, BCHCode(6, 3).k) == (63, 45)
+
+    def test_generator_degree_matches_redundancy(self):
+        for m, t in [(4, 2), (5, 3), (6, 4)]:
+            code = BCHCode(m, t)
+            assert len(code.generator_polynomial) - 1 == code.n - code.k
+
+    def test_t_zero_rejected(self):
+        with pytest.raises(ValueError):
+            BCHCode(4, 0)
+
+    def test_oversized_t_rejected(self):
+        with pytest.raises(ValueError):
+            BCHCode(4, 8)
+
+    def test_shortening_bounds(self):
+        base = BCHCode(5, 2)
+        with pytest.raises(ValueError):
+            BCHCode(5, 2, shorten=base.k)
+        short = BCHCode(5, 2, shorten=5)
+        assert (short.n, short.k) == (base.n - 5, base.k - 5)
+
+
+class TestEncoding:
+    def test_systematic_layout(self, rng):
+        code = BCHCode(5, 2)
+        message = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(message)
+        np.testing.assert_array_equal(codeword[code.n - code.k:], message)
+        np.testing.assert_array_equal(code.extract(codeword), message)
+
+    def test_codewords_have_zero_syndromes(self, rng):
+        code = BCHCode(5, 2)
+        for _ in range(10):
+            message = rng.integers(0, 2, code.k).astype(np.uint8)
+            assert code.is_codeword(code.encode(message))
+
+    def test_linearity(self, rng):
+        code = BCHCode(4, 2)
+        a = rng.integers(0, 2, code.k).astype(np.uint8)
+        b = rng.integers(0, 2, code.k).astype(np.uint8)
+        np.testing.assert_array_equal(
+            code.encode(a) ^ code.encode(b), code.encode(a ^ b))
+
+    def test_all_ones_is_a_codeword(self):
+        # Narrow-sense BCH is complement-closed: the generator has no
+        # root at alpha^0, so (x^n - 1)/(x - 1) is divisible by g(x).
+        # This is the structural fact behind the §VI-A two-candidate
+        # subtlety documented in the attack module.
+        code = BCHCode(5, 2)
+        assert code.is_codeword(np.ones(code.n, dtype=np.uint8))
+
+    def test_wrong_message_length_rejected(self):
+        code = BCHCode(4, 1)
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(code.k + 1, dtype=np.uint8))
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("m,t", [(4, 1), (4, 3), (5, 2), (6, 3),
+                                     (7, 4)])
+    def test_corrects_up_to_t_errors(self, m, t, rng):
+        code = BCHCode(m, t)
+        for errors in range(t + 1):
+            message = rng.integers(0, 2, code.k).astype(np.uint8)
+            codeword = code.encode(message)
+            received = codeword.copy()
+            positions = rng.choice(code.n, errors, replace=False)
+            received[positions] ^= 1
+            corrected = code.decode(received)
+            np.testing.assert_array_equal(corrected, codeword)
+
+    def test_beyond_t_fails_or_miscorrects_to_codeword(self, rng):
+        code = BCHCode(6, 3)
+        outcomes = {"failure": 0, "miscorrection": 0}
+        for _ in range(40):
+            codeword = code.encode(
+                rng.integers(0, 2, code.k).astype(np.uint8))
+            received = codeword.copy()
+            positions = rng.choice(code.n, code.t + 2, replace=False)
+            received[positions] ^= 1
+            try:
+                decoded = code.decode(received)
+            except DecodingFailure:
+                outcomes["failure"] += 1
+            else:
+                assert code.is_codeword(decoded)
+                assert not np.array_equal(decoded, codeword)
+                outcomes["miscorrection"] += 1
+        assert outcomes["failure"] > 0
+
+    def test_error_free_word_returned_unchanged(self, rng):
+        code = BCHCode(5, 3)
+        codeword = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+        np.testing.assert_array_equal(code.decode(codeword), codeword)
+
+    def test_shortened_code_roundtrip(self, rng):
+        code = BCHCode(6, 3, shorten=20)
+        for errors in range(code.t + 1):
+            message = rng.integers(0, 2, code.k).astype(np.uint8)
+            codeword = code.encode(message)
+            received = codeword.copy()
+            positions = rng.choice(code.n, errors, replace=False)
+            received[positions] ^= 1
+            np.testing.assert_array_equal(code.decode(received), codeword)
+
+    def test_wrong_word_length_rejected(self):
+        code = BCHCode(4, 1)
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(code.n + 1, dtype=np.uint8))
+
+
+class TestDesignBCH:
+    def test_exact_message_length(self):
+        code = design_bch(40, 3)
+        assert code.k == 40
+        assert code.t == 3
+
+    def test_small_requests(self):
+        code = design_bch(1, 1)
+        assert code.k == 1
+        assert code.t == 1
+
+    def test_roundtrip_on_designed_code(self, rng):
+        code = design_bch(57, 2)
+        message = rng.integers(0, 2, 57).astype(np.uint8)
+        received = code.encode(message)
+        received[[3, 40]] ^= 1
+        np.testing.assert_array_equal(
+            code.extract(code.decode(received)), message)
+
+    def test_impossible_request_rejected(self):
+        with pytest.raises(ValueError):
+            design_bch(10_000, 3, max_m=6)
+
+    def test_invalid_data_bits_rejected(self):
+        with pytest.raises(ValueError):
+            design_bch(0, 1)

@@ -1,0 +1,159 @@
+"""Tests for GF(2^m) arithmetic and GF(2) polynomial helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.gf2m import (
+    GF2m,
+    PRIMITIVE_POLYNOMIALS,
+    bits_to_poly,
+    poly_degree,
+    poly_divmod,
+    poly_mod,
+    poly_mul,
+    poly_to_bits,
+)
+
+
+class TestPolyBitmasks:
+    def test_degree(self):
+        assert poly_degree(0) == -1
+        assert poly_degree(1) == 0
+        assert poly_degree(0b1011) == 3
+
+    def test_carryless_multiplication(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+        # (x^2 + x + 1)(x + 1) = x^3 + 1
+        assert poly_mul(0b111, 0b11) == 0b1001
+
+    def test_divmod_identity(self, rng):
+        for _ in range(50):
+            dividend = int(rng.integers(0, 1 << 12))
+            divisor = int(rng.integers(1, 1 << 6))
+            quotient, remainder = poly_divmod(dividend, divisor)
+            assert poly_mul(quotient, divisor) ^ remainder == dividend
+            assert poly_degree(remainder) < poly_degree(divisor)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(0b101, 0)
+
+    def test_bits_roundtrip(self):
+        poly = 0b100101
+        bits = poly_to_bits(poly, 8)
+        assert bits_to_poly(bits) == poly
+
+    def test_bits_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            poly_to_bits(0b1111, 3)
+
+
+class TestFieldConstruction:
+    def test_all_default_moduli_are_primitive(self):
+        for m in PRIMITIVE_POLYNOMIALS:
+            field = GF2m(m)
+            assert field.order == (1 << m) - 1
+
+    def test_non_primitive_modulus_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive.
+        with pytest.raises(ValueError):
+            GF2m(4, 0b11111)
+
+    def test_wrong_degree_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(4, 0b1011)
+
+    def test_unsupported_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(1)
+        with pytest.raises(ValueError):
+            GF2m(17)
+
+
+class TestFieldArithmetic:
+    @pytest.fixture
+    def field(self):
+        return GF2m(4)
+
+    def test_addition_is_xor(self, field):
+        assert field.add(0b1010, 0b0110) == 0b1100
+
+    def test_multiplicative_identity_and_zero(self, field):
+        for a in range(field.size):
+            assert field.mul(a, 1) == a
+            assert field.mul(a, 0) == 0
+
+    def test_inverses(self, field):
+        for a in range(1, field.size):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_associativity_sampled(self, field, rng):
+        for _ in range(100):
+            a, b, c = rng.integers(0, field.size, 3)
+            assert field.mul(field.mul(int(a), int(b)), int(c)) == \
+                field.mul(int(a), field.mul(int(b), int(c)))
+
+    def test_distributivity_sampled(self, field, rng):
+        for _ in range(100):
+            a, b, c = (int(v) for v in rng.integers(0, field.size, 3))
+            assert field.mul(a, b ^ c) == \
+                field.mul(a, b) ^ field.mul(a, c)
+
+    def test_pow_matches_repeated_multiplication(self, field):
+        a = 0b0110
+        acc = 1
+        for exponent in range(10):
+            assert field.pow(a, exponent) == acc
+            acc = field.mul(acc, a)
+
+    def test_negative_exponent(self, field):
+        a = 7
+        assert field.mul(field.pow(a, -1), a) == 1
+
+    def test_alpha_generates_group(self, field):
+        seen = {field.alpha_pow(k) for k in range(field.order)}
+        assert seen == set(range(1, field.size))
+
+    def test_log_inverts_alpha_pow(self, field):
+        for k in range(field.order):
+            assert field.log_alpha(field.alpha_pow(k)) == k
+
+    def test_out_of_range_element_rejected(self, field):
+        with pytest.raises(ValueError):
+            field.mul(16, 1)
+
+
+class TestMinimalPolynomials:
+    def test_cyclotomic_coset_structure(self):
+        field = GF2m(4)
+        assert field.cyclotomic_coset(1) == [1, 2, 4, 8]
+        assert field.cyclotomic_coset(3) == [3, 6, 12, 9]
+        assert field.cyclotomic_coset(5) == [5, 10]
+
+    def test_known_minimal_polynomials_gf16(self):
+        field = GF2m(4)  # modulus x^4 + x + 1
+        assert field.minimal_polynomial(1) == 0b10011
+        assert field.minimal_polynomial(3) == 0b11111
+        assert field.minimal_polynomial(5) == 0b111
+        assert field.minimal_polynomial(7) == 0b11001
+
+    def test_minimal_polynomial_annihilates_element(self):
+        field = GF2m(5)
+        for exponent in (1, 3, 5, 7):
+            poly_bits = poly_to_bits(
+                field.minimal_polynomial(exponent), 6)
+            value = field.poly_eval(poly_bits,
+                                    field.alpha_pow(exponent))
+            assert value == 0
+
+    def test_poly_eval_horner(self):
+        field = GF2m(3)
+        # p(x) = x^2 + 1 at alpha: alpha^2 + 1
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        expected = field.pow(2, 2) ^ 1
+        assert field.poly_eval(bits, 2) == expected

@@ -1,0 +1,94 @@
+"""Tests for first-order Reed–Muller codes."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import (
+    BlockwiseCode,
+    CodeOffsetSketch,
+    ReedMullerCode,
+)
+
+
+class TestParameters:
+    @pytest.mark.parametrize("m,n,k,t", [(2, 4, 3, 0), (3, 8, 4, 1),
+                                         (4, 16, 5, 3), (5, 32, 6, 7),
+                                         (6, 64, 7, 15)])
+    def test_code_dimensions(self, m, n, k, t):
+        code = ReedMullerCode(m)
+        assert (code.n, code.k, code.t) == (n, k, t)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ValueError):
+            ReedMullerCode(1)
+        with pytest.raises(ValueError):
+            ReedMullerCode(17)
+
+
+class TestEncoding:
+    def test_linearity(self, rng):
+        code = ReedMullerCode(4)
+        a = rng.integers(0, 2, code.k).astype(np.uint8)
+        b = rng.integers(0, 2, code.k).astype(np.uint8)
+        np.testing.assert_array_equal(code.encode(a) ^ code.encode(b),
+                                      code.encode(a ^ b))
+
+    def test_minimum_distance(self):
+        # Non-zero codewords of RM(1, m) have weight 2^{m-1} or 2^m.
+        code = ReedMullerCode(4)
+        for value in range(1, 1 << code.k):
+            message = np.array([(value >> i) & 1
+                                for i in range(code.k)],
+                               dtype=np.uint8)
+            weight = int(code.encode(message).sum())
+            assert weight in (8, 16)
+
+    def test_all_ones_is_codeword(self):
+        code = ReedMullerCode(4)
+        ones = np.ones(code.n, dtype=np.uint8)
+        np.testing.assert_array_equal(code.decode(ones), ones)
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("m", [3, 4, 5, 6])
+    def test_corrects_up_to_t(self, m, rng):
+        code = ReedMullerCode(m)
+        for errors in range(code.t + 1):
+            message = rng.integers(0, 2, code.k).astype(np.uint8)
+            codeword = code.encode(message)
+            received = codeword.copy()
+            received[rng.choice(code.n, errors, replace=False)] ^= 1
+            np.testing.assert_array_equal(code.decode(received),
+                                          codeword)
+            np.testing.assert_array_equal(
+                code.extract(code.decode(received)), message)
+
+    def test_beyond_radius_miscorrects_to_codeword(self, rng):
+        code = ReedMullerCode(4)
+        codeword = code.encode(rng.integers(0, 2, 5).astype(np.uint8))
+        received = codeword.copy()
+        received[rng.choice(16, 7, replace=False)] ^= 1
+        decoded = code.decode(received)
+        # ML decoding: the output is always a codeword.
+        np.testing.assert_array_equal(code.decode(decoded), decoded)
+
+
+class TestComposition:
+    def test_code_offset_sketch_over_rm(self, rng):
+        code = ReedMullerCode(5)
+        sketch = CodeOffsetSketch(code, 32)
+        response = rng.integers(0, 2, 32).astype(np.uint8)
+        helper = sketch.generate(response, rng)
+        noisy = response.copy()
+        noisy[rng.choice(32, 7, replace=False)] ^= 1
+        np.testing.assert_array_equal(sketch.recover(noisy, helper),
+                                      response)
+
+    def test_blockwise_rm(self, rng):
+        code = BlockwiseCode(ReedMullerCode(4), 3)
+        message = rng.integers(0, 2, code.k).astype(np.uint8)
+        received = code.encode(message)
+        for block in range(3):
+            received[block * 16 + block] ^= 1
+        np.testing.assert_array_equal(
+            code.extract(code.decode(received)), message)

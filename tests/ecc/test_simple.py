@@ -1,0 +1,126 @@
+"""Tests for trivial, repetition, Hamming and blockwise codes."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import (
+    BlockwiseCode,
+    HammingCode,
+    RepetitionCode,
+    TrivialCode,
+)
+
+
+class TestTrivialCode:
+    def test_identity_roundtrip(self, rng):
+        code = TrivialCode(16)
+        message = rng.integers(0, 2, 16).astype(np.uint8)
+        np.testing.assert_array_equal(code.encode(message), message)
+        np.testing.assert_array_equal(code.decode(message), message)
+        np.testing.assert_array_equal(code.extract(message), message)
+
+    def test_degenerate_parameters(self):
+        code = TrivialCode(5)
+        assert (code.n, code.k, code.t) == (5, 5, 0)
+
+    def test_never_detects_errors(self, rng):
+        # The t = 0 degenerate case of paper §VI: failures surface only
+        # at the application key check.
+        code = TrivialCode(8)
+        garbled = rng.integers(0, 2, 8).astype(np.uint8)
+        np.testing.assert_array_equal(code.decode(garbled), garbled)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            TrivialCode(0)
+
+
+class TestRepetitionCode:
+    def test_parameters(self):
+        code = RepetitionCode(5)
+        assert (code.n, code.k, code.t) == (5, 1, 2)
+
+    def test_even_or_short_length_rejected(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(4)
+        with pytest.raises(ValueError):
+            RepetitionCode(1)
+
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_majority_corrects_up_to_t(self, bit):
+        code = RepetitionCode(7)
+        codeword = code.encode(np.array([bit], dtype=np.uint8))
+        received = codeword.copy()
+        received[:code.t] ^= 1
+        decoded = code.decode(received)
+        assert code.extract(decoded)[0] == bit
+
+    def test_beyond_t_miscorrects_silently(self):
+        code = RepetitionCode(3)
+        codeword = code.encode(np.array([1], dtype=np.uint8))
+        received = codeword.copy()
+        received[:2] ^= 1
+        assert code.extract(code.decode(received))[0] == 0
+
+
+class TestHammingCode:
+    def test_parameters(self):
+        code = HammingCode(3)
+        assert (code.n, code.k, code.t) == (7, 4, 1)
+
+    def test_single_error_correction_everywhere(self, rng):
+        code = HammingCode(3)
+        message = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(message)
+        for position in range(code.n):
+            received = codeword.copy()
+            received[position] ^= 1
+            np.testing.assert_array_equal(code.decode(received), codeword)
+
+    def test_extract_roundtrip(self, rng):
+        code = HammingCode(4)
+        message = rng.integers(0, 2, code.k).astype(np.uint8)
+        np.testing.assert_array_equal(
+            code.extract(code.encode(message)), message)
+
+    def test_double_error_miscorrects_to_codeword(self, rng):
+        code = HammingCode(3)
+        codeword = code.encode(rng.integers(0, 2, 4).astype(np.uint8))
+        received = codeword.copy()
+        received[[0, 3]] ^= 1
+        decoded = code.decode(received)
+        # Perfect code: always lands on a codeword, never the right one.
+        assert code.is_codeword(decoded)
+        assert not np.array_equal(decoded, codeword)
+
+    def test_small_r_rejected(self):
+        with pytest.raises(ValueError):
+            HammingCode(1)
+
+
+class TestBlockwiseCode:
+    def test_parameters_scale_with_blocks(self):
+        code = BlockwiseCode(HammingCode(3), 4)
+        assert (code.n, code.k, code.t) == (28, 16, 1)
+
+    def test_roundtrip_with_per_block_errors(self, rng):
+        code = BlockwiseCode(HammingCode(3), 3)
+        message = rng.integers(0, 2, code.k).astype(np.uint8)
+        received = code.encode(message)
+        # One error in every block: all independently corrected.
+        for block in range(3):
+            received[block * 7 + (block + 1)] ^= 1
+        np.testing.assert_array_equal(
+            code.extract(code.decode(received)), message)
+
+    def test_repetition_blocks(self, rng):
+        code = BlockwiseCode(RepetitionCode(5), 8)
+        message = rng.integers(0, 2, 8).astype(np.uint8)
+        received = code.encode(message)
+        received[::5] ^= 1  # one error per block
+        np.testing.assert_array_equal(
+            code.extract(code.decode(received)), message)
+
+    def test_invalid_block_count_rejected(self):
+        with pytest.raises(ValueError):
+            BlockwiseCode(RepetitionCode(3), 0)

@@ -1,0 +1,146 @@
+"""Tests for code-offset and syndrome secure sketches."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import (
+    BCHCode,
+    CodeOffsetSketch,
+    DecodingFailure,
+    SketchData,
+    SyndromeSketch,
+    TrivialCode,
+    design_bch,
+)
+
+
+@pytest.fixture
+def code():
+    return design_bch(40, 3)
+
+
+@pytest.fixture
+def response(rng):
+    return rng.integers(0, 2, 40).astype(np.uint8)
+
+
+class TestSketchData:
+    def test_payload_normalised_and_copied(self):
+        payload = np.array([0, 1, 1], dtype=np.int64)
+        data = SketchData(payload)
+        payload[0] = 1
+        assert data.payload[0] == 0
+        assert data.payload.dtype == np.uint8
+
+    def test_non_binary_payload_rejected(self):
+        with pytest.raises(ValueError):
+            SketchData(np.array([0, 2]))
+
+    def test_with_payload_replaces(self):
+        data = SketchData(np.zeros(4, dtype=np.uint8))
+        new = data.with_payload(np.ones(4, dtype=np.uint8))
+        assert new.payload.sum() == 4
+        assert data.payload.sum() == 0
+
+
+class TestCodeOffsetSketch:
+    def test_exact_recovery_within_radius(self, code, response, rng):
+        sketch = CodeOffsetSketch(code, 40)
+        helper = sketch.generate(response, rng)
+        for errors in range(code.t + 1):
+            noisy = response.copy()
+            noisy[rng.choice(40, errors, replace=False)] ^= 1
+            np.testing.assert_array_equal(
+                sketch.recover(noisy, helper), response)
+
+    def test_failure_beyond_radius(self, code, response, rng):
+        sketch = CodeOffsetSketch(code, 40)
+        helper = sketch.generate(response, rng)
+        failures = 0
+        for _ in range(20):
+            noisy = response.copy()
+            noisy[rng.choice(40, code.t + 3, replace=False)] ^= 1
+            try:
+                recovered = sketch.recover(noisy, helper)
+                assert not np.array_equal(recovered, response)
+            except DecodingFailure:
+                failures += 1
+        assert failures > 0
+
+    def test_helper_randomised_per_enrollment(self, code, response):
+        sketch = CodeOffsetSketch(code, 40)
+        a = sketch.generate(response, rng=1)
+        b = sketch.generate(response, rng=2)
+        assert not np.array_equal(a.payload, b.payload)
+
+    def test_helper_for_response_reprograms(self, code, rng):
+        # The §VI-C reprogramming primitive: helper data consistent with
+        # an arbitrary attacker-chosen response.
+        sketch = CodeOffsetSketch(code, 40)
+        target = rng.integers(0, 2, 40).astype(np.uint8)
+        seed = np.zeros(code.k, dtype=np.uint8)
+        helper = sketch.helper_for_response(target, seed)
+        np.testing.assert_array_equal(
+            sketch.recover(target, helper), target)
+
+    def test_response_length_validation(self, code):
+        with pytest.raises(ValueError):
+            CodeOffsetSketch(code, code.n + 1)
+        with pytest.raises(ValueError):
+            CodeOffsetSketch(code, 0)
+
+    def test_trivial_code_sketch_is_noise_transparent(self, rng):
+        # t = 0: the sketch cannot absorb any error.
+        sketch = CodeOffsetSketch(TrivialCode(16), 16)
+        response = rng.integers(0, 2, 16).astype(np.uint8)
+        helper = sketch.generate(response, rng)
+        noisy = response.copy()
+        noisy[3] ^= 1
+        recovered = sketch.recover(noisy, helper)
+        assert not np.array_equal(recovered, response)
+
+
+class TestSyndromeSketch:
+    def test_exact_recovery_within_radius(self, code, response, rng):
+        sketch = SyndromeSketch(code, 40)
+        helper = sketch.generate(response)
+        for errors in range(code.t + 1):
+            noisy = response.copy()
+            noisy[rng.choice(40, errors, replace=False)] ^= 1
+            np.testing.assert_array_equal(
+                sketch.recover(noisy, helper), response)
+
+    def test_deterministic_helper(self, code, response):
+        sketch = SyndromeSketch(code, 40)
+        a = sketch.generate(response)
+        b = sketch.generate(response)
+        np.testing.assert_array_equal(a.payload, b.payload)
+
+    def test_helper_smaller_than_code_offset(self, code):
+        syndrome = SyndromeSketch(code, 40)
+        offset = CodeOffsetSketch(code, 40)
+        assert syndrome.helper_length < offset.helper_length
+
+    def test_failure_beyond_radius(self, code, response, rng):
+        sketch = SyndromeSketch(code, 40)
+        helper = sketch.generate(response)
+        failures = 0
+        for _ in range(20):
+            noisy = response.copy()
+            noisy[rng.choice(40, code.t + 3, replace=False)] ^= 1
+            try:
+                recovered = sketch.recover(noisy, helper)
+                assert not np.array_equal(recovered, response)
+            except DecodingFailure:
+                failures += 1
+        assert failures > 0
+
+    def test_requires_bch(self):
+        with pytest.raises(TypeError):
+            SyndromeSketch(TrivialCode(8), 8)
+
+    def test_zero_syndrome_passthrough(self, code, response):
+        sketch = SyndromeSketch(code, 40)
+        helper = sketch.generate(response)
+        np.testing.assert_array_equal(
+            sketch.recover(response, helper), response)

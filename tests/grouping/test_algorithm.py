@@ -1,0 +1,127 @@
+"""Tests for the grouping algorithm (paper §V-B, Alg. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.grouping import (
+    GroupingHelper,
+    GroupingScheme,
+    group_ros,
+    grouping_entropy,
+    verify_grouping,
+)
+
+
+class TestAlgorithm2:
+    def test_partition_is_strict(self, rng):
+        freqs = rng.normal(200e6, 1e6, 128)
+        groups = group_ros(freqs, 100e3)
+        flat = [ro for group in groups for ro in group]
+        assert sorted(flat) == list(range(128))
+
+    def test_all_pairs_property(self, rng):
+        freqs = rng.normal(200e6, 1e6, 128)
+        threshold = 100e3
+        groups = group_ros(freqs, threshold)
+        assert verify_grouping(freqs, groups, threshold)
+
+    def test_members_in_descending_frequency_order(self, rng):
+        freqs = rng.normal(200e6, 1e6, 64)
+        for group in group_ros(freqs, 50e3):
+            values = freqs[group]
+            assert np.all(np.diff(values) < 0)
+
+    def test_first_fit_greedy(self):
+        # freqs 10, 9, 8 with threshold 1.5: 10 opens G1; 9 (gap 1)
+        # cannot join G1, opens G2; 8 (gap 2 from 10) joins G1.
+        freqs = np.array([10.0, 9.0, 8.0])
+        groups = group_ros(freqs, 1.5)
+        assert groups == [[0, 2], [1]]
+
+    def test_zero_threshold_single_group(self, rng):
+        freqs = rng.permutation(np.arange(32, dtype=float))
+        groups = group_ros(freqs, 0.0)
+        assert len(groups) == 1
+        assert len(groups[0]) == 32
+
+    def test_huge_threshold_all_singletons(self, rng):
+        freqs = rng.normal(0.0, 1.0, 16)
+        groups = group_ros(freqs, 1e9)
+        assert all(len(g) == 1 for g in groups)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            group_ros(np.array([]), 1.0)
+        with pytest.raises(ValueError):
+            group_ros(np.array([1.0, 2.0]), -1.0)
+
+
+class TestEntropy:
+    def test_entropy_formula(self):
+        # sum_j log2(|G_j|!)
+        assert grouping_entropy([[0, 1], [2, 3, 4]]) == \
+            pytest.approx(1.0 + np.log2(6))
+
+    def test_few_large_groups_beat_many_small(self):
+        large = [[0, 1, 2, 3, 4, 5, 6, 7]]
+        small = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        assert grouping_entropy(large) > grouping_entropy(small)
+
+    def test_singletons_carry_no_entropy(self):
+        assert grouping_entropy([[0], [1], [2]]) == pytest.approx(0.0)
+
+
+class TestVerify:
+    def test_detects_threshold_violation(self):
+        freqs = np.array([10.0, 9.9, 5.0])
+        assert not verify_grouping(freqs, [[0, 1], [2]], 1.0)
+
+    def test_detects_duplicate_member(self):
+        freqs = np.array([10.0, 5.0, 0.0])
+        assert not verify_grouping(freqs, [[0, 1], [1, 2]], 1.0)
+
+    def test_detects_missing_member(self):
+        freqs = np.array([10.0, 5.0, 0.0])
+        assert not verify_grouping(freqs, [[0, 1]], 1.0)
+
+
+class TestScheme:
+    def test_sorted_storage_hides_frequency_order(self, rng):
+        freqs = rng.normal(200e6, 1e6, 64)
+        scheme = GroupingScheme(50e3, storage_order="sorted")
+        helper = scheme.enroll(freqs)
+        for group in helper.groups:
+            assert list(group) == sorted(group)
+
+    def test_construction_storage_leaks_order(self, rng):
+        # Paper §VII-C concern: construction order IS the ranking.
+        freqs = rng.normal(200e6, 1e6, 64)
+        scheme = GroupingScheme(50e3, storage_order="construction")
+        helper = scheme.enroll(freqs)
+        for group in helper.groups:
+            values = freqs[list(group)]
+            assert np.all(np.diff(values) < 0)
+
+    def test_min_group_size_filters(self, rng):
+        freqs = rng.normal(0.0, 1.0, 32)
+        scheme = GroupingScheme(0.5, min_group_size=3)
+        helper = scheme.enroll(freqs)
+        assert all(size >= 3 for size in helper.sizes)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GroupingScheme(1.0, storage_order="shuffled")
+        with pytest.raises(ValueError):
+            GroupingScheme(1.0, min_group_size=0)
+
+
+class TestHelper:
+    def test_with_groups_replaces_partition(self):
+        helper = GroupingHelper(((0, 1), (2, 3)), threshold=1.0)
+        new = helper.with_groups([(0, 2), (1, 3)])
+        assert new.groups == ((0, 2), (1, 3))
+        assert helper.groups == ((0, 1), (2, 3))
+
+    def test_sizes(self):
+        helper = GroupingHelper(((0, 1, 2), (3, 4)), threshold=1.0)
+        assert helper.sizes == (3, 2)

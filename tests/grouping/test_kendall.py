@@ -1,0 +1,152 @@
+"""Tests for Kendall/compact coding (paper §V-C, Table I)."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.grouping import (
+    adjacent_swap_distance,
+    compact_bit_count,
+    compact_decode,
+    compact_encode,
+    compact_rank,
+    is_valid_kendall,
+    kendall_bit_count,
+    kendall_decode,
+    kendall_encode,
+    order_from_frequencies,
+    order_from_rank,
+    table1_rows,
+)
+
+#: Paper Table I, transcribed verbatim: order -> (compact, kendall).
+PAPER_TABLE_I = {
+    "ABCD": ("00000", "000000"), "ABDC": ("00001", "000001"),
+    "ACBD": ("00010", "000100"), "ACDB": ("00011", "000110"),
+    "ADBC": ("00100", "000011"), "ADCB": ("00101", "000111"),
+    "BACD": ("00110", "100000"), "BADC": ("00111", "100001"),
+    "BCAD": ("01000", "110000"), "BCDA": ("01001", "111000"),
+    "BDAC": ("01010", "101001"), "BDCA": ("01011", "111001"),
+    "CABD": ("01100", "010100"), "CADB": ("01101", "010110"),
+    "CBAD": ("01110", "110100"), "CBDA": ("01111", "111100"),
+    "CDAB": ("10000", "011110"), "CDBA": ("10001", "111110"),
+    "DABC": ("10010", "001011"), "DACB": ("10011", "001111"),
+    "DBAC": ("10100", "101011"), "DBCA": ("10101", "111011"),
+    "DCAB": ("10110", "011111"), "DCBA": ("10111", "111111"),
+}
+
+
+class TestTableI:
+    def test_exact_reproduction_of_paper_table(self):
+        rows = {name: (compact, kendall)
+                for name, compact, kendall in table1_rows()}
+        assert rows == PAPER_TABLE_I
+
+    def test_row_count(self):
+        assert len(table1_rows()) == 24
+
+    def test_insufficient_labels_rejected(self):
+        with pytest.raises(ValueError):
+            table1_rows(size=5, labels="ABCD")
+
+
+class TestOrderFromFrequencies:
+    def test_descending_order(self):
+        order = order_from_frequencies([3.0, 9.0, 1.0, 5.0])
+        assert order == (1, 3, 0, 2)
+
+    def test_tie_prefers_lower_label(self):
+        assert order_from_frequencies([5.0, 5.0]) == (0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            order_from_frequencies([])
+
+
+class TestKendallCoding:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 6])
+    def test_roundtrip_all_orders(self, size):
+        for order in permutations(range(size)):
+            bits = kendall_encode(order)
+            assert bits.shape == (kendall_bit_count(size),)
+            assert kendall_decode(bits, size) == order
+
+    def test_identity_order_is_zero(self):
+        assert kendall_encode(range(5)).sum() == 0
+
+    def test_reversed_order_is_all_ones(self):
+        assert kendall_encode([4, 3, 2, 1, 0]).all()
+
+    def test_adjacent_swap_flips_exactly_one_bit(self):
+        # The property motivating the coding: "errors mostly occur in
+        # form of a flip ... there is only one error per flip".
+        for order in permutations(range(4)):
+            for position in range(3):
+                swapped = list(order)
+                swapped[position], swapped[position + 1] = \
+                    swapped[position + 1], swapped[position]
+                assert adjacent_swap_distance(order, swapped) == 1
+
+    def test_invalid_codewords_detected(self):
+        # A 3-cycle tournament: a<b, b<c, c<a is not an order.
+        # pairs (0,1), (0,2), (1,2): bits 0, 1, 0 mean 0<1, 2<0, 1<2.
+        assert not is_valid_kendall(np.array([0, 1, 0], dtype=np.uint8),
+                                    3)
+
+    def test_valid_fraction_matches_factorial(self):
+        # Exactly g! of the 2^(g(g-1)/2) words are valid (paper §V-E:
+        # "many bit vectors are never used").
+        size = 4
+        valid = 0
+        for word in range(1 << kendall_bit_count(size)):
+            bits = np.array([(word >> i) & 1
+                             for i in range(kendall_bit_count(size))],
+                            dtype=np.uint8)
+            valid += is_valid_kendall(bits, size)
+        assert valid == 24
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_encode([0, 0, 1])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_decode(np.zeros(5, dtype=np.uint8), 4)
+
+
+class TestCompactCoding:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5])
+    def test_rank_roundtrip(self, size):
+        from math import factorial
+
+        for rank in range(factorial(size)):
+            order = order_from_rank(rank, size)
+            assert compact_rank(order) == rank
+
+    def test_rank_is_lexicographic(self):
+        orders = sorted(permutations(range(4)))
+        for rank, order in enumerate(orders):
+            assert compact_rank(order) == rank
+
+    @pytest.mark.parametrize("size", [2, 3, 4, 5])
+    def test_bits_roundtrip(self, size):
+        for order in permutations(range(size)):
+            bits = compact_encode(order)
+            assert bits.shape == (compact_bit_count(size),)
+            assert compact_decode(bits, size) == order
+
+    def test_bit_counts(self):
+        assert compact_bit_count(2) == 1
+        assert compact_bit_count(3) == 3   # ceil(log2 6)
+        assert compact_bit_count(4) == 5   # ceil(log2 24)
+        assert compact_bit_count(5) == 7   # ceil(log2 120)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ValueError):
+            order_from_rank(24, 4)
+
+    def test_msb_first_convention(self):
+        # DCBA has rank 23 = 10111 (Table I last row).
+        bits = compact_encode((3, 2, 1, 0))
+        assert "".join(map(str, bits)) == "10111"

@@ -1,0 +1,87 @@
+"""Tests for the multi-block ECC extension (paper §VI: "extension to
+multiple blocks is fairly straightforward")."""
+
+import numpy as np
+import pytest
+
+from repro.core import HelperDataOracle, SequentialPairingAttack
+from repro.ecc.simple import BlockwiseCode
+from repro.keygen import (
+    GroupBasedKeyGen,
+    ReconstructionFailure,
+    SequentialPairingKeyGen,
+    blockwise_provider,
+)
+from repro.puf import ROArray, ROArrayParams
+
+
+class TestBlockwiseProvider:
+    def test_builds_blockwise_code(self):
+        code = blockwise_provider(2, 16)(64)
+        assert isinstance(code, BlockwiseCode)
+        assert code.k >= 64
+        assert code.t == 2
+
+    def test_single_block_collapses_to_inner(self):
+        code = blockwise_provider(3, 64)(40)
+        assert not isinstance(code, BlockwiseCode)
+        assert code.k == 64
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            blockwise_provider(2, 0)
+
+
+class TestBlockwiseKeyGen:
+    @pytest.fixture
+    def setup(self, medium_array):
+        keygen = SequentialPairingKeyGen(
+            threshold=300e3, code_provider=blockwise_provider(2, 16))
+        helper, key = keygen.enroll(medium_array, rng=1)
+        return keygen, helper, key
+
+    def test_roundtrip(self, setup, medium_array):
+        keygen, helper, key = setup
+        successes = 0
+        for _ in range(10):
+            try:
+                successes += int(np.array_equal(
+                    keygen.reconstruct(medium_array, helper), key))
+            except ReconstructionFailure:
+                pass
+        assert successes >= 9
+
+    def test_per_block_correction(self, setup, medium_array):
+        # One error per block is tolerated even though four errors in a
+        # single block would not be.
+        keygen, helper, key = setup
+        code = keygen.sketch_for(key.size).code
+        assert isinstance(code, BlockwiseCode)
+        assert code.blocks >= 2
+
+    def test_group_based_with_blocks(self, small_array):
+        keygen = GroupBasedKeyGen(
+            group_threshold=120e3,
+            code_provider=blockwise_provider(2, 32))
+        helper, key = keygen.enroll(small_array, rng=2)
+        successes = sum(
+            int(np.array_equal(keygen.reconstruct(small_array, helper),
+                               key)) for _ in range(5))
+        assert successes >= 4
+
+
+class TestBlockAwareAttack:
+    def test_attack_defeats_blockwise_ecc(self, medium_array):
+        keygen = SequentialPairingKeyGen(
+            threshold=300e3, code_provider=blockwise_provider(2, 16))
+        helper, key = keygen.enroll(medium_array, rng=1)
+        oracle = HelperDataOracle(medium_array, keygen)
+        attack = SequentialPairingAttack(oracle, keygen, helper)
+        # Injection confined to block(0), count = the inner code's t.
+        assert attack.injected_errors == 2
+        positions = attack._injection_positions(target=40)
+        code = keygen.sketch_for(key.size).code
+        assert all(p < code.inner.n for p in positions)
+        result = attack.run()
+        assert result.key is not None
+        np.testing.assert_array_equal(result.key, key)

@@ -1,0 +1,133 @@
+"""Tests for pair primitives and chain-of-neighbours selection."""
+
+import numpy as np
+import pytest
+
+from repro.pairing import (
+    neighbor_chain_pairs,
+    orient_pairs,
+    pair_deltas,
+    response_bits,
+    snake_order,
+    validate_pairs,
+)
+
+
+class TestValidatePairs:
+    def test_accepts_disjoint_pairs(self):
+        pairs = validate_pairs([(0, 1), (2, 3)], 4)
+        assert pairs == [(0, 1), (2, 3)]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_pairs([(0, 4)], 4)
+
+    def test_rejects_self_pairing(self):
+        with pytest.raises(ValueError):
+            validate_pairs([(2, 2)], 4)
+
+    def test_rejects_reuse_by_default(self):
+        # The §VII-C sanity check: RO re-use across pairs must be
+        # prohibited by the device.
+        with pytest.raises(ValueError):
+            validate_pairs([(0, 1), (1, 2)], 4)
+
+    def test_reuse_allowed_when_opted_in(self):
+        pairs = validate_pairs([(0, 1), (1, 2)], 4, allow_reuse=True)
+        assert len(pairs) == 2
+
+    def test_rejects_malformed_pair(self):
+        with pytest.raises(ValueError):
+            validate_pairs([(0, 1, 2)], 4)
+
+
+class TestResponseBits:
+    def test_comparator_convention(self):
+        freqs = np.array([10.0, 20.0, 30.0])
+        bits = response_bits(freqs, [(1, 0), (0, 1), (2, 1)])
+        np.testing.assert_array_equal(bits, [1, 0, 1])
+
+    def test_tie_resolves_to_one(self):
+        freqs = np.array([5.0, 5.0])
+        assert response_bits(freqs, [(0, 1)])[0] == 1
+
+    def test_deltas_signed(self):
+        freqs = np.array([10.0, 25.0])
+        np.testing.assert_allclose(
+            pair_deltas(freqs, [(0, 1), (1, 0)]), [-15.0, 15.0])
+
+
+class TestOrientation:
+    def test_sorted_policy_puts_faster_first(self):
+        freqs = np.array([1.0, 9.0, 5.0, 3.0])
+        oriented = orient_pairs([(0, 1), (2, 3)], freqs, "sorted")
+        assert oriented == [(1, 0), (2, 3)]
+        assert response_bits(freqs, oriented).tolist() == [1, 1]
+
+    def test_randomized_policy_mixes_orientations(self, rng):
+        freqs = np.arange(200.0)
+        pairs = [(2 * i, 2 * i + 1) for i in range(100)]
+        oriented = orient_pairs(pairs, freqs, "randomized", rng)
+        bits = response_bits(freqs, oriented)
+        assert 20 < bits.sum() < 80
+
+    def test_randomized_requires_rng(self):
+        with pytest.raises(ValueError):
+            orient_pairs([(0, 1)], np.array([1.0, 2.0]), "randomized")
+
+    def test_as_is_keeps_order(self):
+        freqs = np.array([1.0, 2.0])
+        assert orient_pairs([(1, 0)], freqs, "as-is") == [(1, 0)]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            orient_pairs([(0, 1)], np.array([1.0, 2.0]), "bogus")
+
+
+class TestSnakeOrder:
+    def test_small_grid_layout(self):
+        # 2 x 3 grid: row 0 left-to-right, row 1 right-to-left.
+        np.testing.assert_array_equal(snake_order(2, 3),
+                                      [0, 1, 2, 5, 4, 3])
+
+    def test_is_a_permutation(self):
+        order = snake_order(5, 7)
+        assert sorted(order.tolist()) == list(range(35))
+
+    def test_consecutive_entries_are_adjacent(self):
+        order = snake_order(4, 10)
+        for a, b in zip(order[:-1], order[1:]):
+            ax, ay = a % 10, a // 10
+            bx, by = b % 10, b // 10
+            assert abs(ax - bx) + abs(ay - by) == 1
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            snake_order(0, 3)
+
+
+class TestNeighborChains:
+    def test_disjoint_count_and_disjointness(self):
+        pairs = neighbor_chain_pairs(4, 10, overlap=False)
+        assert len(pairs) == 20
+        validate_pairs(pairs, 40)  # raises on re-use
+
+    def test_overlap_count_and_sharing(self):
+        pairs = neighbor_chain_pairs(4, 10, overlap=True)
+        assert len(pairs) == 39
+        # every interior oscillator appears in exactly two pairs
+        flat = [ro for pair in pairs for ro in pair]
+        counts = np.bincount(flat, minlength=40)
+        assert (counts == 2).sum() == 38
+        assert (counts == 1).sum() == 2
+
+    def test_pairs_are_physical_neighbours(self):
+        for overlap in (False, True):
+            for a, b in neighbor_chain_pairs(3, 5, overlap=overlap):
+                ax, ay = a % 5, a // 5
+                bx, by = b % 5, b // 5
+                assert abs(ax - bx) + abs(ay - by) == 1
+
+    def test_odd_cell_count_drops_last(self):
+        pairs = neighbor_chain_pairs(3, 3, overlap=False)
+        assert len(pairs) == 4  # floor(9 / 2)

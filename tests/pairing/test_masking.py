@@ -1,0 +1,103 @@
+"""Tests for 1-out-of-k masking (paper §IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.pairing import (
+    MaskingHelper,
+    OneOutOfKMasking,
+    neighbor_chain_pairs,
+    pair_deltas,
+)
+
+
+@pytest.fixture
+def scheme():
+    return OneOutOfKMasking(neighbor_chain_pairs(4, 10), k=5)
+
+
+@pytest.fixture
+def freqs(small_array):
+    return small_array.true_frequencies()
+
+
+class TestHelper:
+    def test_selection_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            MaskingHelper(5, (5,))
+        with pytest.raises(ValueError):
+            MaskingHelper(0, ())
+
+    def test_with_selection_replaces_one_group(self):
+        helper = MaskingHelper(5, (0, 1, 2, 3))
+        new = helper.with_selection(2, 4)
+        assert new.selected == (0, 1, 4, 3)
+        assert helper.selected == (0, 1, 2, 3)
+
+    def test_with_selection_bounds(self):
+        helper = MaskingHelper(3, (0, 0))
+        with pytest.raises(IndexError):
+            helper.with_selection(2, 0)
+
+
+class TestEnrollment:
+    def test_group_count(self, scheme):
+        assert scheme.groups == 4  # 20 pairs / k=5
+
+    def test_enrollment_selects_max_discrepancy(self, scheme, freqs):
+        helper, _ = scheme.enroll(freqs)
+        deltas = np.abs(pair_deltas(freqs, scheme.base_pairs))
+        for group, chosen in enumerate(helper.selected):
+            window = deltas[group * 5:(group + 1) * 5]
+            assert window[chosen] == window.max()
+
+    def test_enrolled_bits_match_evaluation(self, scheme, freqs):
+        helper, bits = scheme.enroll(freqs)
+        np.testing.assert_array_equal(scheme.evaluate(freqs, helper),
+                                      bits)
+
+    def test_selected_pairs_reliability_dominates(self, scheme, freqs):
+        # The enrolled selection has, per group, at least the median
+        # reliability of its candidates (it is the argmax).
+        helper, _ = scheme.enroll(freqs)
+        deltas = np.abs(pair_deltas(freqs, scheme.base_pairs))
+        selected = np.abs(pair_deltas(freqs,
+                                      scheme.selected_pairs(helper)))
+        assert selected.mean() >= deltas.mean()
+
+
+class TestManipulation:
+    def test_selection_change_switches_pair(self, scheme, freqs):
+        helper, _ = scheme.enroll(freqs)
+        alternative = (helper.selected[0] + 1) % 5
+        manipulated = helper.with_selection(0, alternative)
+        assert (scheme.selected_pairs(manipulated)[0]
+                != scheme.selected_pairs(helper)[0])
+
+    def test_manipulated_bits_follow_new_pair(self, scheme, freqs):
+        helper, bits = scheme.enroll(freqs)
+        manipulated = helper.with_selection(
+            0, (helper.selected[0] + 1) % 5)
+        new_bits = scheme.evaluate(freqs, manipulated)
+        np.testing.assert_array_equal(new_bits[1:], bits[1:])
+
+    def test_wrong_helper_size_rejected(self, scheme, freqs):
+        with pytest.raises(ValueError):
+            scheme.evaluate(freqs, MaskingHelper(5, (0, 0)))
+
+
+class TestConstruction:
+    def test_requires_full_group(self):
+        with pytest.raises(ValueError):
+            OneOutOfKMasking([(0, 1)], k=5)
+
+    def test_trailing_partial_group_dropped(self):
+        pairs = neighbor_chain_pairs(3, 4)  # 6 pairs
+        scheme = OneOutOfKMasking(pairs, k=4)
+        assert scheme.groups == 1
+
+    def test_group_pairs_slicing(self, scheme):
+        group = scheme.group_pairs(1)
+        assert group == scheme.base_pairs[5:10]
+        with pytest.raises(IndexError):
+            scheme.group_pairs(4)

@@ -1,0 +1,138 @@
+"""Tests for the sequential pairing algorithm (paper §IV-C, Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.pairing import (
+    SequentialPairing,
+    SequentialPairingHelper,
+    response_bits,
+    run_sequential_pairing,
+)
+
+
+class TestAlgorithm1:
+    def test_all_pairs_exceed_threshold(self, rng):
+        freqs = rng.normal(200e6, 1e6, 64)
+        threshold = 500e3
+        pairs = run_sequential_pairing(freqs, threshold)
+        for a, b in pairs:
+            assert freqs[a] - freqs[b] > threshold
+
+    def test_pairs_are_disjoint(self, rng):
+        freqs = rng.normal(200e6, 1e6, 64)
+        pairs = run_sequential_pairing(freqs, 300e3)
+        flat = [ro for pair in pairs for ro in pair]
+        assert len(flat) == len(set(flat))
+
+    def test_at_most_half_pairs(self, rng):
+        for n in (10, 11, 64):
+            freqs = rng.normal(0.0, 1.0, n)
+            pairs = run_sequential_pairing(freqs, 0.0)
+            assert len(pairs) <= n // 2
+
+    def test_zero_threshold_pairs_everything(self, rng):
+        # With distinct frequencies and threshold 0, the top half pairs
+        # fully against the bottom half.
+        freqs = rng.permutation(np.arange(20, dtype=float))
+        pairs = run_sequential_pairing(freqs, 0.0)
+        assert len(pairs) == 10
+
+    def test_matches_paper_walkthrough(self):
+        # Hand-checkable instance: frequencies 9..0, threshold 4.5.
+        # Descending order is indices as-is; j runs over the bottom
+        # half (values 4, 3, 2, 1, 0) against i = 0, 1, ... :
+        #   9 - 4 = 5   > 4.5 -> pair (9, 4)
+        #   8 - 3 = 5   > 4.5 -> pair (8, 3)
+        #   7 - 2 = 5   > 4.5 -> pair (7, 2)
+        #   6 - 1 = 5   > 4.5 -> pair (6, 1)
+        #   5 - 0 = 5   > 4.5 -> pair (5, 0)
+        freqs = np.arange(9.0, -1.0, -1.0)
+        pairs = run_sequential_pairing(freqs, 4.5)
+        assert pairs == [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)]
+
+    def test_huge_threshold_selects_nothing(self, rng):
+        freqs = rng.normal(0.0, 1.0, 32)
+        assert run_sequential_pairing(freqs, 1e9) == []
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sequential_pairing(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            run_sequential_pairing(np.array([1.0, 2.0]), -1.0)
+
+
+class TestStoragePolicies:
+    def test_sorted_storage_leaks_all_ones(self, rng):
+        # Paper §VII-C: sorted pair order -> every response bit is 1 and
+        # a read-only attacker learns the key with zero queries.
+        freqs = rng.normal(200e6, 1e6, 64)
+        scheme = SequentialPairing(200e3, storage_order="sorted")
+        _, bits = scheme.enroll(freqs, rng)
+        assert bits.all()
+
+    def test_randomized_storage_balances_bits(self, rng):
+        freqs = rng.normal(200e6, 1e6, 256)
+        scheme = SequentialPairing(50e3, storage_order="randomized")
+        _, bits = scheme.enroll(freqs, rng)
+        assert 0.25 < bits.mean() < 0.75
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialPairing(0.0, storage_order="shuffled")
+
+    def test_evaluate_matches_enrollment(self, rng):
+        freqs = rng.normal(200e6, 1e6, 64)
+        scheme = SequentialPairing(200e3)
+        helper, bits = scheme.enroll(freqs, rng)
+        np.testing.assert_array_equal(scheme.evaluate(freqs, helper),
+                                      bits)
+
+
+class TestHelperManipulation:
+    @pytest.fixture
+    def helper(self):
+        return SequentialPairingHelper(((0, 1), (2, 3), (4, 5)))
+
+    def test_swap_positions(self, helper):
+        swapped = helper.with_swapped_positions(0, 2)
+        assert swapped.pairs == ((4, 5), (2, 3), (0, 1))
+        assert helper.pairs == ((0, 1), (2, 3), (4, 5))
+
+    def test_flip_orientation(self, helper):
+        flipped = helper.with_flipped_orientation(1)
+        assert flipped.pairs == ((0, 1), (3, 2), (4, 5))
+
+    def test_swap_changes_bits_iff_unequal(self, rng):
+        freqs = rng.normal(200e6, 1e6, 64)
+        scheme = SequentialPairing(200e3)
+        helper, bits = scheme.enroll(freqs, rng)
+        for j in range(1, helper.bits):
+            swapped = helper.with_swapped_positions(0, j)
+            new_bits = scheme.evaluate(freqs, swapped)
+            errors = int(np.sum(new_bits != bits))
+            assert errors == (0 if bits[0] == bits[j] else 2)
+
+    def test_flip_injects_exactly_one_error(self, rng):
+        freqs = rng.normal(200e6, 1e6, 64)
+        scheme = SequentialPairing(200e3)
+        helper, bits = scheme.enroll(freqs, rng)
+        flipped = helper.with_flipped_orientation(3)
+        new_bits = scheme.evaluate(freqs, flipped)
+        assert int(np.sum(new_bits != bits)) == 1
+        assert new_bits[3] != bits[3]
+
+
+class TestDeviceSanityChecks:
+    def test_reuse_rejected_when_enforced(self, rng):
+        freqs = rng.normal(200e6, 1e6, 16)
+        scheme = SequentialPairing(0.0, enforce_disjoint=True)
+        helper = SequentialPairingHelper(((0, 1), (1, 2)))
+        with pytest.raises(ValueError):
+            scheme.evaluate(freqs, helper)
+
+    def test_reuse_accepted_when_lax(self, rng):
+        freqs = rng.normal(200e6, 1e6, 16)
+        scheme = SequentialPairing(0.0, enforce_disjoint=False)
+        helper = SequentialPairingHelper(((0, 1), (1, 2)))
+        assert scheme.evaluate(freqs, helper).shape == (2,)

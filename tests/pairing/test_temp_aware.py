@@ -1,0 +1,179 @@
+"""Tests for the temperature-aware cooperative scheme (paper §IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.pairing import (
+    AssistantSelectionError,
+    PairClass,
+    TempAwareCooperative,
+    classify_pair,
+    deterministic_selection_leakage,
+)
+from repro.puf import ROArray, ROArrayParams
+
+
+class TestClassification:
+    def test_good_pair(self):
+        profile = classify_pair((0, 1), delta_min=5e5, delta_max=4e5,
+                                t_min=0, t_max=80, threshold=1e5)
+        assert profile.kind is PairClass.GOOD
+
+    def test_bad_pair(self):
+        profile = classify_pair((0, 1), delta_min=5e4, delta_max=-5e4,
+                                t_min=0, t_max=80, threshold=1e5)
+        assert profile.kind is PairClass.BAD
+
+    def test_cooperating_pair_interval_brackets_crossover(self):
+        profile = classify_pair((0, 1), delta_min=4e5, delta_max=-4e5,
+                                t_min=0, t_max=80, threshold=1e5)
+        assert profile.kind is PairClass.COOPERATING
+        assert profile.t_low < profile.crossover < profile.t_high
+        assert 0 <= profile.t_low and profile.t_high <= 80
+        # |delta| == threshold exactly at the interval boundaries
+        assert abs(profile.delta_at(profile.t_low)) == \
+            pytest.approx(1e5, rel=1e-9)
+        assert abs(profile.delta_at(profile.t_high)) == \
+            pytest.approx(1e5, rel=1e-9)
+
+    def test_marginal_pair_without_in_range_crossover(self):
+        # Enters the unreliable band near t_max but never crosses zero.
+        profile = classify_pair((0, 1), delta_min=6e5, delta_max=5e4,
+                                t_min=0, t_max=80, threshold=1e5)
+        assert profile.kind is PairClass.MARGINAL
+
+    def test_reference_bit_is_low_temperature_sign(self):
+        positive = classify_pair((0, 1), 4e5, -4e5, 0, 80, 1e5)
+        negative = classify_pair((0, 1), -4e5, 4e5, 0, 80, 1e5)
+        assert positive.reference_bit(0) == 1
+        assert negative.reference_bit(0) == 0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            classify_pair((0, 1), 0.0, 0.0, 80, 0, 1e5)
+        with pytest.raises(ValueError):
+            classify_pair((0, 1), 0.0, 0.0, 0, 80, 0.0)
+
+
+@pytest.fixture
+def scheme():
+    return TempAwareCooperative(t_min=-10, t_max=80, threshold=150e3)
+
+
+class TestEnrollment:
+    def test_classification_population(self, scheme, thermal_array):
+        profiles = scheme.profile_pairs(thermal_array, rng=3)
+        kinds = {p.kind for p in profiles}
+        assert PairClass.GOOD in kinds
+        assert PairClass.COOPERATING in kinds
+
+    def test_key_bits_match_reference_bits(self, scheme, thermal_array):
+        helper, key = scheme.enroll(thermal_array, rng=3)
+        profiles = scheme.profile_pairs(thermal_array, rng=3)
+        assert key.size == helper.bits
+
+    def test_assistants_satisfy_masking_constraint(self, scheme,
+                                                   thermal_array):
+        helper, _ = scheme.enroll(thermal_array, rng=3)
+        profiles = scheme.profile_pairs(thermal_array, rng=3)
+        for entry in helper.cooperation:
+            r_c = profiles[entry.pair_index].reference_bit(-10)
+            r_g = profiles[entry.good_index].reference_bit(-10)
+            r_a = profiles[entry.assist_index].reference_bit(-10)
+            assert r_c ^ r_g == r_a
+
+    def test_assistant_intervals_never_intersect(self, scheme,
+                                                 thermal_array):
+        helper, _ = scheme.enroll(thermal_array, rng=3)
+        entry_of = {e.pair_index: e for e in helper.cooperation}
+        for entry in helper.cooperation:
+            assistant = entry_of[entry.assist_index]
+            assert (entry.t_high < assistant.t_low
+                    or assistant.t_high < entry.t_low)
+
+    def test_invalid_selection_policy_rejected(self):
+        with pytest.raises(ValueError):
+            TempAwareCooperative(0, 80, 1e5, selection="greedy")
+
+
+class TestReconstruction:
+    def test_stable_across_operating_range(self, scheme, thermal_array):
+        helper, key = scheme.enroll(thermal_array, rng=3)
+        for temperature in (-5.0, 20.0, 45.0, 75.0):
+            freqs = thermal_array.measure_frequencies(
+                temperature=temperature)
+            bits = scheme.evaluate(freqs, helper, temperature)
+            # ECC-free reconstruction: allow a stray noise flip.
+            assert np.mean(bits == key) >= 0.95
+
+    def test_crossover_compensation_inverts_bit(self, scheme,
+                                                thermal_array):
+        helper, key = scheme.enroll(thermal_array, rng=3)
+        entry = helper.cooperation[0]
+        a, b = helper.pairs[entry.pair_index]
+        # Below the interval the measured bit is the reference; above it
+        # the raw comparison is inverted but the evaluation compensates.
+        for temperature in (entry.t_low - 3.0, entry.t_high + 3.0):
+            if not -10 <= temperature <= 80:
+                continue
+            freqs = thermal_array.true_frequencies(
+                temperature=temperature)
+            bits = scheme.evaluate(freqs, helper, temperature)
+            position = (len(helper.good_indices)
+                        + 0)  # first cooperation record
+            assert bits[position] == key[position]
+
+    def test_assistance_cycle_rejected(self, scheme, thermal_array):
+        helper, _ = scheme.enroll(thermal_array, rng=3)
+        entry = helper.cooperation[0]
+        entry_of = {e.pair_index: e for e in helper.cooperation}
+        assistant_entry = entry_of[entry.assist_index]
+        position = helper.cooperation.index(assistant_entry)
+        # Force the assistant's interval to cover the target's midpoint
+        # and its assistant back to the target: a manipulation loop.
+        mid = (entry.t_low + entry.t_high) / 2
+        looped = helper.replace_entry(
+            position, assistant_entry.with_interval(mid - 1, mid + 1)
+            .with_assist(entry.pair_index))
+        looped = looped.replace_entry(
+            looped.cooperation.index(
+                next(e for e in looped.cooperation
+                     if e.pair_index == entry.pair_index)),
+            entry.with_assist(assistant_entry.pair_index))
+        freqs = thermal_array.true_frequencies(temperature=mid)
+        with pytest.raises(ValueError):
+            scheme.evaluate(freqs, looped, mid)
+
+    def test_dangling_assistant_rejected(self, scheme, thermal_array):
+        helper, _ = scheme.enroll(thermal_array, rng=3)
+        entry = helper.cooperation[0]
+        bad = helper.replace_entry(0, entry.with_assist(
+            helper.good_indices[0]))
+        mid = (entry.t_low + entry.t_high) / 2
+        freqs = thermal_array.true_frequencies(temperature=mid)
+        with pytest.raises(ValueError):
+            scheme.evaluate(freqs, bad, mid)
+
+
+class TestDeterministicLeakage:
+    def test_leaked_relations_are_correct(self, thermal_array):
+        scheme = TempAwareCooperative(t_min=-10, t_max=80,
+                                      threshold=150e3,
+                                      selection="deterministic")
+        helper, _ = scheme.enroll(thermal_array, rng=3)
+        profiles = scheme.profile_pairs(thermal_array, rng=3)
+        leaks = deterministic_selection_leakage(helper, profiles)
+        assert leaks, "deterministic selection produced no skips"
+        for _, skipped, selected in leaks:
+            r_skipped = profiles[skipped].reference_bit(-10)
+            r_selected = profiles[selected].reference_bit(-10)
+            assert r_skipped != r_selected
+
+    def test_randomized_selection_varies_with_seed(self, thermal_array):
+        scheme = TempAwareCooperative(t_min=-10, t_max=80,
+                                      threshold=150e3)
+        helper_a, _ = scheme.enroll(thermal_array, rng=3)
+        helper_b, _ = scheme.enroll(thermal_array, rng=4)
+        assists_a = [e.assist_index for e in helper_a.cooperation]
+        assists_b = [e.assist_index for e in helper_b.cooperation]
+        assert assists_a != assists_b

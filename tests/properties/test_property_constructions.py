@@ -1,0 +1,148 @@
+"""Property-based tests for the helper-data constructions themselves."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.pairing import (
+    MaskingHelper,
+    OneOutOfKMasking,
+    response_bits,
+    run_sequential_pairing,
+)
+from repro.pairing.temp_aware import PairClass, classify_pair
+from repro.puf.variation import Polynomial2D, n_terms
+from repro.serialization import (
+    dump_masking,
+    load_masking,
+)
+
+frequencies = st.lists(
+    st.floats(100e6, 300e6, allow_nan=False, allow_infinity=False),
+    min_size=4, max_size=64, unique=True)
+
+
+class TestSequentialPairingProperties:
+    @given(freqs=frequencies, threshold=st.floats(0, 50e6))
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, freqs, threshold):
+        freqs = np.array(freqs)
+        pairs = run_sequential_pairing(freqs, threshold)
+        flat = [ro for pair in pairs for ro in pair]
+        # Disjoint, in range, above threshold, at most floor(N/2).
+        assert len(flat) == len(set(flat))
+        assert all(0 <= ro < freqs.size for ro in flat)
+        assert all(freqs[a] - freqs[b] > threshold for a, b in pairs)
+        assert len(pairs) <= freqs.size // 2
+
+    @given(freqs=frequencies)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_threshold_is_maximal(self, freqs):
+        freqs = np.array(freqs)
+        pairs = run_sequential_pairing(freqs, 0.0)
+        assert len(pairs) == freqs.size // 2
+
+    @given(freqs=frequencies, threshold=st.floats(0, 5e6),
+           scale=st.floats(0.5, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_is_shift_invariant(self, freqs, threshold,
+                                          scale):
+        # Adding a constant to all frequencies never changes the
+        # selected pairs (only differences matter).
+        freqs = np.array(freqs)
+        shifted = freqs + 17e6
+        assert run_sequential_pairing(freqs, threshold) == \
+            run_sequential_pairing(shifted, threshold)
+
+
+class TestClassificationProperties:
+    @given(delta_min=st.floats(-1e6, 1e6), delta_max=st.floats(-1e6,
+                                                               1e6),
+           threshold=st.floats(1e3, 5e5))
+    @settings(max_examples=100, deadline=None)
+    def test_classification_is_total_and_consistent(self, delta_min,
+                                                    delta_max,
+                                                    threshold):
+        profile = classify_pair((0, 1), delta_min, delta_max,
+                                t_min=0.0, t_max=80.0,
+                                threshold=threshold)
+        assert profile.kind in PairClass
+        # The affine model must reproduce the endpoint measurements.
+        assert profile.delta_at(0.0) == delta_min
+        assert abs(profile.delta_at(80.0) - delta_max) < 1e-6
+        if profile.kind is PairClass.GOOD:
+            assert abs(delta_min) > threshold
+            assert abs(delta_max) > threshold
+            assert (delta_min >= 0) == (delta_max >= 0)
+        if profile.kind is PairClass.BAD:
+            assert abs(delta_min) <= threshold
+            assert abs(delta_max) <= threshold
+        if profile.kind is PairClass.COOPERATING:
+            assert 0.0 <= profile.crossover <= 80.0
+            assert profile.t_low <= profile.crossover <= profile.t_high
+
+
+class TestMaskingProperties:
+    @given(freqs=st.lists(st.floats(100e6, 300e6, allow_nan=False),
+                          min_size=20, max_size=20, unique=True),
+           k=st.sampled_from([2, 5]))
+    @settings(max_examples=40, deadline=None)
+    def test_enrolled_selection_maximises_margin(self, freqs, k):
+        pairs = [(2 * i, 2 * i + 1) for i in range(10)]
+        scheme = OneOutOfKMasking(pairs, k)
+        freqs = np.array(freqs)
+        helper, bits = scheme.enroll(freqs)
+        selected = scheme.selected_pairs(helper)
+        for group in range(scheme.groups):
+            candidates = scheme.group_pairs(group)
+            margins = [abs(freqs[a] - freqs[b]) for a, b in candidates]
+            chosen = selected[group]
+            assert abs(freqs[chosen[0]] - freqs[chosen[1]]) == \
+                max(margins)
+        np.testing.assert_array_equal(bits,
+                                      response_bits(freqs, selected))
+
+    @given(k=st.integers(1, 8),
+           selections=st.lists(st.integers(0, 7), min_size=0,
+                               max_size=30))
+    def test_masking_serialization_roundtrip(self, k, selections):
+        assume(all(s < k for s in selections))
+        helper = MaskingHelper(k, tuple(selections))
+        assert load_masking(dump_masking(helper)) == helper
+
+
+class TestPolynomialProperties:
+    @given(degree=st.integers(0, 4), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_fit_reproduces_members_of_the_family(self, degree, data):
+        coeffs = data.draw(st.lists(
+            st.floats(-100, 100, allow_nan=False),
+            min_size=n_terms(degree), max_size=n_terms(degree)))
+        truth = Polynomial2D(degree, coeffs)
+        rng = np.random.default_rng(data.draw(st.integers(0, 999)))
+        xs = rng.uniform(0, 8, 4 * n_terms(degree) + 8)
+        ys = rng.uniform(0, 8, xs.size)
+        fitted = Polynomial2D.fit(xs, ys, truth(xs, ys), degree)
+        np.testing.assert_allclose(fitted(xs, ys), truth(xs, ys),
+                                   atol=1e-5, rtol=1e-5)
+
+    @given(degree_a=st.integers(0, 3), degree_b=st.integers(0, 3),
+           data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_is_pointwise(self, degree_a, degree_b, data):
+        coeffs_a = data.draw(st.lists(
+            st.floats(-10, 10, allow_nan=False),
+            min_size=n_terms(degree_a), max_size=n_terms(degree_a)))
+        coeffs_b = data.draw(st.lists(
+            st.floats(-10, 10, allow_nan=False),
+            min_size=n_terms(degree_b), max_size=n_terms(degree_b)))
+        a = Polynomial2D(degree_a, coeffs_a)
+        b = Polynomial2D(degree_b, coeffs_b)
+        total = a + b
+        for x, y in ((0.0, 0.0), (1.5, -2.0), (3.0, 4.0)):
+            assert total(x, y) == pytest_approx(a(x, y) + b(x, y))
+
+
+def pytest_approx(value, rel=1e-9, abs_tol=1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=abs_tol)

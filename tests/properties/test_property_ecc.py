@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the ECC stack."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import BCHCode, CodeOffsetSketch, HammingCode, \
+    RepetitionCode, SyndromeSketch
+from repro.ecc.gf2m import GF2m, poly_divmod, poly_mul
+
+# One shared code instance: constructing BCH tables inside @given would
+# dominate runtime.
+BCH_5_2 = BCHCode(5, 2)
+BCH_6_3 = BCHCode(6, 3)
+
+
+@st.composite
+def message_and_errors(draw, code, max_errors=None):
+    max_errors = code.t if max_errors is None else max_errors
+    message = draw(st.lists(st.integers(0, 1), min_size=code.k,
+                            max_size=code.k))
+    n_errors = draw(st.integers(0, max_errors))
+    positions = draw(st.lists(st.integers(0, code.n - 1),
+                              min_size=n_errors, max_size=n_errors,
+                              unique=True))
+    return np.array(message, dtype=np.uint8), positions
+
+
+class TestFieldProperties:
+    @given(a=st.integers(0, 31), b=st.integers(0, 31))
+    def test_gf32_commutativity(self, a, b):
+        field = GF2m(5)
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(a=st.integers(1, 31), e1=st.integers(-10, 10),
+           e2=st.integers(-10, 10))
+    def test_gf32_power_laws(self, a, e1, e2):
+        field = GF2m(5)
+        assert field.mul(field.pow(a, e1), field.pow(a, e2)) == \
+            field.pow(a, e1 + e2)
+
+    @given(a=st.integers(0, (1 << 10) - 1),
+           b=st.integers(1, (1 << 6) - 1))
+    def test_poly_division_invariant(self, a, b):
+        quotient, remainder = poly_divmod(a, b)
+        assert poly_mul(quotient, b) ^ remainder == a
+
+
+class TestBCHProperties:
+    @given(data=message_and_errors(BCH_5_2))
+    @settings(max_examples=60, deadline=None)
+    def test_decoding_inverts_bounded_noise(self, data):
+        message, positions = data
+        codeword = BCH_5_2.encode(message)
+        received = codeword.copy()
+        received[positions] ^= 1
+        decoded = BCH_5_2.decode(received)
+        assert np.array_equal(decoded, codeword)
+        assert np.array_equal(BCH_5_2.extract(decoded), message)
+
+    @given(a=st.lists(st.integers(0, 1), min_size=BCH_6_3.k,
+                      max_size=BCH_6_3.k),
+           b=st.lists(st.integers(0, 1), min_size=BCH_6_3.k,
+                      max_size=BCH_6_3.k))
+    @settings(max_examples=30, deadline=None)
+    def test_code_is_linear(self, a, b):
+        a = np.array(a, dtype=np.uint8)
+        b = np.array(b, dtype=np.uint8)
+        assert np.array_equal(BCH_6_3.encode(a) ^ BCH_6_3.encode(b),
+                              BCH_6_3.encode(a ^ b))
+
+    @given(message=st.lists(st.integers(0, 1), min_size=BCH_5_2.k,
+                            max_size=BCH_5_2.k))
+    @settings(max_examples=30, deadline=None)
+    def test_complement_closure(self, message):
+        # The structural property behind the §VI-A candidate ambiguity.
+        codeword = BCH_5_2.encode(np.array(message, dtype=np.uint8))
+        assert BCH_5_2.is_codeword(codeword ^ 1)
+
+
+class TestSimpleCodeProperties:
+    @given(bit=st.integers(0, 1),
+           positions=st.lists(st.integers(0, 6), max_size=3,
+                              unique=True))
+    def test_repetition_majority(self, bit, positions):
+        code = RepetitionCode(7)
+        received = code.encode(np.array([bit], dtype=np.uint8))
+        received[positions] ^= 1
+        assert code.extract(code.decode(received))[0] == bit
+
+    @given(message=st.lists(st.integers(0, 1), min_size=11,
+                            max_size=11),
+           position=st.integers(0, 14))
+    def test_hamming_single_error(self, message, position):
+        code = HammingCode(4)
+        codeword = code.encode(np.array(message, dtype=np.uint8))
+        received = codeword.copy()
+        received[position] ^= 1
+        assert np.array_equal(code.decode(received), codeword)
+
+
+class TestSketchProperties:
+    @given(data=message_and_errors(BCH_5_2))
+    @settings(max_examples=40, deadline=None)
+    def test_code_offset_recovery(self, data):
+        response_bits, positions = data
+        # reuse the k-bit message as a response of length k
+        sketch = CodeOffsetSketch(BCH_5_2, BCH_5_2.k)
+        helper = sketch.generate(response_bits, rng=1)
+        noisy = response_bits.copy()
+        in_range = [p for p in positions if p < BCH_5_2.k]
+        noisy[in_range] ^= 1
+        assert np.array_equal(sketch.recover(noisy, helper),
+                              response_bits)
+
+    @given(data=message_and_errors(BCH_5_2))
+    @settings(max_examples=40, deadline=None)
+    def test_syndrome_recovery(self, data):
+        response_bits, positions = data
+        sketch = SyndromeSketch(BCH_5_2, BCH_5_2.k)
+        helper = sketch.generate(response_bits)
+        noisy = response_bits.copy()
+        in_range = [p for p in positions if p < BCH_5_2.k]
+        noisy[in_range] ^= 1
+        assert np.array_equal(sketch.recover(noisy, helper),
+                              response_bits)

@@ -1,0 +1,95 @@
+"""Property-based round-trip tests for the helper-data storage formats."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.distiller import DistillerHelper
+from repro.ecc import SketchData
+from repro.grouping import GroupingHelper
+from repro.keygen import GroupBasedKeyHelper, SequentialKeyHelper, \
+    key_check_digest
+from repro.pairing import SequentialPairingHelper
+from repro.serialization import (
+    FormatError,
+    dump_group_based,
+    dump_sequential,
+    load_group_based,
+    load_sequential,
+)
+
+
+@st.composite
+def sequential_helpers(draw):
+    pair_count = draw(st.integers(1, 40))
+    used = draw(st.permutations(list(range(2 * pair_count))))
+    pairs = tuple((used[2 * i], used[2 * i + 1])
+                  for i in range(pair_count))
+    payload = np.array(draw(st.lists(st.integers(0, 1), min_size=1,
+                                     max_size=120)), dtype=np.uint8)
+    key = np.array(draw(st.lists(st.integers(0, 1),
+                                 min_size=pair_count,
+                                 max_size=pair_count)), dtype=np.uint8)
+    return SequentialKeyHelper(SequentialPairingHelper(pairs),
+                               SketchData(payload),
+                               key_check_digest(key))
+
+
+@st.composite
+def group_helpers(draw):
+    degree = draw(st.integers(0, 3))
+    from repro.puf.variation import n_terms
+
+    coefficients = np.array(draw(st.lists(
+        st.floats(-1e9, 1e9, allow_nan=False),
+        min_size=n_terms(degree), max_size=n_terms(degree))))
+    group_count = draw(st.integers(1, 6))
+    members = iter(draw(st.permutations(list(range(64)))))
+    groups = []
+    for _ in range(group_count):
+        size = draw(st.integers(1, 5))
+        groups.append(tuple(next(members) for _ in range(size)))
+    payload = np.array(draw(st.lists(st.integers(0, 1), min_size=1,
+                                     max_size=200)), dtype=np.uint8)
+    key = np.array(draw(st.lists(st.integers(0, 1), min_size=1,
+                                 max_size=40)), dtype=np.uint8)
+    return GroupBasedKeyHelper(
+        DistillerHelper(degree, coefficients),
+        GroupingHelper(tuple(groups),
+                       draw(st.floats(0, 1e6, allow_nan=False))),
+        SketchData(payload), key_check_digest(key))
+
+
+class TestSequentialRoundtrip:
+    @given(helper=sequential_helpers())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_identity(self, helper):
+        loaded = load_sequential(dump_sequential(helper))
+        assert loaded.pairing.pairs == helper.pairing.pairs
+        assert np.array_equal(loaded.sketch.payload,
+                              helper.sketch.payload)
+        assert loaded.key_check == helper.key_check
+
+    @given(helper=sequential_helpers(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_always_raises(self, helper, data):
+        blob = dump_sequential(helper)
+        cut = data.draw(st.integers(0, len(blob) - 1))
+        try:
+            load_sequential(blob[:cut])
+        except (FormatError, ValueError):
+            return
+        raise AssertionError("truncated blob accepted")
+
+
+class TestGroupBasedRoundtrip:
+    @given(helper=group_helpers())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_identity(self, helper):
+        loaded = load_group_based(dump_group_based(helper))
+        assert loaded.grouping.groups == helper.grouping.groups
+        np.testing.assert_array_equal(loaded.distiller.coefficients,
+                                      helper.distiller.coefficients)
+        assert loaded.grouping.threshold == helper.grouping.threshold
+        assert np.array_equal(loaded.sketch.payload,
+                              helper.sketch.payload)
+        assert loaded.key_check == helper.key_check

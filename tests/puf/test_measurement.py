@@ -1,0 +1,93 @@
+"""Tests for counters, enrollment averaging and the temperature sensor."""
+
+import numpy as np
+import pytest
+
+from repro.puf import (
+    CounterParams,
+    FrequencyCounter,
+    ROArray,
+    ROArrayParams,
+    TemperatureSensor,
+    compare_counts,
+    enroll_frequencies,
+)
+
+
+class TestCounter:
+    def test_counts_are_quantised_frequencies(self):
+        counter = FrequencyCounter(CounterParams(window=1e-3))
+        counts = counter.counts(np.array([200e6, 200e6 + 999.0]))
+        assert counts[0] == 200000
+        assert counts[1] == 200000  # sub-quantum difference collapses
+
+    def test_estimate_inverts_counts(self):
+        counter = FrequencyCounter(CounterParams(window=1e-4))
+        freqs = np.array([123456789.0])
+        estimate = counter.estimate(counter.counts(freqs))
+        assert abs(estimate[0] - freqs[0]) < 1.0 / 1e-4
+
+    def test_negative_frequency_rejected(self):
+        counter = FrequencyCounter()
+        with pytest.raises(ValueError):
+            counter.counts(np.array([-1.0]))
+
+    def test_non_positive_window_rejected(self):
+        with pytest.raises(ValueError):
+            CounterParams(window=0.0)
+
+    def test_measure_device(self, small_array):
+        counter = FrequencyCounter()
+        counts = counter.measure(small_array)
+        assert counts.shape == (small_array.n,)
+        assert counts.dtype == np.int64
+
+
+class TestCompareCounts:
+    def test_strict_orderings(self):
+        assert compare_counts(10, 5) == 1
+        assert compare_counts(5, 10) == 0
+
+    def test_tie_uses_configured_value(self):
+        assert compare_counts(7, 7) == 1
+        assert compare_counts(7, 7, tie_value=0) == 0
+
+
+class TestEnrollment:
+    def test_averaging_reduces_noise(self, small_array):
+        truth = small_array.true_frequencies()
+        single = small_array.measure_frequencies()
+        averaged = enroll_frequencies(small_array, samples=25)
+        assert (np.abs(averaged - truth).mean()
+                < np.abs(single - truth).mean())
+
+    def test_quantised_enrollment_close_to_truth(self, small_array):
+        counter = FrequencyCounter(CounterParams(window=1e-3))
+        averaged = enroll_frequencies(small_array, samples=9,
+                                      counter=counter)
+        truth = small_array.true_frequencies()
+        assert np.abs(averaged - truth).max() < 5e4
+
+    def test_zero_samples_rejected(self, small_array):
+        with pytest.raises(ValueError):
+            enroll_frequencies(small_array, samples=0)
+
+    def test_explicit_rng_reproducible(self, small_params):
+        array = ROArray(small_params, rng=8)
+        a = enroll_frequencies(array, samples=3,
+                               rng=np.random.default_rng(5))
+        b = enroll_frequencies(array, samples=3,
+                               rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTemperatureSensor:
+    def test_bias_and_noise(self):
+        sensor = TemperatureSensor(bias=1.5, sigma=0.0)
+        assert sensor.read(25.0) == pytest.approx(26.5)
+
+    def test_noise_magnitude(self):
+        sensor = TemperatureSensor(bias=0.0, sigma=0.5)
+        reads = np.array([sensor.read(25.0, rng=i) for i in range(300)])
+        assert reads.std() == pytest.approx(0.5, rel=0.2)
+        assert reads.mean() == pytest.approx(25.0, abs=0.1)

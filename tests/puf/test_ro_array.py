@@ -1,0 +1,153 @@
+"""Tests for the RO array frequency model."""
+
+import numpy as np
+import pytest
+
+from repro.puf import ROArray, ROArrayParams
+from repro.puf.variation import Polynomial2D, tilted_plane
+
+
+class TestParameters:
+    def test_counts_and_shape(self):
+        params = ROArrayParams(rows=4, cols=10)
+        assert params.n == 40
+        assert params.shape == (4, 10)
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError):
+            ROArrayParams(rows=0, cols=10)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ROArrayParams(sigma_process=-1.0)
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ROArrayParams(f_nominal=0.0)
+
+
+class TestGeometry:
+    def test_row_major_index_mapping(self, small_array):
+        assert small_array.index_to_xy(0) == (0, 0)
+        assert small_array.index_to_xy(9) == (9, 0)
+        assert small_array.index_to_xy(10) == (0, 1)
+        assert small_array.xy_to_index(3, 2) == 23
+
+    def test_mapping_roundtrip(self, small_array):
+        for index in range(small_array.n):
+            x, y = small_array.index_to_xy(index)
+            assert small_array.xy_to_index(x, y) == index
+
+    def test_out_of_range_indices_rejected(self, small_array):
+        with pytest.raises(IndexError):
+            small_array.index_to_xy(40)
+        with pytest.raises(IndexError):
+            small_array.xy_to_index(10, 0)
+
+
+class TestStaticRandomness:
+    def test_same_seed_same_device(self, small_params):
+        a = ROArray(small_params, rng=1)
+        b = ROArray(small_params, rng=1)
+        np.testing.assert_array_equal(a.true_frequencies(),
+                                      b.true_frequencies())
+
+    def test_different_seeds_different_devices(self, small_params):
+        a = ROArray(small_params, rng=1)
+        b = ROArray(small_params, rng=2)
+        assert not np.array_equal(a.true_frequencies(),
+                                  b.true_frequencies())
+
+    def test_measurements_do_not_perturb_manufacture(self, small_params):
+        a = ROArray(small_params, rng=1)
+        b = ROArray(small_params, rng=1)
+        for _ in range(5):
+            a.measure_frequencies()
+        np.testing.assert_array_equal(a.true_frequencies(),
+                                      b.true_frequencies())
+
+    def test_process_variation_magnitude(self):
+        params = ROArrayParams(rows=32, cols=32, sigma_process=1e6)
+        array = ROArray(params, rng=0)
+        std = array.process_variation.std()
+        assert 0.8e6 < std < 1.2e6
+
+
+class TestEnvironment:
+    def test_frequency_decreases_with_temperature(self, small_array):
+        cold = small_array.true_frequencies(temperature=0.0)
+        hot = small_array.true_frequencies(temperature=80.0)
+        assert np.all(hot < cold)
+
+    def test_frequency_increases_with_voltage(self, small_array):
+        low = small_array.true_frequencies(voltage=1.1)
+        high = small_array.true_frequencies(voltage=1.3)
+        assert np.all(high > low)
+
+    def test_nominal_point_is_default(self, small_array):
+        p = small_array.params
+        np.testing.assert_array_equal(
+            small_array.true_frequencies(),
+            small_array.true_frequencies(p.temp_nominal, p.v_nominal))
+
+    def test_temperature_model_is_linear(self, small_array):
+        f0 = small_array.true_frequencies(temperature=20.0)
+        f1 = small_array.true_frequencies(temperature=30.0)
+        f2 = small_array.true_frequencies(temperature=40.0)
+        np.testing.assert_allclose(f1 - f0, f2 - f1, rtol=1e-9)
+
+
+class TestNoise:
+    def test_measurement_noise_magnitude(self, small_params):
+        array = ROArray(small_params, rng=4)
+        truth = array.true_frequencies()
+        reads = np.stack([array.measure_frequencies()
+                          for _ in range(200)])
+        residual_std = (reads - truth).std()
+        assert residual_std == pytest.approx(small_params.sigma_noise,
+                                             rel=0.15)
+
+    def test_explicit_rng_reproducible(self, small_array):
+        a = small_array.measure_frequencies(rng=99)
+        b = small_array.measure_frequencies(rng=99)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSystematicSurface:
+    def test_explicit_surface_is_applied(self, small_params):
+        flat = ROArray(small_params, rng=6,
+                       systematic=Polynomial2D.zero(1))
+        tilted = ROArray(small_params, rng=6,
+                         systematic=tilted_plane(1e5, 0.0))
+        delta = tilted.true_frequencies() - flat.true_frequencies()
+        np.testing.assert_allclose(delta, tilted.x * 1e5, atol=1e-3)
+
+    def test_frequency_map_shape(self, small_array):
+        assert small_array.frequency_map().shape == (4, 10)
+
+
+class TestCrossover:
+    def test_crossover_matches_pair_delta_zero(self, thermal_array):
+        for i, j in [(0, 1), (10, 11), (40, 41)]:
+            t_cross = thermal_array.crossover_temperature(i, j)
+            if t_cross is None:
+                continue
+            assert thermal_array.pair_delta(
+                i, j, temperature=t_cross) == pytest.approx(0.0, abs=1e-3)
+
+    def test_equal_slopes_have_no_crossover(self, small_params):
+        params = ROArrayParams(rows=2, cols=2, temp_slope_sigma=0.0)
+        array = ROArray(params, rng=1)
+        assert array.crossover_temperature(0, 1) is None
+
+    def test_delta_changes_sign_across_crossover(self, thermal_array):
+        found = False
+        for i in range(0, thermal_array.n - 1, 2):
+            t_cross = thermal_array.crossover_temperature(i, i + 1)
+            if t_cross is None or not -20 < t_cross < 100:
+                continue
+            before = thermal_array.pair_delta(i, i + 1, t_cross - 5)
+            after = thermal_array.pair_delta(i, i + 1, t_cross + 5)
+            assert before * after < 0
+            found = True
+        assert found, "no in-range crossover pair in the fixture"

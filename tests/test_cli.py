@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1:
+    def test_prints_24_rows(self, capsys):
+        assert main(["table1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 25  # header + 24 orders
+        assert lines[1].split()[:3] == ["ABCD", "00000", "000000"]
+
+
+class TestClassify:
+    def test_reports_all_classes(self, capsys):
+        assert main(["classify", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("good", "bad", "cooperating", "marginal"):
+            assert kind in out
+
+
+class TestAttack:
+    def test_masking_attack_succeeds(self, capsys):
+        assert main(["attack", "masking", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered    : yes" in out
+
+    def test_sequential_attack_sprt(self, capsys):
+        assert main(["attack", "sequential", "--seed", "2",
+                     "--method", "sprt"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered    : yes" in out
+
+    def test_unknown_construction_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "bogus"])
+
+
+class TestAnalyze:
+    def test_population_summary(self, capsys):
+        assert main(["analyze", "--devices", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "entropy budget" in out
+        assert "inter-device distance" in out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,26 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES,
+                         ids=[path.stem for path in EXAMPLES])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+    assert "Traceback" not in out
+
+
+def test_example_inventory():
+    # The README promises at least quickstart + attack walkthroughs.
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

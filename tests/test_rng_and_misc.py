@@ -1,0 +1,100 @@
+"""Coverage for the RNG helpers and smaller utility surfaces."""
+
+import numpy as np
+import pytest
+
+from repro._rng import ensure_rng, spawn
+from repro.analysis import empirical_bit_error_rate
+from repro.core.injection import injected_values, symmetric_quadratic
+from repro.grouping import GroupingScheme
+from repro.keygen import GroupBasedKeyGen
+from repro.puf import ROArray, ROArrayParams
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_generator(self):
+        a = ensure_rng(None)
+        b = ensure_rng(None)
+        assert isinstance(a, np.random.Generator)
+        assert a is not b
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(7).integers(0, 1000) == \
+            ensure_rng(7).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(3, 4)
+        assert len(children) == 4
+        draws = [child.integers(0, 10**9) for child in children]
+        assert len(set(draws)) == 4
+
+    def test_deterministic_per_seed(self):
+        a = [c.integers(0, 10**9) for c in spawn(5, 3)]
+        b = [c.integers(0, 10**9) for c in spawn(5, 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+
+class TestEmpiricalBitErrorRate:
+    def test_matches_known_rates(self, rng):
+        reference = np.zeros(3, dtype=np.uint8)
+        probabilities = np.array([0.0, 0.5, 1.0])
+
+        def sample():
+            return (rng.random(3) < probabilities).astype(np.uint8)
+
+        rates = empirical_bit_error_rate(sample, reference, trials=400)
+        assert rates[0] == pytest.approx(0.0)
+        assert rates[1] == pytest.approx(0.5, abs=0.08)
+        assert rates[2] == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            empirical_bit_error_rate(
+                lambda: np.zeros(2, dtype=np.uint8),
+                np.zeros(3, dtype=np.uint8), trials=1)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_bit_error_rate(lambda: np.zeros(1),
+                                     np.zeros(1), trials=0)
+
+
+class TestInjectedValues:
+    def test_is_negated_payload(self):
+        payload = symmetric_quadratic((0.0, 0.0), (2.0, 0.0), rows=4,
+                                      steepness=10.0)
+        xs = np.arange(8.0)
+        ys = np.zeros(8)
+        np.testing.assert_allclose(injected_values(payload, xs, ys),
+                                   -payload(xs, ys))
+
+
+class TestConstructionOrderKeyGen:
+    def test_leaky_storage_yields_zero_kendall_key(self, small_array):
+        # With construction-order storage the measured order equals the
+        # stored order, so every Kendall bit enrolls as 0: the key is
+        # structurally all-zeros after packing of identity orders.
+        keygen = GroupBasedKeyGen(group_threshold=120e3,
+                                  storage_order="construction")
+        helper, key = keygen.enroll(small_array, rng=2)
+        assert key.sum() == 0
+
+    def test_secure_storage_yields_mixed_key(self, small_array):
+        keygen = GroupBasedKeyGen(group_threshold=120e3,
+                                  storage_order="sorted")
+        _, key = keygen.enroll(small_array, rng=2)
+        assert 0 < key.sum() < key.size

@@ -1,0 +1,141 @@
+"""Tests for the specified helper-data storage formats (§VII-C)."""
+
+import numpy as np
+import pytest
+
+from repro.keygen import (
+    GroupBasedKeyGen,
+    SequentialPairingKeyGen,
+    TempAwareKeyGen,
+)
+from repro.pairing import MaskingHelper
+from repro.serialization import (
+    FormatError,
+    dump_group_based,
+    dump_masking,
+    dump_sequential,
+    dump_temp_aware,
+    load_group_based,
+    load_masking,
+    load_sequential,
+    load_temp_aware,
+)
+
+
+@pytest.fixture
+def sequential_helper(medium_array):
+    keygen = SequentialPairingKeyGen(threshold=300e3)
+    helper, _ = keygen.enroll(medium_array, rng=1)
+    return helper
+
+
+@pytest.fixture
+def group_helper(small_array):
+    keygen = GroupBasedKeyGen(group_threshold=120e3)
+    helper, _ = keygen.enroll(small_array, rng=2)
+    return helper
+
+
+@pytest.fixture
+def temp_helper(thermal_array):
+    keygen = TempAwareKeyGen(t_min=-10, t_max=80, threshold=150e3)
+    helper, _ = keygen.enroll(thermal_array, rng=6)
+    return helper
+
+
+class TestRoundtrips:
+    def test_sequential(self, sequential_helper):
+        blob = dump_sequential(sequential_helper)
+        loaded = load_sequential(blob)
+        assert loaded.pairing.pairs == sequential_helper.pairing.pairs
+        np.testing.assert_array_equal(loaded.sketch.payload,
+                                      sequential_helper.sketch.payload)
+        assert loaded.key_check == sequential_helper.key_check
+
+    def test_group_based(self, group_helper):
+        blob = dump_group_based(group_helper)
+        loaded = load_group_based(blob)
+        np.testing.assert_allclose(loaded.distiller.coefficients,
+                                   group_helper.distiller.coefficients)
+        assert loaded.grouping.groups == group_helper.grouping.groups
+        assert loaded.grouping.threshold == \
+            group_helper.grouping.threshold
+        np.testing.assert_array_equal(loaded.sketch.payload,
+                                      group_helper.sketch.payload)
+        assert loaded.key_check == group_helper.key_check
+
+    def test_temp_aware(self, temp_helper):
+        blob = dump_temp_aware(temp_helper)
+        loaded = load_temp_aware(blob)
+        assert loaded.scheme == temp_helper.scheme
+        np.testing.assert_array_equal(loaded.sketch.payload,
+                                      temp_helper.sketch.payload)
+        assert loaded.key_check == temp_helper.key_check
+
+    def test_masking(self):
+        helper = MaskingHelper(5, (0, 3, 4, 1))
+        assert load_masking(dump_masking(helper)) == helper
+
+    def test_reconstruction_after_roundtrip(self, medium_array,
+                                            sequential_helper):
+        keygen = SequentialPairingKeyGen(threshold=300e3)
+        loaded = load_sequential(dump_sequential(sequential_helper))
+        key = keygen.reconstruct(medium_array, loaded)
+        assert key.size == sequential_helper.pairing.bits
+
+
+class TestStrictParsing:
+    def test_bad_magic(self, sequential_helper):
+        blob = bytearray(dump_sequential(sequential_helper))
+        blob[0] ^= 0xFF
+        with pytest.raises(FormatError):
+            load_sequential(bytes(blob))
+
+    def test_unknown_version(self, sequential_helper):
+        blob = bytearray(dump_sequential(sequential_helper))
+        blob[4] = 99
+        with pytest.raises(FormatError):
+            load_sequential(bytes(blob))
+
+    def test_wrong_tag(self, sequential_helper, group_helper):
+        blob = dump_group_based(group_helper)
+        with pytest.raises(FormatError):
+            load_sequential(blob)
+
+    def test_truncation_always_detected(self, sequential_helper):
+        blob = dump_sequential(sequential_helper)
+        for cut in (5, 9, 11, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(FormatError):
+                load_sequential(blob[:cut])
+
+    def test_trailing_bytes_rejected(self, sequential_helper):
+        blob = dump_sequential(sequential_helper)
+        with pytest.raises(FormatError):
+            load_sequential(blob + b"\x00")
+
+    def test_length_field_mismatch_rejected(self, sequential_helper):
+        blob = bytearray(dump_sequential(sequential_helper))
+        blob[6] ^= 1  # corrupt the payload length
+        with pytest.raises(FormatError):
+            load_sequential(bytes(blob))
+
+    def test_byte_fuzzing_never_crashes(self, group_helper, rng):
+        # Strict parser contract: malformed input raises FormatError or
+        # a validation ValueError from the typed constructors — never an
+        # unhandled exception type.
+        blob = bytearray(dump_group_based(group_helper))
+        for _ in range(200):
+            mutated = bytearray(blob)
+            position = rng.integers(0, len(mutated))
+            mutated[position] = rng.integers(0, 256)
+            try:
+                load_group_based(bytes(mutated))
+            except (FormatError, ValueError):
+                pass
+
+    def test_truncation_fuzzing_temp_aware(self, temp_helper, rng):
+        blob = dump_temp_aware(temp_helper)
+        for _ in range(50):
+            cut = int(rng.integers(0, len(blob)))
+            with pytest.raises((FormatError, ValueError)):
+                load_temp_aware(blob[:cut])
