@@ -13,7 +13,7 @@ import numpy as np
 
 from _report import record, table
 
-from repro.core import HelperDataOracle, SequentialPairingAttack
+from repro.core import BatchOracle, SequentialPairingAttack
 from repro.keygen import (
     SequentialPairingKeyGen,
     bch_provider,
@@ -30,7 +30,7 @@ def attack_once(sigma_noise, t, seed=0, budget=40, provider=None):
         threshold=400e3,
         code_provider=provider or bch_provider(t))
     helper, key = keygen.enroll(array, rng=seed)
-    oracle = HelperDataOracle(array, keygen)
+    oracle = BatchOracle(array, keygen)
     nominal_failure = oracle.failure_rate(helper, 20)
     oracle.reset_query_count()
     from repro.core.framework import FailureRateComparer
@@ -43,34 +43,38 @@ def attack_once(sigma_noise, t, seed=0, budget=40, provider=None):
     return key.size, recovered, result.queries, nominal_failure
 
 
-def run_experiment():
+def run_experiment(quick=False):
     ecc_rows = []
-    for t in (0, 1, 2, 3, 5):
+    for t in ((0, 3) if quick else (0, 1, 2, 3, 5)):
         bits, recovered, queries, nominal = attack_once(25e3, t)
         ecc_rows.append((t, bits, "yes" if recovered else "NO",
                          queries, f"{queries / bits:.1f}"))
-    # Multi-block ECC (paper: extension "fairly straightforward"):
-    # 4 independent BCH blocks of 16 data bits each, t = 2 per block.
-    bits, recovered, queries, _ = attack_once(
-        25e3, 2, provider=blockwise_provider(2, 16))
-    ecc_rows.append(("BCH t=2 x4 blocks", bits,
-                     "yes" if recovered else "NO", queries,
-                     f"{queries / bits:.1f}"))
-    # Maximum-likelihood decoding (RM(1,5), t=7 per block): the attack
-    # switches to per-device online calibration and still wins.
-    from repro.ecc import BlockwiseCode, ReedMullerCode
+    if not quick:
+        # Multi-block ECC (paper: extension "fairly straightforward"):
+        # 4 independent BCH blocks of 16 data bits each, t = 2 per
+        # block.
+        bits, recovered, queries, _ = attack_once(
+            25e3, 2, provider=blockwise_provider(2, 16))
+        ecc_rows.append(("BCH t=2 x4 blocks", bits,
+                         "yes" if recovered else "NO", queries,
+                         f"{queries / bits:.1f}"))
+        # Maximum-likelihood decoding (RM(1,5), t=7 per block): the
+        # attack switches to per-device online calibration and still
+        # wins.
+        from repro.ecc import BlockwiseCode, ReedMullerCode
 
-    def rm_provider(data_bits):
-        inner = ReedMullerCode(5)
-        return BlockwiseCode(inner, -(-data_bits // inner.k))
+        def rm_provider(data_bits):
+            inner = ReedMullerCode(5)
+            return BlockwiseCode(inner, -(-data_bits // inner.k))
 
-    bits, recovered, queries, _ = attack_once(25e3, 7,
-                                              provider=rm_provider)
-    ecc_rows.append(("RM(1,5) t=7 x11 (ML)", bits,
-                     "yes" if recovered else "NO", queries,
-                     f"{queries / bits:.1f}"))
+        bits, recovered, queries, _ = attack_once(25e3, 7,
+                                                  provider=rm_provider)
+        ecc_rows.append(("RM(1,5) t=7 x11 (ML)", bits,
+                         "yes" if recovered else "NO", queries,
+                         f"{queries / bits:.1f}"))
     noise_rows = []
-    for sigma in (10e3, 100e3, 200e3, 300e3):
+    for sigma in ((10e3, 300e3) if quick
+                  else (10e3, 100e3, 200e3, 300e3)):
         # The attacker scales the per-comparison budget with the noise:
         # blurred Fig. 5 PDFs need more samples to separate.
         budget = 40 if sigma <= 200e3 else 150
@@ -83,8 +87,9 @@ def run_experiment():
     return ecc_rows, noise_rows
 
 
-def test_ablation_ecc_and_noise(benchmark):
-    ecc_rows, noise_rows = benchmark.pedantic(run_experiment, rounds=1,
+def test_ablation_ecc_and_noise(benchmark, quick):
+    ecc_rows, noise_rows = benchmark.pedantic(run_experiment,
+                                              args=(quick,), rounds=1,
                                               iterations=1)
     record("E13 — ablation: §VI-A attack vs ECC strength "
            "(sigma_noise = 25 kHz)",

@@ -18,24 +18,25 @@ import numpy as np
 
 from _report import record, table
 
-from repro.core import HelperDataOracle, SequentialPairingAttack
+from repro.core import BatchOracle, SequentialPairingAttack
 from repro.core.framework import FailureRateComparer
 from repro.keygen import SequentialPairingKeyGen
 from repro.puf import ROArray, ROArrayParams
 
 DEVICES = 3
+QUICK_DEVICES = 1
 
 
-def run_experiment():
+def run_experiment(devices=DEVICES):
     rows = []
     variants = (("paired", True), ("sprt", True), ("paired", False))
     for method, accelerated in variants:
-        for seed in range(DEVICES):
+        for seed in range(devices):
             array = ROArray(ROArrayParams(rows=8, cols=16),
                             rng=100 + seed)
             keygen = SequentialPairingKeyGen(threshold=300e3)
             helper, key = keygen.enroll(array, rng=seed)
-            oracle = HelperDataOracle(array, keygen)
+            oracle = BatchOracle(array, keygen)
             code_t = keygen.sketch_for(key.size).code.t
             attack = SequentialPairingAttack(
                 oracle, keygen, helper,
@@ -54,10 +55,13 @@ def run_experiment():
     return rows
 
 
-def test_attack_sequential_pairing(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_attack_sequential_pairing(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    rows = benchmark.pedantic(run_experiment, args=(devices,),
+                              rounds=1, iterations=1)
     record("E6 / §VI-A — sequential pairing key recovery "
-           f"({DEVICES} devices, randomized storage, BCH t=3)",
+           f"({devices} devices, randomized storage, BCH t=3, "
+           "batched oracle)",
            table(("device", "distinguisher", "injection", "key bits",
                   "key recovered", "relations correct",
                   "oracle queries", "queries/bit"), rows))

@@ -16,24 +16,25 @@ import numpy as np
 
 from _report import record, table
 
-from repro.core import HelperDataOracle, TempAwareAttack
+from repro.core import BatchOracle, TempAwareAttack
 from repro.keygen import TempAwareKeyGen
 from repro.pairing import TempAwareCooperative, \
     deterministic_selection_leakage
 from repro.puf import ROArray, ROArrayParams
 
 DEVICES = 3
+QUICK_DEVICES = 1
 
 
-def run_experiment():
+def run_experiment(devices=DEVICES):
     rows = []
-    for seed in range(DEVICES):
+    for seed in range(devices):
         array = ROArray(ROArrayParams(rows=8, cols=16,
                                       temp_slope_sigma=8e3),
                         rng=200 + seed)
         keygen = TempAwareKeyGen(t_min=-10, t_max=80, threshold=150e3)
         helper, key = keygen.enroll(array, rng=seed)
-        oracle = HelperDataOracle(array, keygen)
+        oracle = BatchOracle(array, keygen)
         result = TempAwareAttack(oracle, keygen, helper).run()
 
         n_good = len(helper.scheme.good_indices)
@@ -69,11 +70,13 @@ def run_experiment():
                   len(det_helper.cooperation))
 
 
-def test_attack_temp_aware(benchmark):
-    rows, leak_stats = benchmark.pedantic(run_experiment, rounds=1,
+def test_attack_temp_aware(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    rows, leak_stats = benchmark.pedantic(run_experiment,
+                                          args=(devices,), rounds=1,
                                           iterations=1)
     record("E7 / §VI-B — temperature-aware cooperative attack "
-           f"({DEVICES} devices, BCH t=3)",
+           f"({devices} devices, BCH t=3, batched oracle)",
            table(("device", "coop pairs", "relations resolved",
                   "relations correct", "good bits recovered",
                   "oracle queries"), rows))

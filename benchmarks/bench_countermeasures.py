@@ -17,8 +17,8 @@ import numpy as np
 from _report import record, table
 
 from repro.core import (
+    BatchOracle,
     GroupBasedAttack,
-    HelperDataOracle,
     SequentialPairingAttack,
     TempAwareAttack,
 )
@@ -41,7 +41,7 @@ def group_based_row(hardened):
     else:
         keygen = GroupBasedKeyGen(group_threshold=120e3)
     helper, key = keygen.enroll(array, rng=0)
-    oracle = HelperDataOracle(array, keygen)
+    oracle = BatchOracle(array, keygen)
     attack = GroupBasedAttack(oracle, keygen, helper, 4, 10)
     helper0, helper1 = attack._attack_helpers(0, 1)
     rate0 = oracle.failure_rate(helper0, 6)
@@ -59,7 +59,7 @@ def temp_aware_row(hardened):
     cls = HardenedTempAwareKeyGen if hardened else TempAwareKeyGen
     keygen = cls(t_min=-10, t_max=80, threshold=150e3)
     helper, key = keygen.enroll(array, rng=0)
-    oracle = HelperDataOracle(array, keygen)
+    oracle = BatchOracle(array, keygen)
     attack = TempAwareAttack(oracle, keygen, helper)
     # Scan candidates until one produces a split (an unequal relation);
     # on the hardened device every injection-carrying helper is
@@ -88,7 +88,7 @@ def sequential_row():
     array = ROArray(ROArrayParams(rows=8, cols=16), rng=100)
     keygen = SequentialPairingKeyGen(threshold=300e3)
     helper, key = keygen.enroll(array, rng=0)
-    oracle = HelperDataOracle(array, keygen)
+    oracle = BatchOracle(array, keygen)
     result = SequentialPairingAttack(oracle, keygen, helper).run()
     recovered = (result.key is not None
                  and np.array_equal(result.key, key))

@@ -8,7 +8,6 @@ decomposition: variance explained per degree, and the residual standard
 deviation converging to the true process-variation sigma.
 """
 
-import numpy as np
 
 from _report import record, table
 
@@ -16,9 +15,9 @@ from repro.distiller import EntropyDistiller
 from repro.puf import DAC13_PARAMS, ROArray
 
 
-def run_experiment():
+def run_experiment(devices=5):
     rows = []
-    for seed in range(5):
+    for seed in range(devices):
         array = ROArray(DAC13_PARAMS, rng=seed)
         freqs = array.true_frequencies()
         process_std = array.process_variation.std()
@@ -34,8 +33,9 @@ def run_experiment():
     return rows
 
 
-def test_fig2_topology_decomposition(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig2_topology_decomposition(benchmark, quick):
+    rows = benchmark.pedantic(run_experiment, args=(2 if quick else 5,),
+                              rounds=1, iterations=1)
     record("E2 / Fig.2 — systematic trend removal on 16x32 arrays "
            "(variance explained, residual std / process std)",
            table(("device", "p=1 expl", "p=1 resid", "p=2 expl",

@@ -7,7 +7,14 @@ common offset, and (c) an H1 manipulation carrying two extra errors.
 The failure rate is the PDF mass beyond the correction bound ``t``;
 injection shifts both hypothesis PDFs toward ``t`` until their failure
 rates separate observably.
+
+The sampling runs through the batched engine — one vectorized
+measurement/evaluation pass per hypothesis — and cross-checks a slice
+of it against the historical per-query loop, recording the measured
+speedup alongside the reproduced figure.
 """
+
+import time
 
 import numpy as np
 
@@ -23,9 +30,19 @@ from repro.pairing import pair_deltas
 from repro.puf import ROArray, ROArrayParams
 
 SAMPLES = 300
+QUICK_SAMPLES = 24
+CHECK_SAMPLES = 100
 
 
 def error_count_samples(array, keygen, helper, key, samples):
+    """Error-count distribution at the ECC input, one vectorized pass."""
+    freqs = array.measure_frequencies_batch(samples)
+    bits = keygen.pairing.evaluate_batch(freqs, helper.pairing)
+    return np.sum(bits != key[None, :], axis=1)
+
+
+def error_count_samples_sequential(array, keygen, helper, key, samples):
+    """The historical per-query loop, kept as the timing baseline."""
     counts = np.empty(samples, dtype=int)
     for i in range(samples):
         freqs = array.measure_frequencies()
@@ -34,7 +51,25 @@ def error_count_samples(array, keygen, helper, key, samples):
     return counts
 
 
-def run_experiment():
+def measure_speedup(keygen, helper, key, samples):
+    """Batched vs sequential sampling on twin devices (same stream)."""
+    params = ROArrayParams(rows=8, cols=16, sigma_noise=300e3)
+    seq_array = ROArray(params, rng=99)
+    batch_array = ROArray(params, rng=99)
+    start = time.perf_counter()
+    expected = error_count_samples_sequential(seq_array, keygen, helper,
+                                              key, samples)
+    sequential_s = time.perf_counter() - start
+    start = time.perf_counter()
+    observed = error_count_samples(batch_array, keygen, helper, key,
+                                   samples)
+    batched_s = time.perf_counter() - start
+    assert np.array_equal(expected, observed), \
+        "batched sampling diverged from the sequential loop"
+    return sequential_s, batched_s
+
+
+def run_experiment(samples=SAMPLES):
     array = ROArray(ROArrayParams(rows=8, cols=16, sigma_noise=300e3),
                     rng=11)
     keygen = SequentialPairingKeyGen(threshold=250e3)
@@ -56,9 +91,9 @@ def run_experiment():
         h0 = helper.with_pairing(injected_pairing)
         h1 = helper.with_pairing(
             injected_pairing.with_swapped_positions(0, unequal))
-        counts0 = error_count_samples(array, keygen, h0, key, SAMPLES)
+        counts0 = error_count_samples(array, keygen, h0, key, samples)
         # H1 error counts are measured against the *original* key.
-        counts1 = error_count_samples(array, keygen, h1, key, SAMPLES)
+        counts1 = error_count_samples(array, keygen, h1, key, samples)
         fail0 = float(np.mean(counts0 > t))
         fail1 = float(np.mean(counts1 > t))
         rows.append((injected, f"{counts0.mean():.2f}",
@@ -75,14 +110,17 @@ def run_experiment():
                          helper.pairing.pairs)
     probs = pair_flip_probabilities(deltas, 300e3)
     analytic_nominal = ecc_failure_probability(probs, t)
-    return t, rows, pdf_lines, analytic_nominal
+
+    timing = measure_speedup(keygen, helper, key, CHECK_SAMPLES)
+    return t, rows, pdf_lines, analytic_nominal, timing
 
 
-def test_fig5_failure_pdfs(benchmark):
-    t, rows, pdf_lines, analytic = benchmark.pedantic(
-        run_experiment, rounds=1, iterations=1)
+def test_fig5_failure_pdfs(benchmark, quick):
+    samples = QUICK_SAMPLES if quick else SAMPLES
+    t, rows, pdf_lines, analytic, timing = benchmark.pedantic(
+        run_experiment, args=(samples,), rounds=1, iterations=1)
     record(f"E5 / Fig.5 — hypothesis separation (BCH t={t}, "
-           f"{SAMPLES} samples per PDF; analytic nominal failure "
+           f"{samples} samples per PDF; analytic nominal failure "
            f"rate {analytic:.2e})",
            table(("injected errors", "mean #err H0", "mean #err H1",
                   "P(fail) H0", "P(fail) H1", "rate gap"), rows))
@@ -92,9 +130,20 @@ def test_fig5_failure_pdfs(benchmark):
                table(("#errors", "PDF H0", "PDF H1"),
                      [(k, f"{p0:.3f}", f"{p1:.3f}")
                       for k, p0, p1 in pdf]))
+    sequential_s, batched_s = timing
+    speedup = sequential_s / batched_s if batched_s > 0 else float("inf")
+    record("E5 — batched vs sequential failure sampling "
+           f"({CHECK_SAMPLES} samples, identical results asserted)",
+           [f"sequential loop: {sequential_s * 1e3:.1f} ms",
+            f"batched engine:  {batched_s * 1e3:.1f} ms",
+            f"speedup:         {speedup:.1f}x"])
     # Shape assertions: without injection the hypotheses are nearly
     # indistinguishable; with the Fig. 5 offset the gap is wide.
     no_injection_gap = float(rows[0][5])
     offset_gap = float(rows[1][5])
     assert abs(no_injection_gap) < 0.3
     assert offset_gap > 0.6
+    if not quick:
+        # Regression canary only (typically ~25x); kept well below the
+        # real ratio so timing jitter on loaded machines cannot flake.
+        assert speedup >= 5.0

@@ -11,21 +11,22 @@ import numpy as np
 
 from _report import record, table
 
-from repro.core import GroupBasedAttack, HelperDataOracle
+from repro.core import BatchOracle, GroupBasedAttack
 from repro.keygen import GroupBasedKeyGen
 from repro.puf import FIG6_PARAMS, ROArray
 
 DEVICES = 3
+QUICK_DEVICES = 1
 
 
-def run_experiment():
+def run_experiment(devices=DEVICES):
     rows = []
-    for seed in range(DEVICES):
+    for seed in range(devices):
         array = ROArray(FIG6_PARAMS, rng=300 + seed)
         keygen = GroupBasedKeyGen(distiller_degree=2,
                                   group_threshold=120e3)
         helper, key = keygen.enroll(array, rng=seed)
-        oracle = HelperDataOracle(array, keygen)
+        oracle = BatchOracle(array, keygen)
         attack = GroupBasedAttack(oracle, keygen, helper, rows=4,
                                   cols=10)
         result = attack.run()
@@ -38,10 +39,12 @@ def run_experiment():
     return rows
 
 
-def test_fig6a_group_based_attack(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig6a_group_based_attack(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    rows = benchmark.pedantic(run_experiment, args=(devices,),
+                              rounds=1, iterations=1)
     record("E8 / Fig.6a §VI-C — group-based RO PUF full key recovery "
-           f"(4x10 array, {DEVICES} devices, BCH t=3)",
+           f"(4x10 array, {devices} devices, BCH t=3, batched oracle)",
            table(("device", "group sizes", "key bits", "key recovered",
                   "digest confirmed", "comparisons", "oracle queries",
                   "queries/bit"), rows))

@@ -10,21 +10,22 @@ import numpy as np
 
 from _report import record, table
 
-from repro.core import DistillerPairingAttack, HelperDataOracle
+from repro.core import BatchOracle, DistillerPairingAttack
 from repro.keygen import DistillerPairingKeyGen
 from repro.puf import FIG6_PARAMS, ROArray
 
 DEVICES = 3
+QUICK_DEVICES = 1
 
 
-def run_experiment():
+def run_experiment(devices=DEVICES):
     rows = []
-    for seed in range(DEVICES):
+    for seed in range(devices):
         array = ROArray(FIG6_PARAMS, rng=400 + seed)
         keygen = DistillerPairingKeyGen(4, 10, pairing_mode="masking",
                                         k=5)
         helper, key = keygen.enroll(array, rng=seed)
-        oracle = HelperDataOracle(array, keygen)
+        oracle = BatchOracle(array, keygen)
         attack = DistillerPairingAttack(oracle, keygen, helper, 4, 10)
         result = attack.run()
         recovered = np.array_equal(result.key, key)
@@ -36,10 +37,12 @@ def run_experiment():
     return rows
 
 
-def test_fig6b_masking_attack(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig6b_masking_attack(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    rows = benchmark.pedantic(run_experiment, args=(devices,),
+                              rounds=1, iterations=1)
     record("E9 / Fig.6b §VI-D — distiller + 1-out-of-5 masking attack "
-           f"(4x10 array, {DEVICES} devices)",
+           f"(4x10 array, {devices} devices, batched oracle)",
            table(("device", "key bits", "key recovered",
                   "digest confirmed", "hypotheses per placement",
                   "oracle queries"), rows))

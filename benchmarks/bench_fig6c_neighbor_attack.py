@@ -13,22 +13,23 @@ import numpy as np
 
 from _report import record, table
 
-from repro.core import DistillerPairingAttack, HelperDataOracle
+from repro.core import BatchOracle, DistillerPairingAttack
 from repro.keygen import DistillerPairingKeyGen
 from repro.puf import FIG6_PARAMS, ROArray
 
 DEVICES = 3
+QUICK_DEVICES = 1
 
 
-def run_experiment():
+def run_experiment(devices=DEVICES):
     rows = []
     max_joint = 0
     for mode in ("neighbor-overlap", "neighbor-disjoint"):
-        for seed in range(DEVICES):
+        for seed in range(devices):
             array = ROArray(FIG6_PARAMS, rng=500 + seed)
             keygen = DistillerPairingKeyGen(4, 10, pairing_mode=mode)
             helper, key = keygen.enroll(array, rng=seed)
-            oracle = HelperDataOracle(array, keygen)
+            oracle = BatchOracle(array, keygen)
             attack = DistillerPairingAttack(oracle, keygen, helper, 4,
                                             10, max_joint_bits=8)
             result = attack.run()
@@ -43,11 +44,13 @@ def run_experiment():
     return rows, max_joint
 
 
-def test_fig6c_neighbor_chain_attack(benchmark):
-    rows, max_joint = benchmark.pedantic(run_experiment, rounds=1,
+def test_fig6c_neighbor_chain_attack(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    rows, max_joint = benchmark.pedantic(run_experiment,
+                                         args=(devices,), rounds=1,
                                          iterations=1)
     record("E10 / Fig.6c §VI-D — distiller + neighbour chains "
-           f"(4x10 array, {DEVICES} devices each)",
+           f"(4x10 array, {devices} devices each, batched oracle)",
            table(("pairing", "device", "key bits", "key recovered",
                   "placements", "max hypotheses", "oracle queries"),
                  rows))

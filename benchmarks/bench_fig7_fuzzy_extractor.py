@@ -8,27 +8,27 @@ the recovered response, so reconstruction fails identically everywhere;
 there is no per-bit hypothesis channel of the §VI kind to exploit.
 """
 
-import numpy as np
 
 from _report import record, table
 
-from repro.core import HelperDataOracle
+from repro.core import BatchOracle
 from repro.keygen import FuzzyExtractorKeyGen, OperatingPoint
 from repro.puf import ROArray, ROArrayParams
 
 QUERIES = 20
+QUICK_QUERIES = 6
 
 
-def run_experiment():
+def run_experiment(queries=QUERIES):
     array = ROArray(ROArrayParams(rows=8, cols=16), rng=21)
     keygen = FuzzyExtractorKeyGen(8, 16, out_bits=64)
     helper, key = keygen.enroll(array, rng=5)
-    oracle = HelperDataOracle(array, keygen)
+    oracle = BatchOracle(array, keygen)
 
     reliability_rows = []
     for temperature in (0.0, 25.0, 60.0):
         op = OperatingPoint(temperature=temperature)
-        rate = oracle.failure_rate(helper, QUERIES, op)
+        rate = oracle.failure_rate(helper, queries, op)
         reliability_rows.append((f"{temperature:.0f} °C",
                                  f"{1 - rate:.2f}"))
 
@@ -40,16 +40,17 @@ def run_experiment():
         manipulated = helper.with_extractor(
             helper.extractor.with_sketch(
                 helper.extractor.sketch.with_payload(payload)))
-        rate = oracle.failure_rate(manipulated, QUERIES)
+        rate = oracle.failure_rate(manipulated, queries)
         rates.append(rate)
         flip_rows.append((position, f"{rate:.2f}"))
     spread = max(rates) - min(rates)
     return reliability_rows, flip_rows, spread
 
 
-def test_fig7_fuzzy_extractor_baseline(benchmark):
+def test_fig7_fuzzy_extractor_baseline(benchmark, quick):
+    queries = QUICK_QUERIES if quick else QUERIES
     reliability_rows, flip_rows, spread = benchmark.pedantic(
-        run_experiment, rounds=1, iterations=1)
+        run_experiment, args=(queries,), rounds=1, iterations=1)
     record("E11 / Fig.7 §VII-A — fuzzy extractor: reconstruction "
            "success rate across temperatures",
            table(("temperature", "success rate"), reliability_rows))

@@ -1,0 +1,119 @@
+"""E16 (engine): fleet-scale Monte-Carlo throughput.
+
+Exercises the batched simulation engine end-to-end: manufacture a
+device population, enroll the sequential-pairing construction on every
+sample, and sweep per-device failure rates under an injected
+manipulation.  A slice of the workload is re-run through the scalar
+per-query loop on twin devices to (a) assert the block path is
+query-for-query identical and (b) record the measured speedup — the
+engine's reason to exist.
+"""
+
+import time
+
+import numpy as np
+
+from _report import record, table
+
+from repro.core import BatchOracle, HelperDataOracle
+from repro.core.injection import flip_orientations
+from repro.fleet import Fleet
+from repro.keygen import SequentialPairingKeyGen
+from repro.puf import ROArrayParams
+
+PARAMS = ROArrayParams(rows=8, cols=16, sigma_noise=300e3)
+DEVICES = 8
+TRIALS = 400
+QUICK_DEVICES = 3
+QUICK_TRIALS = 40
+CHECK_TRIALS = 400
+
+
+def keygen_factory():
+    return SequentialPairingKeyGen(threshold=250e3)
+
+
+def boundary_helpers(enrollment):
+    """Per-device helpers loaded one error past the ECC boundary."""
+    helpers = []
+    for keygen, helper, key in zip(enrollment.keygens,
+                                   enrollment.helpers,
+                                   enrollment.keys):
+        t = keygen.sketch_for(key.size).code.t
+        helpers.append(helper.with_pairing(
+            flip_orientations(helper.pairing, range(1, 2 + t))))
+    return helpers
+
+
+def run_experiment(devices=DEVICES, trials=TRIALS):
+    fleet = Fleet(PARAMS, size=devices, seed=4242)
+    start = time.perf_counter()
+    enrollment = fleet.enroll(keygen_factory, seed=7)
+    enroll_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    nominal = fleet.failure_rates(enrollment, trials, chunk=256)
+    boundary = fleet.failure_rates(enrollment, trials,
+                                   helpers=boundary_helpers(enrollment),
+                                   chunk=256)
+    sweep_s = time.perf_counter() - start
+
+    # Scalar cross-check on twin devices: same seed, same consumption.
+    seq_fleet = Fleet(PARAMS, size=1, seed=4242)
+    seq_enrollment = seq_fleet.enroll(keygen_factory, seed=7)
+    seq_helper = boundary_helpers(seq_enrollment)[0]
+    scalar_oracle = HelperDataOracle(seq_fleet[0],
+                                     seq_enrollment.keygens[0])
+    start = time.perf_counter()
+    expected = np.array([scalar_oracle.query(seq_helper)
+                         for _ in range(CHECK_TRIALS)])
+    scalar_s = time.perf_counter() - start
+
+    batch_fleet = Fleet(PARAMS, size=1, seed=4242)
+    batch_enrollment = batch_fleet.enroll(keygen_factory, seed=7)
+    batch_helper = boundary_helpers(batch_enrollment)[0]
+    batch_oracle = BatchOracle(batch_fleet[0],
+                               batch_enrollment.keygens[0])
+    start = time.perf_counter()
+    observed = batch_oracle.query_block(batch_helper, CHECK_TRIALS)
+    batch_s = time.perf_counter() - start
+    assert np.array_equal(expected, observed), \
+        "fleet block path diverged from the scalar oracle"
+
+    stats = (enrollment.uniqueness(), enroll_s, sweep_s, scalar_s,
+             batch_s)
+    return nominal, boundary, enrollment.key_bits, stats
+
+
+def test_fleet_scale(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    trials = QUICK_TRIALS if quick else TRIALS
+    nominal, boundary, key_bits, stats = benchmark.pedantic(
+        run_experiment, args=(devices, trials), rounds=1, iterations=1)
+    uniqueness, enroll_s, sweep_s, scalar_s, batch_s = stats
+    throughput = 2 * devices * trials / sweep_s
+    rows = [(i, int(key_bits[i]), f"{nominal[i]:.3f}",
+             f"{boundary[i]:.3f}") for i in range(devices)]
+    record(f"E16 — fleet failure-rate sweep ({devices} devices x "
+           f"{trials} trials x 2 helper sets; key uniqueness "
+           f"{uniqueness:.3f})",
+           table(("device", "key bits", "P(fail) nominal",
+                  "P(fail) past ECC boundary"), rows))
+    speedup = scalar_s / batch_s if batch_s > 0 else float("inf")
+    record("E16 — engine throughput",
+           [f"enrollment: {enroll_s:.2f} s for {devices} devices",
+            f"sweep: {sweep_s:.2f} s "
+            f"({throughput:,.0f} reconstructions/s)",
+            f"scalar oracle ({CHECK_TRIALS} queries): "
+            f"{scalar_s * 1e3:.1f} ms",
+            f"batched oracle (identical results): "
+            f"{batch_s * 1e3:.1f} ms",
+            f"speedup: {speedup:.1f}x"])
+    # One error past the correction budget: near-certain failure on
+    # every device.
+    assert np.all(boundary >= nominal)
+    assert np.all(boundary > 0.8)
+    if not quick:
+        assert np.all(nominal < 0.2)
+        # Regression canary only (typically ~18x); see bench_fig5.
+        assert speedup >= 5.0

@@ -27,11 +27,12 @@ from repro.puf import ROArray, ROArrayParams
 from repro.puf.measurement import enroll_frequencies
 
 DEVICES = 4
+QUICK_DEVICES = 2
 
 
-def run_experiment():
+def run_experiment(devices=DEVICES):
     sorted_rows = []
-    for seed in range(DEVICES):
+    for seed in range(devices):
         array = ROArray(ROArrayParams(rows=8, cols=16), rng=600 + seed)
         sorted_kg = SequentialPairingKeyGen(threshold=300e3,
                                             storage_order="sorted")
@@ -46,7 +47,7 @@ def run_experiment():
              f"{100 * max(random_key.mean(), 1 - random_key.mean()):.0f}%"))
 
     grouping_rows = []
-    for seed in range(DEVICES):
+    for seed in range(devices):
         array = ROArray(ROArrayParams(rows=4, cols=10), rng=700 + seed)
         freqs = enroll_frequencies(array, 9, rng=seed)
         leaky = GroupingScheme(120e3,
@@ -66,8 +67,10 @@ def run_experiment():
     return sorted_rows, grouping_rows
 
 
-def test_format_leakage(benchmark):
+def test_format_leakage(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
     sorted_rows, grouping_rows = benchmark.pedantic(run_experiment,
+                                                    args=(devices,),
                                                     rounds=1,
                                                     iterations=1)
     record("E12 / §VII-C — sequential pairing storage order "

@@ -11,14 +11,12 @@ temperature-aware scheme holds its rate across the whole user-defined
 range by design.
 """
 
-import numpy as np
-
 from _report import record, table
 
+from repro.core import BatchOracle
 from repro.keygen import (
     DistillerPairingKeyGen,
     OperatingPoint,
-    ReconstructionFailure,
     SequentialPairingKeyGen,
     TempAwareKeyGen,
     bch_provider,
@@ -27,22 +25,18 @@ from repro.puf import ROArray, ROArrayParams
 
 TEMPERATURES = (25.0, 45.0, 65.0, 85.0)
 TRIALS = 12
+QUICK_TRIALS = 4
 
 
-def success_rate(keygen, array, helper, key, temperature):
-    successes = 0
-    for _ in range(TRIALS):
-        try:
-            successes += int(np.array_equal(
-                keygen.reconstruct(array, helper,
-                                   OperatingPoint(
-                                       temperature=temperature)), key))
-        except ReconstructionFailure:
-            pass
-    return successes / TRIALS
+def success_rate(keygen, array, helper, key, temperature, trials):
+    # Batched reconstruction: the oracle's success bit is the key-check
+    # match, i.e. exact regeneration of the enrolled key.
+    oracle = BatchOracle(array, keygen)
+    return 1.0 - oracle.failure_rate(
+        helper, trials, OperatingPoint(temperature=temperature))
 
 
-def run_experiment():
+def run_experiment(trials=TRIALS):
     # Strong slope spread so temperature excursions actually flip
     # marginal pairs; weak ECC (t = 1) so the differences show.
     params = ROArrayParams(rows=8, cols=16, temp_slope_sigma=10e3)
@@ -65,19 +59,25 @@ def run_experiment():
 
     rows = []
     for name, (keygen, helper, key) in devices.items():
-        rates = [success_rate(keygen, array, helper, key, temperature)
+        rates = [success_rate(keygen, array, helper, key, temperature,
+                              trials)
                  for temperature in TEMPERATURES]
         rows.append((name, key.size,
                      *[f"{rate:.2f}" for rate in rates]))
     return rows
 
 
-def test_reliability_sweep(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_reliability_sweep(benchmark, quick):
+    trials = QUICK_TRIALS if quick else TRIALS
+    rows = benchmark.pedantic(run_experiment, args=(trials,),
+                              rounds=1, iterations=1)
     record("E15 — reconstruction success vs temperature "
-           f"(enrolled at 25 °C, BCH t=1, {TRIALS} trials per point)",
+           f"(enrolled at 25 °C, BCH t=1, {trials} trials per point, "
+           "batched reconstruction)",
            table(("construction", "key bits",
                   *[f"{t:.0f} °C" for t in TEMPERATURES]), rows))
+    if quick:
+        return
     by_name = {row[0]: [float(v) for v in row[2:]] for row in rows}
     # Selection-based schemes are solid at the enrollment temperature;
     # raw pairing already pays for its marginal bits even there (the

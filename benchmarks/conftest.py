@@ -1,13 +1,33 @@
-"""Benchmark harness configuration: print experiment tables at the end."""
+"""Benchmark harness configuration: print experiment tables at the end.
+
+``--quick`` switches every bench to tiny sample counts for the CI
+smoke job: the point is exercising each experiment's code path and
+producing a timing/artifact JSON per PR, not statistical power, so
+sample-size-sensitive assertions are relaxed in quick mode.
+"""
 
 from __future__ import annotations
 
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent))
 
 from _report import reports  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="run benches with tiny sample counts (CI smoke mode)")
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """Whether the bench run is in CI smoke mode."""
+    return bool(request.config.getoption("--quick"))
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -30,17 +30,18 @@ Quick start::
     assert (result.key == key).all()
 """
 
-from repro import analysis, core, distiller, ecc, fuzzy, grouping, \
-    keygen, pairing, puf
+from repro import analysis, core, distiller, ecc, fleet, fuzzy, \
+    grouping, keygen, pairing, puf
 from repro._rng import ensure_rng, spawn
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "core",
     "distiller",
     "ecc",
+    "fleet",
     "fuzzy",
     "grouping",
     "keygen",

@@ -1,0 +1,33 @@
+"""Row-deduplication shared by every batch evaluation path.
+
+Failure-rate workloads concentrate on few distinct discrete patterns
+(response bits, received words, noisy readings), so each batch layer
+applies its expensive scalar completion once per *distinct* row and
+broadcasts the result.  This module holds the one grouping primitive
+they all share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def iter_unique_rows(matrix: np.ndarray,
+                     rows: Optional[np.ndarray] = None
+                     ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(pattern, indices)`` per distinct row of a 2-D array.
+
+    *rows* restricts the scan to a subset of row indices; the yielded
+    ``indices`` are always positions in the original *matrix*.
+    """
+    if rows is None:
+        rows = np.arange(matrix.shape[0])
+    if rows.size == 0:
+        return
+    unique, inverse = np.unique(matrix[rows], axis=0,
+                                return_inverse=True)
+    inverse = inverse.reshape(-1)
+    for index in range(unique.shape[0]):
+        yield unique[index], rows[inverse == index]

@@ -9,7 +9,7 @@ while library code never calls the global ``numpy.random`` state.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

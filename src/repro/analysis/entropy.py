@@ -9,8 +9,8 @@ distances, and per-construction extraction summaries.
 
 from __future__ import annotations
 
-from math import lgamma, log2
-from typing import Dict, List, Sequence
+from math import lgamma
+from typing import Dict, List
 
 import numpy as np
 

@@ -41,7 +41,7 @@ from repro.analysis import (
 from repro.core import (
     DistillerPairingAttack,
     GroupBasedAttack,
-    HelperDataOracle,
+    BatchOracle,
     SequentialPairingAttack,
     TempAwareAttack,
 )
@@ -142,7 +142,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     if construction == "sequential":
         keygen = SequentialPairingKeyGen(threshold=300e3)
         helper, key = keygen.enroll(array, rng=args.seed)
-        oracle = HelperDataOracle(array, keygen)
+        oracle = BatchOracle(array, keygen)
         result = SequentialPairingAttack(oracle, keygen, helper).run(
             method=args.method)
         recovered = (result.key is not None
@@ -150,7 +150,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     elif construction == "temp-aware":
         keygen = TempAwareKeyGen(t_min=-10, t_max=80, threshold=150e3)
         helper, key = keygen.enroll(array, rng=args.seed)
-        oracle = HelperDataOracle(array, keygen)
+        oracle = BatchOracle(array, keygen)
         outcome = TempAwareAttack(oracle, keygen, helper).run()
         n_good = len(helper.scheme.good_indices)
         truth = key[n_good:]
@@ -162,7 +162,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     elif construction == "group-based":
         keygen = GroupBasedKeyGen(group_threshold=120e3)
         helper, key = keygen.enroll(array, rng=args.seed)
-        oracle = HelperDataOracle(array, keygen)
+        oracle = BatchOracle(array, keygen)
         result = GroupBasedAttack(oracle, keygen, helper, rows,
                                   cols).run()
         recovered = bool(np.array_equal(result.key, key))
@@ -172,7 +172,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         keygen = DistillerPairingKeyGen(rows, cols, pairing_mode=mode,
                                         k=5)
         helper, key = keygen.enroll(array, rng=args.seed)
-        oracle = HelperDataOracle(array, keygen)
+        oracle = BatchOracle(array, keygen)
         result = DistillerPairingAttack(oracle, keygen, helper, rows,
                                         cols).run()
         recovered = bool(np.array_equal(result.key, key))

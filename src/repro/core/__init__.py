@@ -23,6 +23,7 @@ from repro.core.injection import (
     symmetric_quadratic,
 )
 from repro.core.oracle import HelperDataOracle
+from repro.core.batch_oracle import BatchOracle
 from repro.core.sprt import SPRTDistinguisher, SPRTOutcome
 from repro.core.sequential_attack import (
     SequentialAttackResult,
@@ -53,6 +54,7 @@ __all__ = [
     "swap_positions",
     "symmetric_quadratic",
     "HelperDataOracle",
+    "BatchOracle",
     "SPRTDistinguisher",
     "SPRTOutcome",
     "SequentialAttackResult",

@@ -1,0 +1,221 @@
+"""Vectorized drop-in replacement for the scalar failure oracle.
+
+:class:`BatchOracle` answers the same question as
+:class:`~repro.core.oracle.HelperDataOracle` — did a reconstruction
+attempt under given helper data succeed? — but evaluates whole blocks
+of attempts in one NumPy pass.  Three properties make it a faithful
+stand-in for the sequential simulation, not merely a statistical one:
+
+* **Stream-exact noise.**  Measurement noise is drawn from the
+  device's own noise stream in exactly the amounts consumed; because
+  NumPy fills any output shape element-by-element, row ``i`` of a
+  block draw carries exactly the values the ``i``-th sequential
+  ``measure_frequencies`` call would have drawn.  Noise is additive
+  and operating-point independent, so rows serve any helper and any
+  operating point.
+* **Unwind.**  Early-stopping consumers (Hoeffding comparison, SPRT)
+  evaluate a speculative block and then return the unused tail rows
+  to a buffer that later takes consume first; the query counter and
+  all downstream decisions stay bitwise identical to a sequential
+  run.  (The device stream itself advances by the speculated rows —
+  the one observable difference, and only to *other* consumers of
+  the same device object.)
+* **Deterministic completion.**  The per-row success boolean is a
+  function of the row's (discrete) response bits, evaluated through the
+  scheme's :meth:`~repro.keygen.base.KeyGenerator.batch_evaluator`
+  with one ECC decode per distinct bit pattern.
+
+The scalar :meth:`query` interface is preserved, so attack drivers run
+unchanged — handing them a :class:`BatchOracle` silently upgrades every
+distinguisher to the block path.
+
+The bitwise guarantee covers every scheme whose reconstruction takes
+one measurement per query (all standard constructions; temp-aware
+modulo its inherently fresh sensor noise).  The hardened group-based
+model draws a *separate* validation readout on the scalar path and is
+only statistically equivalent here — see
+:class:`repro.keygen.validation.HardenedGroupBasedKeyGen`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro._rng import RNGLike, ensure_rng
+from repro.keygen.base import (
+    KeyGenerator,
+    OperatingPoint,
+    ReconstructionFailure,
+)
+from repro.keygen.batch import BatchEvaluator
+from repro.puf.ro_array import ROArray
+
+
+class BatchOracle:
+    """Block-evaluating helper-data failure oracle.
+
+    Parameters
+    ----------
+    array, keygen, op:
+        As for :class:`~repro.core.oracle.HelperDataOracle`.
+    rng:
+        Noise source override; defaults to the device's internal noise
+        stream (matching scalar queries on the same device object).
+
+    Noise rows are drawn exactly on demand — one vectorized draw per
+    block request — so there is no lookahead knob: how callers block
+    their queries affects neither outcomes nor the device's stream
+    position.
+    """
+
+    def __init__(self, array: ROArray, keygen: KeyGenerator,
+                 op: OperatingPoint = OperatingPoint(),
+                 rng: RNGLike = None):
+        self._array = array
+        self._keygen = keygen
+        self._op = op
+        self._rng = None if rng is None else ensure_rng(rng)
+        self._queries = 0
+        self._buffer = np.empty((0, array.n))
+        # Noise-free frequency vector per operating point.
+        self._base: Dict[Tuple[Optional[float], Optional[float]],
+                         np.ndarray] = {}
+        # Evaluator per live helper object (bounded, keyed by id with a
+        # strong reference so ids cannot be recycled underneath us).
+        self._evaluators: Dict[
+            int, Tuple[object, OperatingPoint, BatchEvaluator]] = {}
+        self._evaluator_cap = 16
+
+    # ------------------------------------------------------------------
+    # scalar-oracle interface
+
+    @property
+    def queries(self) -> int:
+        """Total reconstruction attempts observed so far."""
+        return self._queries
+
+    @property
+    def default_op(self) -> OperatingPoint:
+        return self._op
+
+    @property
+    def array(self) -> ROArray:
+        return self._array
+
+    @property
+    def keygen(self) -> KeyGenerator:
+        return self._keygen
+
+    def reset_query_count(self) -> None:
+        self._queries = 0
+
+    def query(self, helper, op: Optional[OperatingPoint] = None) -> bool:
+        """One reconstruction attempt (consumes one buffered row)."""
+        return bool(self.query_block(helper, 1, op)[0])
+
+    def failure_rate(self, helper, queries: int,
+                     op: Optional[OperatingPoint] = None) -> float:
+        """Empirical failure probability over *queries* attempts."""
+        if queries < 1:
+            raise ValueError("need at least one query")
+        outcomes = self.query_block(helper, queries, op)
+        return float(np.count_nonzero(~outcomes)) / queries
+
+    # ------------------------------------------------------------------
+    # block interface
+
+    def query_block(self, helper, count: int,
+                    op: Optional[OperatingPoint] = None) -> np.ndarray:
+        """*count* reconstruction attempts; boolean success vector.
+
+        Outcome ``i`` equals what the ``(queries + 1 + i)``-th
+        sequential scalar query on an identically-seeded device would
+        have returned.
+        """
+        rows = self.take_rows(count)
+        return self.evaluate_rows(helper, rows, op)
+
+    def take_rows(self, count: int) -> np.ndarray:
+        """Consume *count* noise rows (unwound rows first, then fresh).
+
+        Fresh rows are drawn in exactly the amount needed, so as long
+        as no rows sit unwound, the device's stream position equals
+        the query count — independent of how queries were blocked.
+        """
+        if count < 1:
+            raise ValueError("need at least one query")
+        buffered = self._buffer.shape[0]
+        if buffered < count:
+            drawn = self._array.measurement_noise(count - buffered,
+                                                  rng=self._rng)
+            self._buffer = (drawn if buffered == 0
+                            else np.concatenate([self._buffer, drawn]))
+        rows, self._buffer = (self._buffer[:count],
+                              self._buffer[count:])
+        self._queries += count
+        return rows
+
+    def untake_rows(self, rows: np.ndarray) -> None:
+        """Return the *unconsumed tail* of the last take to the buffer.
+
+        Restores both the noise stream position and the query counter,
+        so an early-stopped block leaves the oracle in exactly the
+        state a sequential run would have reached.  Only valid for the
+        most recently taken rows, in order.
+        """
+        if rows.shape[0] == 0:
+            return
+        self._buffer = np.concatenate([rows, self._buffer])
+        self._queries -= rows.shape[0]
+
+    def evaluate_rows(self, helper, rows: np.ndarray,
+                      op: Optional[OperatingPoint] = None) -> np.ndarray:
+        """Success booleans of already-taken noise rows under *helper*."""
+        resolved = op if op is not None else self._op
+        freqs = self._base_frequencies(resolved)[None, :] + rows
+        evaluator = self._evaluator_for(helper, resolved)
+        if evaluator is not None:
+            return evaluator.outcomes(freqs)
+        # Generic fallback: row-wise reconstruction for schemes
+        # without a vectorized evaluator.
+        outcomes = np.empty(rows.shape[0], dtype=bool)
+        for i in range(rows.shape[0]):
+            try:
+                self._keygen.reconstruct_from_frequencies(
+                    self._array, freqs[i], helper, resolved)
+            except ReconstructionFailure:
+                outcomes[i] = False
+            else:
+                outcomes[i] = True
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _base_frequencies(self, op: OperatingPoint) -> np.ndarray:
+        key = (op.temperature, op.voltage)
+        base = self._base.get(key)
+        if base is None:
+            base = self._array.true_frequencies(op.temperature,
+                                                op.voltage)
+            self._base[key] = base
+        return base
+
+    def _evaluator_for(self, helper, op: OperatingPoint
+                       ) -> Optional[BatchEvaluator]:
+        key = id(helper)
+        hit = self._evaluators.get(key)
+        if hit is not None and hit[0] is helper and hit[1] == op:
+            return hit[2]
+        evaluator = self._keygen.batch_evaluator(self._array, helper,
+                                                 op)
+        if evaluator is not None:
+            if len(self._evaluators) >= self._evaluator_cap:
+                # Evict the oldest entry only: clearing everything
+                # would drop the completion memos of helpers still in
+                # use mid-comparison.
+                self._evaluators.pop(next(iter(self._evaluators)))
+            self._evaluators[key] = (helper, op, evaluator)
+        return evaluator

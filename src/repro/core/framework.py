@@ -29,6 +29,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro.core.batch_oracle import BatchOracle
 from repro.core.oracle import HelperDataOracle
 from repro.keygen.base import OperatingPoint, key_check_digest
 
@@ -118,7 +119,15 @@ class FailureRateComparer:
 
     def compare(self, oracle: HelperDataOracle, helper_a, helper_b,
                 op: Optional[OperatingPoint] = None) -> ComparisonOutcome:
-        """Decide which helper fails less often."""
+        """Decide which helper fails less often.
+
+        A :class:`~repro.core.batch_oracle.BatchOracle` is driven in
+        vectorized blocks; decisions, per-comparison query counts and
+        the oracle's noise-stream position all match the sequential
+        path bitwise (unused block rows are unwound).
+        """
+        if isinstance(oracle, BatchOracle):
+            return self._compare_blocked(oracle, helper_a, helper_b, op)
         start = oracle.queries
         failures_a = 0
         failures_b = 0
@@ -160,6 +169,73 @@ class FailureRateComparer:
         return ComparisonOutcome(decision, oracle.queries - start,
                                  failures_a, failures_b, samples)
 
+    def _compare_blocked(self, oracle: BatchOracle, helper_a, helper_b,
+                         op: Optional[OperatingPoint]
+                         ) -> ComparisonOutcome:
+        """Block-vectorized :meth:`compare` over a batched oracle.
+
+        Paired samples are evaluated a block at a time: even noise rows
+        feed *helper_a*, odd rows *helper_b*, reproducing the
+        sequential a/b interleave exactly.  All three stopping rules
+        are evaluated on cumulative failure counts; rows past the first
+        trigger are unwound so the stream and query counter land where
+        the sequential loop would have stopped.
+        """
+        start = oracle.queries
+        failures_a = 0
+        failures_b = 0
+        samples = 0
+        separated = False
+        delta_log = math.log(2.0 / (1.0 - self._confidence))
+        block = max(self._min, 8)
+        while samples < self._max:
+            size = min(block, self._max - samples)
+            block *= 2
+            rows = oracle.take_rows(2 * size)
+            out_a = oracle.evaluate_rows(helper_a, rows[0::2], op)
+            out_b = oracle.evaluate_rows(helper_b, rows[1::2], op)
+            cum_a = failures_a + np.cumsum(~out_a)
+            cum_b = failures_b + np.cumsum(~out_b)
+            counts = samples + np.arange(1, size + 1)
+            low = np.minimum(cum_a, cum_b)
+            high = np.maximum(cum_a, cum_b)
+            stop_separated = ((low == 0) & (high == counts)
+                              & (cum_a != cum_b))
+            # Same IEEE operation sequence as _bound() so block and
+            # sequential comparisons round identically.
+            bounds = 2.0 * np.sqrt(delta_log / (2.0 * counts))
+            stop_gap = np.abs(cum_a - cum_b) / counts > bounds
+            if self._identical_stop is None:
+                stop_identical = np.zeros(size, dtype=bool)
+            else:
+                stop_identical = ((counts >= self._identical_stop)
+                                  & (cum_a == cum_b)
+                                  & ((cum_a == 0) | (cum_a == counts)))
+            trigger = ((counts >= self._min)
+                       & (stop_separated | stop_identical | stop_gap))
+            if trigger.any():
+                idx = int(np.argmax(trigger))
+                oracle.untake_rows(rows[2 * (idx + 1):])
+                failures_a = int(cum_a[idx])
+                failures_b = int(cum_b[idx])
+                samples = int(counts[idx])
+                separated = bool(stop_separated[idx] or stop_gap[idx])
+                break
+            failures_a = int(cum_a[-1])
+            failures_b = int(cum_b[-1])
+            samples = int(counts[-1])
+        if not separated:
+            separated = self._significant(failures_a, failures_b,
+                                          samples)
+        if not separated or failures_a == failures_b:
+            decision = "tie"
+        elif failures_a < failures_b:
+            decision = "a"
+        else:
+            decision = "b"
+        return ComparisonOutcome(decision, oracle.queries - start,
+                                 failures_a, failures_b, samples)
+
 
 @dataclass(frozen=True)
 class SelectionOutcome:
@@ -185,12 +261,19 @@ def select_hypothesis(oracle: HelperDataOracle,
     if not helpers:
         raise ValueError("need at least one hypothesis")
     start = oracle.queries
+    batched = isinstance(oracle, BatchOracle)
     rates: Dict[Hashable, float] = {}
     best: Tuple[float, Hashable] = (math.inf, None)
     for label, helper in helpers.items():
-        failures = 0
-        for i in range(queries_per_hypothesis):
-            failures += 0 if oracle.query(helper, op) else 1
+        # Each hypothesis always consumes its full fixed budget, so a
+        # batched oracle answers it in one vectorized block.
+        if batched:
+            outcomes = oracle.query_block(helper,
+                                          queries_per_hypothesis, op)
+            failures = int(np.count_nonzero(~outcomes))
+        else:
+            failures = sum(0 if oracle.query(helper, op) else 1
+                           for _ in range(queries_per_hypothesis))
         rate = failures / queries_per_hypothesis
         rates[label] = rate
         if rate < best[0]:

@@ -38,7 +38,7 @@ from repro.core.injection import (
     symmetric_quadratic,
 )
 from repro.core.oracle import HelperDataOracle
-from repro.keygen.base import OperatingPoint, key_check_digest
+from repro.keygen.base import key_check_digest
 from repro.keygen.group_based import GroupBasedKeyGen, GroupBasedKeyHelper
 from repro.grouping.kendall import kendall_encode
 from repro.grouping.packing import pack_key

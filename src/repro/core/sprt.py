@@ -24,6 +24,9 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
+from repro.core.batch_oracle import BatchOracle
 from repro.core.oracle import HelperDataOracle
 from repro.keygen.base import OperatingPoint
 
@@ -96,10 +99,16 @@ class SPRTDistinguisher:
         orientation flip).  A Laplace-smoothed estimate keeps the
         probabilities off the boundary.
         """
-        fails_eq = sum(0 if oracle.query(helper_eq, op) else 1
-                       for _ in range(queries))
-        fails_neq = sum(0 if oracle.query(helper_neq, op) else 1
-                        for _ in range(queries))
+        if isinstance(oracle, BatchOracle):
+            fails_eq = int(np.count_nonzero(
+                ~oracle.query_block(helper_eq, queries, op)))
+            fails_neq = int(np.count_nonzero(
+                ~oracle.query_block(helper_neq, queries, op)))
+        else:
+            fails_eq = sum(0 if oracle.query(helper_eq, op) else 1
+                           for _ in range(queries))
+            fails_neq = sum(0 if oracle.query(helper_neq, op) else 1
+                            for _ in range(queries))
         p_low = (fails_eq + 1) / (queries + 2)
         p_high = (fails_neq + 1) / (queries + 2)
         if p_high <= p_low:
@@ -110,7 +119,14 @@ class SPRTDistinguisher:
 
     def test(self, oracle: HelperDataOracle, helper,
              op: Optional[OperatingPoint] = None) -> SPRTOutcome:
-        """Run the sequential test against one manipulated helper."""
+        """Run the sequential test against one manipulated helper.
+
+        A :class:`~repro.core.batch_oracle.BatchOracle` is consumed in
+        vectorized blocks with unused rows unwound, so outcome,
+        query count and oracle state match the scalar walk bitwise.
+        """
+        if isinstance(oracle, BatchOracle):
+            return self._test_blocked(oracle, helper, op)
         llr = 0.0
         failures = 0
         queries = 0
@@ -125,6 +141,44 @@ class SPRTDistinguisher:
                 return SPRTOutcome("neq", queries, failures, llr)
             if llr <= self._lower:
                 return SPRTOutcome("eq", queries, failures, llr)
+        decision = "neq" if llr > 0 else "eq"
+        return SPRTOutcome(decision, queries, failures, llr)
+
+    def _test_blocked(self, oracle: BatchOracle, helper,
+                      op: Optional[OperatingPoint]) -> SPRTOutcome:
+        """Block-vectorized Wald walk.
+
+        The running log-likelihood is rebuilt with a cumulative sum
+        seeded by the carried-over value (same floating-point
+        accumulation order as the scalar loop), and the first boundary
+        crossing decides; rows past it go back to the oracle.
+        """
+        llr = 0.0
+        failures = 0
+        queries = 0
+        block = 16
+        while queries < self._max:
+            size = min(block, self._max - queries)
+            block *= 2
+            rows = oracle.take_rows(size)
+            outcomes = oracle.evaluate_rows(helper, rows, op)
+            steps = np.where(outcomes, self._llr_success,
+                             self._llr_fail)
+            # Prepending the carry keeps the additions in scalar order:
+            # ((llr + s1) + s2) + ... rather than llr + (s1 + s2 + ...).
+            walk = np.cumsum(np.concatenate(([llr], steps)))[1:]
+            crossed = (walk >= self._upper) | (walk <= self._lower)
+            if crossed.any():
+                idx = int(np.argmax(crossed))
+                oracle.untake_rows(rows[idx + 1:])
+                queries += idx + 1
+                failures += int(np.count_nonzero(~outcomes[:idx + 1]))
+                llr = float(walk[idx])
+                decision = "neq" if llr >= self._upper else "eq"
+                return SPRTOutcome(decision, queries, failures, llr)
+            queries += size
+            failures += int(np.count_nonzero(~outcomes))
+            llr = float(walk[-1])
         decision = "neq" if llr > 0 else "eq"
         return SPRTOutcome(decision, queries, failures, llr)
 

@@ -9,8 +9,11 @@ only ever see this interface, so any code can back any construction.
 from __future__ import annotations
 
 import abc
+from typing import Tuple
 
 import numpy as np
+
+from repro._dedup import iter_unique_rows
 
 
 class DecodingFailure(Exception):
@@ -70,6 +73,35 @@ class BlockCode(abc.ABC):
     @abc.abstractmethod
     def extract(self, codeword: np.ndarray) -> np.ndarray:
         """Recover the ``k``-bit message from a (corrected) codeword."""
+
+    def decode_batch(self, received: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Decode a ``(B, n)`` batch of received words.
+
+        Returns ``(codewords, ok)``: a ``(B, n)`` uint8 matrix and a
+        boolean success mask.  Rows whose decode raises
+        :class:`DecodingFailure` are all-zero with ``ok = False`` —
+        batch consumers observe failures as data instead of control
+        flow, which is what the failure-rate oracles need.
+
+        The base implementation deduplicates identical received words
+        (failure-rate workloads concentrate on few distinct error
+        patterns) and decodes each distinct word once through the scalar
+        path, so results match :meth:`decode` row-for-row by
+        construction.  Codes with a vectorizable decoder may override.
+        """
+        words = np.asarray(received, dtype=np.uint8)
+        if words.ndim != 2 or words.shape[1] != self.n:
+            raise ValueError(f"batch shape must be (B, {self.n})")
+        codewords = np.zeros_like(words)
+        ok = np.zeros(words.shape[0], dtype=bool)
+        for word, rows in iter_unique_rows(words):
+            try:
+                codewords[rows] = self.decode(word)
+            except DecodingFailure:
+                continue
+            ok[rows] = True
+        return codewords, ok
 
     @property
     def bounded_distance(self) -> bool:

@@ -199,6 +199,11 @@ class GF2m:
         """``alpha ** exponent`` for the generator ``alpha = 2``."""
         return int(self._exp[exponent % self._order])
 
+    def alpha_pow_array(self, exponents: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`alpha_pow` over an integer exponent array."""
+        exps = np.asarray(exponents, dtype=np.int64)
+        return self._exp[np.mod(exps, self._order)]
+
     def log_alpha(self, a: int) -> int:
         """Discrete log base ``alpha`` of a non-zero element."""
         self._check(a)

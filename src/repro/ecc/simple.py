@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ecc.base import BlockCode, DecodingFailure, as_bits
+from repro.ecc.base import BlockCode, as_bits
 
 
 class TrivialCode(BlockCode):

@@ -25,6 +25,7 @@ from typing import List
 
 import numpy as np
 
+from repro._dedup import iter_unique_rows
 from repro._rng import RNGLike, ensure_rng
 from repro.ecc.base import BlockCode, DecodingFailure, as_bits
 from repro.ecc.bch import BCHCode
@@ -74,6 +75,30 @@ class SecureSketch(abc.ABC):
                 helper: SketchData) -> np.ndarray:
         """Reconstruction: recover the reference response, or raise
         :class:`DecodingFailure`."""
+
+    def recover_batch(self, noisy_responses: np.ndarray,
+                      helper: SketchData
+                      ) -> "tuple[np.ndarray, np.ndarray]":
+        """Recover a batch of noisy readings; failures become data.
+
+        Returns ``(recovered, ok)`` where failed rows are all-zero with
+        ``ok = False``.  The base implementation deduplicates distinct
+        readings and recovers each once through the scalar path;
+        constructions with a vectorizable recovery override this.
+        """
+        batch = np.asarray(noisy_responses, dtype=np.uint8)
+        if batch.ndim != 2 or batch.shape[1] != self.response_length:
+            raise ValueError(
+                f"batch shape must be (B, {self.response_length})")
+        recovered = np.zeros_like(batch)
+        ok = np.zeros(batch.shape[0], dtype=bool)
+        for response, rows in iter_unique_rows(batch):
+            try:
+                recovered[rows] = self.recover(response, helper)
+            except DecodingFailure:
+                continue
+            ok[rows] = True
+        return recovered, ok
 
 
 class CodeOffsetSketch(SecureSketch):
@@ -125,6 +150,28 @@ class CodeOffsetSketch(SecureSketch):
         codeword = self._code.decode(shifted)
         recovered = payload ^ codeword
         return recovered[:self._length]
+
+    def recover_batch(self, noisy_responses: np.ndarray,
+                      helper: SketchData
+                      ) -> "tuple[np.ndarray, np.ndarray]":
+        """Recover a ``(B, response_length)`` batch of noisy readings.
+
+        Returns ``(recovered, ok)``; rows failing to decode are all-zero
+        with ``ok = False``.  Successful rows match :meth:`recover`
+        bit-for-bit.
+        """
+        batch = np.asarray(noisy_responses, dtype=np.uint8)
+        if batch.ndim != 2 or batch.shape[1] != self._length:
+            raise ValueError(
+                f"batch shape must be (B, {self._length})")
+        payload = as_bits(helper.payload, self._code.n)
+        padded = np.zeros((batch.shape[0], self._code.n), dtype=np.uint8)
+        padded[:, :self._length] = batch
+        shifted = padded ^ payload[None, :]
+        codewords, ok = self._code.decode_batch(shifted)
+        recovered = (payload[None, :] ^ codewords)[:, :self._length]
+        recovered[~ok] = 0
+        return recovered, ok
 
     def helper_for_response(self, response: np.ndarray,
                             seed: np.ndarray) -> SketchData:

@@ -1,0 +1,14 @@
+"""Fleet simulation: population-scale Monte-Carlo over batched oracles.
+
+Manufactures many IC samples from one seed and sweeps reliability,
+entropy and attack-success statistics across the population with
+chunked, vectorized execution.
+"""
+
+from repro.fleet.fleet import Fleet, FleetEnrollment, KeyGenFactory
+
+__all__ = [
+    "Fleet",
+    "FleetEnrollment",
+    "KeyGenFactory",
+]

@@ -1,0 +1,238 @@
+"""Multi-device fleets: manufacture, enroll and sweep IC populations.
+
+The paper's claims are population statements — failure rates, entropy
+and attack cost over *manufactured devices*, not over one lucky sample.
+A :class:`Fleet` manufactures many :class:`~repro.puf.ro_array.ROArray`
+instances from one experiment seed (independent child RNG streams, so
+device ``i`` is identical no matter how many siblings exist), enrolls a
+construction on each, and runs chunked Monte-Carlo sweeps through the
+batched oracle so population curves cost one vectorized pass per device
+instead of nested Python loops.
+
+Chunking bounds peak memory: a sweep over ``trials`` reconstructions
+materialises at most ``chunk × n`` measurement floats at a time,
+whatever the requested trial count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import RNGLike, spawn
+from repro.analysis.entropy import bit_bias, inter_device_distances
+from repro.core.batch_oracle import BatchOracle
+from repro.keygen.base import KeyGenerator, OperatingPoint
+from repro.puf.parameters import ROArrayParams
+from repro.puf.ro_array import ROArray
+
+#: Builds one device model per IC sample (constructions keep per-device
+#: sketch caches, so sharing one instance across a fleet is also fine).
+KeyGenFactory = Callable[[], KeyGenerator]
+
+
+@dataclass(frozen=True)
+class FleetEnrollment:
+    """Enrollment of one construction across a fleet.
+
+    Key lengths are device-dependent for the selection-based schemes,
+    so keys are kept as a list; :meth:`key_matrix` truncates to the
+    common prefix when a rectangular view is needed for entropy
+    statistics.
+    """
+
+    keygens: Tuple[KeyGenerator, ...]
+    helpers: Tuple[object, ...]
+    keys: Tuple[np.ndarray, ...]
+
+    def __len__(self) -> int:
+        return len(self.helpers)
+
+    @property
+    def key_bits(self) -> np.ndarray:
+        """Key length of every device."""
+        return np.array([key.size for key in self.keys])
+
+    def key_matrix(self) -> np.ndarray:
+        """Keys truncated to the fleet-wide minimum length."""
+        if not self.keys:
+            return np.zeros((0, 0), dtype=np.uint8)
+        width = int(min(key.size for key in self.keys))
+        return np.stack([key[:width] for key in self.keys]).astype(
+            np.uint8)
+
+    def uniqueness(self) -> float:
+        """Mean pairwise fractional Hamming distance (ideal: 0.5)."""
+        matrix = self.key_matrix()
+        if matrix.shape[0] < 2 or matrix.shape[1] == 0:
+            raise ValueError("need two devices with non-empty keys")
+        return float(np.mean(inter_device_distances(matrix)))
+
+    def bit_aliasing(self) -> np.ndarray:
+        """Per-position mean key bit across devices (ideal: 0.5)."""
+        matrix = self.key_matrix()
+        if matrix.shape[0] == 0:
+            raise ValueError("need at least one device")
+        return bit_bias(matrix)
+
+
+class Fleet:
+    """A population of manufactured IC samples.
+
+    Parameters
+    ----------
+    params:
+        Physical parameter set shared by the population.
+    size:
+        Number of manufactured devices.
+    seed:
+        Experiment seed; device streams are spawned children, so
+        results are reproducible and device ``i`` does not depend on
+        ``size``.
+    """
+
+    def __init__(self, params: ROArrayParams, size: int,
+                 seed: RNGLike = None):
+        if size < 1:
+            raise ValueError("a fleet needs at least one device")
+        self._params = params
+        self._arrays = [ROArray(params, rng=child)
+                        for child in spawn(seed, size)]
+
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[ROArray]) -> "Fleet":
+        """Wrap already-manufactured devices into a fleet."""
+        if not arrays:
+            raise ValueError("a fleet needs at least one device")
+        fleet = cls.__new__(cls)
+        fleet._params = arrays[0].params
+        fleet._arrays = list(arrays)
+        return fleet
+
+    @property
+    def params(self) -> ROArrayParams:
+        return self._params
+
+    @property
+    def devices(self) -> List[ROArray]:
+        return list(self._arrays)
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __iter__(self) -> Iterator[ROArray]:
+        return iter(self._arrays)
+
+    def __getitem__(self, index: int) -> ROArray:
+        return self._arrays[index]
+
+    # ------------------------------------------------------------------
+    # enrollment
+
+    def enroll(self, keygen_factory: KeyGenFactory,
+               seed: RNGLike = None) -> FleetEnrollment:
+        """Enroll one construction on every device.
+
+        Enrollment randomness is spawned per device from *seed*, so a
+        fleet enrollment is as reproducible as a single-device one.
+        """
+        keygens: List[KeyGenerator] = []
+        helpers: List[object] = []
+        keys: List[np.ndarray] = []
+        for array, child in zip(self._arrays,
+                                spawn(seed, len(self._arrays))):
+            keygen = keygen_factory()
+            helper, key = keygen.enroll(array, rng=child)
+            keygens.append(keygen)
+            helpers.append(helper)
+            keys.append(key)
+        return FleetEnrollment(tuple(keygens), tuple(helpers),
+                               tuple(keys))
+
+    def oracles(self, enrollment: FleetEnrollment,
+                op: OperatingPoint = OperatingPoint()
+                ) -> List[BatchOracle]:
+        """One batched failure oracle per enrolled device."""
+        return [BatchOracle(array, keygen, op=op)
+                for array, keygen in zip(self._arrays,
+                                         enrollment.keygens)]
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo sweeps
+
+    def failure_rates(self, enrollment: FleetEnrollment, trials: int,
+                      op: Optional[OperatingPoint] = None,
+                      helpers: Optional[Sequence[object]] = None,
+                      chunk: int = 1024) -> np.ndarray:
+        """Per-device key-regeneration failure rate over *trials*.
+
+        *helpers* overrides the enrolled helper data (e.g. a fleet-wide
+        manipulation under study); trials are executed in blocks of at
+        most *chunk* queries to bound memory.
+        """
+        if trials < 1:
+            raise ValueError("need at least one trial")
+        if chunk < 1:
+            raise ValueError("chunk must be positive")
+        if helpers is None:
+            helpers = enrollment.helpers
+        if len(helpers) != len(self._arrays):
+            raise ValueError("one helper per device required")
+        resolved = op if op is not None else OperatingPoint()
+        rates = np.empty(len(self._arrays))
+        for index, oracle in enumerate(self.oracles(enrollment,
+                                                    op=resolved)):
+            failures = 0
+            remaining = trials
+            while remaining > 0:
+                block = min(chunk, remaining)
+                outcomes = oracle.query_block(helpers[index], block)
+                failures += int(np.count_nonzero(~outcomes))
+                remaining -= block
+            rates[index] = failures / trials
+        return rates
+
+    def reliability_curve(self, enrollment: FleetEnrollment,
+                          temperatures: Sequence[float], trials: int,
+                          chunk: int = 1024) -> np.ndarray:
+        """Success rates over an environmental sweep.
+
+        Returns a ``(len(temperatures), len(fleet))`` matrix of key
+        regeneration success rates, each entry estimated from *trials*
+        batched reconstructions at that operating point.
+        """
+        curve = np.empty((len(temperatures), len(self._arrays)))
+        for row, temperature in enumerate(temperatures):
+            op = OperatingPoint(temperature=float(temperature))
+            curve[row] = 1.0 - self.failure_rates(
+                enrollment, trials, op=op, chunk=chunk)
+        return curve
+
+    def attack_success(self, enrollment: FleetEnrollment,
+                       attack_factory: Callable[
+                           [BatchOracle, KeyGenerator, object], object],
+                       op: OperatingPoint = OperatingPoint()
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run a full helper-data attack against every device.
+
+        *attack_factory(oracle, keygen, helper)* builds an attack
+        driver exposing ``run()`` with a ``key`` attribute on its
+        result.  Returns ``(recovered, queries)``: a boolean
+        key-recovery mask and the per-device oracle query bill.  The
+        drivers run their distinguishers through the batched oracle, so
+        a fleet-wide campaign stays one vectorized block per decision.
+        """
+        recovered = np.zeros(len(self._arrays), dtype=bool)
+        queries = np.zeros(len(self._arrays), dtype=np.int64)
+        oracles = self.oracles(enrollment, op=op)
+        for index, oracle in enumerate(oracles):
+            attack = attack_factory(oracle, enrollment.keygens[index],
+                                    enrollment.helpers[index])
+            result = attack.run()
+            key = getattr(result, "key", None)
+            recovered[index] = (key is not None and np.array_equal(
+                key, enrollment.keys[index]))
+            queries[index] = getattr(result, "queries", oracle.queries)
+        return recovered, queries

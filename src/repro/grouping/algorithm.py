@@ -21,7 +21,7 @@ secure ``"sorted"`` (by oscillator index) policy and the leaky
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import lgamma, log2
+from math import lgamma
 from typing import List, Sequence, Tuple
 
 import numpy as np

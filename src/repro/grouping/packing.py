@@ -11,7 +11,7 @@ non-uniformity remains; :func:`packing_loss_bits` quantifies it.
 from __future__ import annotations
 
 from math import factorial, log2
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

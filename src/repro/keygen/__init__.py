@@ -10,6 +10,12 @@ from repro.keygen.base import (
     fixed_code,
     key_check_digest,
 )
+from repro.keygen.batch import (
+    BatchEvaluator,
+    ConstantEvaluator,
+    ResponseBitEvaluator,
+    RowwiseBitEvaluator,
+)
 from repro.keygen.sequential import (
     SequentialKeyHelper,
     SequentialPairingKeyGen,
@@ -45,6 +51,10 @@ __all__ = [
     "blockwise_provider",
     "fixed_code",
     "key_check_digest",
+    "BatchEvaluator",
+    "ConstantEvaluator",
+    "ResponseBitEvaluator",
+    "RowwiseBitEvaluator",
     "SequentialKeyHelper",
     "SequentialPairingKeyGen",
     "TempAwareKeyGen",

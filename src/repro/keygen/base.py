@@ -15,7 +15,7 @@ from __future__ import annotations
 import abc
 import hashlib
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -113,7 +113,23 @@ class KeyGenerator(abc.ABC):
     def enroll(self, array: ROArray, rng: RNGLike = None):
         """One-time enrollment; returns ``(helper, key_bits)``."""
 
-    @abc.abstractmethod
+    def sketch_for(self, bits: int):
+        """The secure sketch protecting a *bits*-long response.
+
+        Built through the construction's code provider and cached per
+        response length: code design (field tables, generator
+        polynomial) is deterministic and was previously repeated on
+        every reconstruction, dominating the scalar hot path.
+        """
+        from repro.ecc.sketch import CodeOffsetSketch
+
+        cache = self.__dict__.setdefault("_sketch_cache", {})
+        sketch = cache.get(bits)
+        if sketch is None:
+            sketch = CodeOffsetSketch(self._code_provider(bits), bits)
+            cache[bits] = sketch
+        return sketch
+
     def reconstruct(self, array: ROArray, helper,
                     op: OperatingPoint = OperatingPoint()) -> np.ndarray:
         """Regenerate the key from a fresh noisy measurement.
@@ -121,6 +137,34 @@ class KeyGenerator(abc.ABC):
         Raises :class:`ReconstructionFailure` when the device observably
         fails (ECC failure or key-check mismatch).
         """
+        freqs = array.measure_frequencies(op.temperature, op.voltage)
+        return self.reconstruct_from_frequencies(array, freqs, helper,
+                                                 op)
+
+    @abc.abstractmethod
+    def reconstruct_from_frequencies(
+            self, array: ROArray, freqs: np.ndarray, helper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Regenerate the key from an already-taken measurement vector.
+
+        This is the measurement-free tail of :meth:`reconstruct`; the
+        batched simulation engine draws many measurement rows in one
+        vectorized pass and feeds them through this path (or through the
+        faster :meth:`batch_evaluator` when the scheme provides one).
+        """
+
+    def batch_evaluator(self, array: ROArray, helper,
+                        op: OperatingPoint = OperatingPoint()):
+        """Vectorized success evaluator for this helper, or ``None``.
+
+        Schemes with a vectorizable response-bit extraction return a
+        :class:`repro.keygen.batch.BatchEvaluator` mapping a ``(B, n)``
+        measurement batch to ``B`` success booleans, matching what
+        *B* sequential :meth:`reconstruct` calls on the same
+        measurements would observe.  ``None`` means callers must fall
+        back to row-wise :meth:`reconstruct_from_frequencies`.
+        """
+        return None
 
     def _finish(self, recovered_key: np.ndarray,
                 key_check: bytes) -> np.ndarray:

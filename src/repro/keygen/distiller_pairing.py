@@ -17,7 +17,8 @@ import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
 from repro.distiller.distiller import DistillerHelper, EntropyDistiller
-from repro.ecc.sketch import CodeOffsetSketch, SketchData
+from repro.ecc.base import DecodingFailure
+from repro.ecc.sketch import SketchData
 from repro.keygen.base import (
     CodeProvider,
     KeyGenerator,
@@ -26,7 +27,8 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
-from repro.pairing.base import Pair, response_bits
+from repro.keygen.batch import ConstantEvaluator, ResponseBitEvaluator
+from repro.pairing.base import Pair, response_bits, response_bits_batch
 from repro.pairing.masking import MaskingHelper, OneOutOfKMasking
 from repro.pairing.neighbor import neighbor_chain_pairs
 from repro.puf.measurement import enroll_frequencies
@@ -116,9 +118,6 @@ class DistillerPairingKeyGen(KeyGenerator):
             return self._masking.groups
         return len(self._pairs)
 
-    def sketch_for(self, bits: int) -> CodeOffsetSketch:
-        return CodeOffsetSketch(self._code_provider(bits), bits)
-
     # ------------------------------------------------------------------
 
     def _responses(self, residuals: np.ndarray,
@@ -151,10 +150,10 @@ class DistillerPairingKeyGen(KeyGenerator):
                                         key_check_digest(key))
         return helper, key
 
-    def reconstruct(self, array: ROArray,
-                    helper: DistillerPairingHelper,
-                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
-        freqs = array.measure_frequencies(op.temperature, op.voltage)
+    def reconstruct_from_frequencies(
+            self, array: ROArray, freqs: np.ndarray,
+            helper: DistillerPairingHelper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
         residuals = self._distiller.residuals(array.x, array.y, freqs,
                                               helper.distiller)
         try:
@@ -165,3 +164,51 @@ class DistillerPairingKeyGen(KeyGenerator):
         except ValueError as exc:
             raise ReconstructionFailure(str(exc)) from exc
         return self._finish(recovered, helper.key_check)
+
+    def batch_evaluator(self, array: ROArray,
+                        helper: DistillerPairingHelper,
+                        op: OperatingPoint = OperatingPoint()):
+        x, y = array.x, array.y
+        try:
+            if self._masking is not None:
+                if helper.masking is None:
+                    raise ValueError("masking mode requires masking "
+                                     "helper")
+                pairs = self._masking.selected_pairs(helper.masking)
+            else:
+                pairs = self._pairs
+            sketch = self.sketch_for(len(pairs))
+        except ValueError:
+            # Mismatched selection helper or unprovisionable length:
+            # every reconstruction fails observably.
+            return ConstantEvaluator(False)
+        distiller = self._distiller
+        distiller_helper = helper.distiller
+        sketch_data = helper.sketch
+        key_check = helper.key_check
+
+        def extract(freqs: np.ndarray) -> np.ndarray:
+            residuals = distiller.residuals_batch(x, y, freqs,
+                                                  distiller_helper)
+            return response_bits_batch(residuals, pairs)
+
+        def complete(bits: np.ndarray) -> bool:
+            try:
+                recovered = sketch.recover(bits, sketch_data)
+            except (ValueError, DecodingFailure):
+                return False
+            return key_check_digest(recovered) == key_check
+
+        def complete_batch(patterns: np.ndarray) -> np.ndarray:
+            try:
+                recovered, ok = sketch.recover_batch(patterns,
+                                                     sketch_data)
+            except ValueError:
+                # Malformed payload rejects every pattern alike.
+                return np.zeros(patterns.shape[0], dtype=bool)
+            good = np.flatnonzero(ok)
+            ok[good] = [key_check_digest(recovered[i]) == key_check
+                        for i in good]
+            return ok
+
+        return ResponseBitEvaluator(extract, complete, complete_batch)

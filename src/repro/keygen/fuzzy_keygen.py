@@ -17,6 +17,7 @@ from typing import Tuple
 import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
+from repro.ecc.base import DecodingFailure
 from repro.ecc.sketch import CodeOffsetSketch
 from repro.fuzzy.extractor import FuzzyExtractor, FuzzyExtractorHelper
 from repro.keygen.base import (
@@ -27,7 +28,8 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
-from repro.pairing.base import response_bits
+from repro.keygen.batch import ResponseBitEvaluator
+from repro.pairing.base import response_bits, response_bits_batch
 from repro.pairing.neighbor import neighbor_chain_pairs
 from repro.puf.measurement import enroll_frequencies
 from repro.puf.ro_array import ROArray
@@ -89,9 +91,10 @@ class FuzzyExtractorKeyGen(KeyGenerator):
         return FuzzyKeyHelper(extractor_helper,
                               key_check_digest(key)), key
 
-    def reconstruct(self, array: ROArray, helper: FuzzyKeyHelper,
-                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
-        freqs = array.measure_frequencies(op.temperature, op.voltage)
+    def reconstruct_from_frequencies(
+            self, array: ROArray, freqs: np.ndarray,
+            helper: FuzzyKeyHelper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
         response = response_bits(freqs, self._pairs)
         try:
             key = self._decode_or_fail(
@@ -100,3 +103,33 @@ class FuzzyExtractorKeyGen(KeyGenerator):
         except ValueError as exc:
             raise ReconstructionFailure(str(exc)) from exc
         return self._finish(key, helper.key_check)
+
+    def batch_evaluator(self, array: ROArray, helper: FuzzyKeyHelper,
+                        op: OperatingPoint = OperatingPoint()):
+        pairs = self._pairs
+        extractor = self._extractor
+        extractor_helper = helper.extractor
+        key_check = helper.key_check
+
+        def extract(freqs: np.ndarray) -> np.ndarray:
+            return response_bits_batch(freqs, pairs)
+
+        def complete(response: np.ndarray) -> bool:
+            try:
+                key = extractor.reproduce(response, extractor_helper)
+            except (ValueError, DecodingFailure):
+                return False
+            return key_check_digest(key) == key_check
+
+        def complete_batch(patterns: np.ndarray) -> np.ndarray:
+            try:
+                keys, ok = extractor.reproduce_batch(patterns,
+                                                     extractor_helper)
+            except ValueError:
+                return np.zeros(patterns.shape[0], dtype=bool)
+            good = np.flatnonzero(ok)
+            ok[good] = [key_check_digest(keys[i]) == key_check
+                        for i in good]
+            return ok
+
+        return ResponseBitEvaluator(extract, complete, complete_batch)

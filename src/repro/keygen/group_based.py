@@ -13,13 +13,15 @@ all of them at once to *reprogram* the device key.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from itertools import combinations
 from typing import List, Tuple
 
 import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
 from repro.distiller.distiller import DistillerHelper, EntropyDistiller
-from repro.ecc.sketch import CodeOffsetSketch, SketchData
+from repro.ecc.base import DecodingFailure
+from repro.ecc.sketch import SketchData
 from repro.grouping.algorithm import GroupingHelper, GroupingScheme
 from repro.grouping.kendall import (
     kendall_bit_count,
@@ -35,6 +37,7 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
+from repro.keygen.batch import ConstantEvaluator, ResponseBitEvaluator
 from repro.puf.measurement import enroll_frequencies
 from repro.puf.ro_array import ROArray
 
@@ -85,6 +88,35 @@ def kendall_stream(residuals: np.ndarray,
     return np.concatenate(chunks)
 
 
+def kendall_stream_batch(residuals: np.ndarray,
+                         grouping: GroupingHelper) -> np.ndarray:
+    """Kendall streams for a ``(B, n)`` residual batch, ``(B, bits)``.
+
+    Row ``i`` equals ``kendall_stream(residuals[i], grouping)``.  Per
+    group, the batch of descending-residual orders comes from one
+    stable axis-1 argsort; the discordance bit of label pair ``(x, y)``
+    is then just a rank comparison, so no per-row Python work remains.
+    """
+    residuals = np.asarray(residuals, dtype=float)
+    if residuals.ndim != 2:
+        raise ValueError("batch evaluation needs a (B, n) matrix")
+    chunks: List[np.ndarray] = []
+    for group in grouping.groups:
+        members = list(group)
+        if not members:
+            raise ValueError("empty group in helper data")
+        values = residuals[:, members]
+        order = np.argsort(-values, axis=1, kind="stable")
+        # rank[b, label] = position of the label in row b's order.
+        rank = np.argsort(order, axis=1, kind="stable")
+        size = len(members)
+        for x, y in combinations(range(size), 2):
+            chunks.append((rank[:, y] < rank[:, x]).astype(np.uint8))
+    if not chunks:
+        return np.zeros((residuals.shape[0], 0), dtype=np.uint8)
+    return np.stack(chunks, axis=1)
+
+
 class GroupBasedKeyGen(KeyGenerator):
     """Device model of the DATE 2013 group-based construction."""
 
@@ -109,10 +141,6 @@ class GroupBasedKeyGen(KeyGenerator):
     def grouping(self) -> GroupingScheme:
         return self._grouping
 
-    def sketch_for(self, bits: int) -> CodeOffsetSketch:
-        """Sketch protecting a *bits*-long Kendall stream."""
-        return CodeOffsetSketch(self._code_provider(bits), bits)
-
     # ------------------------------------------------------------------
 
     def enroll(self, array: ROArray, rng: RNGLike = None
@@ -133,9 +161,10 @@ class GroupBasedKeyGen(KeyGenerator):
                                      sketch_data, key_check_digest(key))
         return helper, key
 
-    def reconstruct(self, array: ROArray, helper: GroupBasedKeyHelper,
-                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
-        freqs = array.measure_frequencies(op.temperature, op.voltage)
+    def reconstruct_from_frequencies(
+            self, array: ROArray, freqs: np.ndarray,
+            helper: GroupBasedKeyHelper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
         residuals = self._distiller.residuals(array.x, array.y, freqs,
                                               helper.distiller)
         try:
@@ -149,3 +178,57 @@ class GroupBasedKeyGen(KeyGenerator):
             # Kendall word after mis-correction, bad group indices).
             raise ReconstructionFailure(str(exc)) from exc
         return self._finish(key, helper.key_check)
+
+    def batch_evaluator(self, array: ROArray,
+                        helper: GroupBasedKeyHelper,
+                        op: OperatingPoint = OperatingPoint()):
+        grouping = helper.grouping
+        try:
+            bits = sum(kendall_bit_count(len(g))
+                       for g in grouping.groups)
+            if any(len(g) == 0 for g in grouping.groups):
+                raise ValueError("empty group in helper data")
+            sketch = self.sketch_for(bits) if bits else None
+        except ValueError:
+            return ConstantEvaluator(False)
+        if sketch is None:
+            # A stream of zero bits cannot be provisioned; the scalar
+            # path fails on sketch construction for every query.
+            return ConstantEvaluator(False)
+        x, y = array.x, array.y
+        distiller = self._distiller
+        distiller_helper = helper.distiller
+        sketch_data = helper.sketch
+        key_check = helper.key_check
+        sizes = grouping.sizes
+
+        def extract(freqs: np.ndarray) -> np.ndarray:
+            residuals = distiller.residuals_batch(x, y, freqs,
+                                                  distiller_helper)
+            return kendall_stream_batch(residuals, grouping)
+
+        def complete(stream: np.ndarray) -> bool:
+            try:
+                corrected = sketch.recover(stream, sketch_data)
+                key = pack_key(corrected, sizes)
+            except (ValueError, DecodingFailure):
+                return False
+            return key_check_digest(key) == key_check
+
+        def complete_batch(patterns: np.ndarray) -> np.ndarray:
+            try:
+                corrected, ok = sketch.recover_batch(patterns,
+                                                     sketch_data)
+            except ValueError:
+                return np.zeros(patterns.shape[0], dtype=bool)
+            for i in np.flatnonzero(ok):
+                try:
+                    key = pack_key(corrected[i], sizes)
+                except ValueError:
+                    # Mis-corrected stream is not a valid Kendall word.
+                    ok[i] = False
+                    continue
+                ok[i] = key_check_digest(key) == key_check
+            return ok
+
+        return ResponseBitEvaluator(extract, complete, complete_batch)

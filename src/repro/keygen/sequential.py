@@ -14,7 +14,8 @@ from typing import Tuple
 import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
-from repro.ecc.sketch import CodeOffsetSketch, SketchData
+from repro.ecc.base import DecodingFailure
+from repro.ecc.sketch import SketchData
 from repro.keygen.base import (
     CodeProvider,
     KeyGenerator,
@@ -23,6 +24,8 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
+from repro.keygen.batch import ConstantEvaluator, ResponseBitEvaluator
+from repro.pairing.base import response_bits_batch, validate_pairs
 from repro.pairing.sequential import (
     SequentialPairing,
     SequentialPairingHelper,
@@ -65,10 +68,6 @@ class SequentialPairingKeyGen(KeyGenerator):
     def pairing(self) -> SequentialPairing:
         return self._pairing
 
-    def sketch_for(self, bits: int) -> CodeOffsetSketch:
-        """The sketch instance protecting a *bits*-long response."""
-        return CodeOffsetSketch(self._code_provider(bits), bits)
-
     def enroll(self, array: ROArray, rng: RNGLike = None
                ) -> Tuple[SequentialKeyHelper, np.ndarray]:
         gen = ensure_rng(rng)
@@ -84,9 +83,10 @@ class SequentialPairingKeyGen(KeyGenerator):
                                      key_check_digest(key))
         return helper, key
 
-    def reconstruct(self, array: ROArray, helper: SequentialKeyHelper,
-                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
-        freqs = array.measure_frequencies(op.temperature, op.voltage)
+    def reconstruct_from_frequencies(
+            self, array: ROArray, freqs: np.ndarray,
+            helper: SequentialKeyHelper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
         try:
             bits = self._pairing.evaluate(freqs, helper.pairing)
         except ValueError as exc:
@@ -96,3 +96,36 @@ class SequentialPairingKeyGen(KeyGenerator):
         recovered = self._decode_or_fail(
             lambda: sketch.recover(bits, helper.sketch))
         return self._finish(recovered, helper.key_check)
+
+    def batch_evaluator(self, array: ROArray,
+                        helper: SequentialKeyHelper,
+                        op: OperatingPoint = OperatingPoint()):
+        pairs = helper.pairing.pairs
+        try:
+            validate_pairs(pairs, array.n,
+                           allow_reuse=not self._pairing.enforce_disjoint)
+        except ValueError:
+            # Rejected pair list: every query fails observably.
+            return ConstantEvaluator(False)
+        sketch = self.sketch_for(len(pairs))
+        key_check = helper.key_check
+        sketch_data = helper.sketch
+
+        def extract(freqs: np.ndarray) -> np.ndarray:
+            return response_bits_batch(freqs, pairs)
+
+        def complete(bits: np.ndarray) -> bool:
+            try:
+                recovered = sketch.recover(bits, sketch_data)
+            except DecodingFailure:
+                return False
+            return key_check_digest(recovered) == key_check
+
+        def complete_batch(patterns: np.ndarray) -> np.ndarray:
+            recovered, ok = sketch.recover_batch(patterns, sketch_data)
+            good = np.flatnonzero(ok)
+            ok[good] = [key_check_digest(recovered[i]) == key_check
+                        for i in good]
+            return ok
+
+        return ResponseBitEvaluator(extract, complete, complete_batch)

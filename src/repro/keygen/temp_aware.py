@@ -15,7 +15,8 @@ from typing import Tuple
 import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
-from repro.ecc.sketch import CodeOffsetSketch, SketchData
+from repro.ecc.base import DecodingFailure
+from repro.ecc.sketch import SketchData
 from repro.keygen.base import (
     CodeProvider,
     KeyGenerator,
@@ -24,6 +25,7 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
+from repro.keygen.batch import ConstantEvaluator, RowwiseBitEvaluator
 from repro.pairing.temp_aware import TempAwareCooperative, TempAwareHelper
 from repro.puf.measurement import TemperatureSensor
 from repro.puf.ro_array import ROArray
@@ -60,9 +62,6 @@ class TempAwareKeyGen(KeyGenerator):
     def scheme(self) -> TempAwareCooperative:
         return self._scheme
 
-    def sketch_for(self, bits: int) -> CodeOffsetSketch:
-        return CodeOffsetSketch(self._code_provider(bits), bits)
-
     def enroll(self, array: ROArray, rng: RNGLike = None
                ) -> Tuple[TempAwareKeyHelper, np.ndarray]:
         gen = ensure_rng(rng)
@@ -75,12 +74,13 @@ class TempAwareKeyGen(KeyGenerator):
                                     key_check_digest(key))
         return helper, key
 
-    def reconstruct(self, array: ROArray, helper: TempAwareKeyHelper,
-                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+    def reconstruct_from_frequencies(
+            self, array: ROArray, freqs: np.ndarray,
+            helper: TempAwareKeyHelper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
         temperature = (op.temperature if op.temperature is not None
                        else array.params.temp_nominal)
         sensed = self._sensor.read(temperature)
-        freqs = array.measure_frequencies(temperature, op.voltage)
         try:
             bits = self._scheme.evaluate(freqs, helper.scheme, sensed)
         except ValueError as exc:
@@ -89,3 +89,37 @@ class TempAwareKeyGen(KeyGenerator):
         recovered = self._decode_or_fail(
             lambda: sketch.recover(bits, helper.sketch))
         return self._finish(recovered, helper.key_check)
+
+    def batch_evaluator(self, array: ROArray,
+                        helper: TempAwareKeyHelper,
+                        op: OperatingPoint = OperatingPoint()):
+        temperature = (op.temperature if op.temperature is not None
+                       else array.params.temp_nominal)
+        scheme = self._scheme
+        scheme_helper = helper.scheme
+        sensor = self._sensor
+        sensor_rng = ensure_rng(None)
+        bits = scheme_helper.bits
+        try:
+            sketch = self.sketch_for(bits)
+        except ValueError:
+            return ConstantEvaluator(False)
+        sketch_data = helper.sketch
+        key_check = helper.key_check
+
+        def extract_row(freqs_row: np.ndarray) -> np.ndarray:
+            # One fresh sensor read per query, as on the scalar path;
+            # the interval interpretation makes the response bits
+            # depend on the sensed value, so rows are evaluated
+            # individually (the decode is still deduplicated).
+            sensed = sensor.read(temperature, rng=sensor_rng)
+            return scheme.evaluate(freqs_row, scheme_helper, sensed)
+
+        def complete(bits_row: np.ndarray) -> bool:
+            try:
+                recovered = sketch.recover(bits_row, sketch_data)
+            except (ValueError, DecodingFailure):
+                return False
+            return key_check_digest(recovered) == key_check
+
+        return RowwiseBitEvaluator(extract_row, complete, bits)

@@ -23,7 +23,6 @@ bench ``bench_countermeasures.py`` quantifies what each check stops.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -146,24 +145,66 @@ class HardenedGroupBasedKeyGen(GroupBasedKeyGen):
         self._max_span = float(max_polynomial_span)
         self._tolerance = float(threshold_tolerance)
 
-    def reconstruct(self, array, helper: GroupBasedKeyHelper,
-                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+    def _validate(self, array, freqs,
+                  helper: GroupBasedKeyHelper) -> None:
         validate_distiller_amplitude(helper.distiller, self._rows,
                                      self._cols, self._max_span)
         validate_group_membership(helper.grouping, array.n)
-        freqs = array.measure_frequencies(op.temperature, op.voltage)
         residuals = self.distiller.residuals(array.x, array.y, freqs,
                                              helper.distiller)
         validate_group_thresholds(residuals, helper.grouping,
                                   self.grouping.threshold,
                                   self._tolerance)
-        return super().reconstruct(array, helper, op)
+
+    def reconstruct(self, array, helper: GroupBasedKeyHelper,
+                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        # Validation runs on its own measurement, as a real device
+        # would sanity-check incoming helper data before the actual
+        # regeneration readout; only the second readout regenerates.
+        freqs = array.measure_frequencies(op.temperature, op.voltage)
+        self._validate(array, freqs, helper)
+        regen = array.measure_frequencies(op.temperature, op.voltage)
+        return super().reconstruct_from_frequencies(array, regen,
+                                                    helper, op)
+
+    def reconstruct_from_frequencies(
+            self, array, freqs, helper: GroupBasedKeyHelper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        # Single-readout variant used by the batched fallback path:
+        # validation and regeneration share the one measurement, i.e.
+        # it models a device that sanity-checks the readout it is
+        # about to use.  Statistically close to, but not
+        # query-for-query identical with, the two-readout
+        # :meth:`reconstruct` — the batch engine's bitwise-equivalence
+        # guarantee therefore does not extend to this hardened model.
+        self._validate(array, freqs, helper)
+        return super().reconstruct_from_frequencies(array, freqs,
+                                                    helper, op)
+
+    def batch_evaluator(self, array, helper: GroupBasedKeyHelper,
+                        op: OperatingPoint = OperatingPoint()):
+        # The measured-threshold check depends on each query's own
+        # residuals, so the bit-level fast path would skip it; fall
+        # back to row-wise reconstruction.
+        return None
 
 
 class HardenedTempAwareKeyGen(TempAwareKeyGen):
     """Temperature-aware device that validates cooperation records."""
 
-    def reconstruct(self, array, helper: TempAwareKeyHelper,
-                    op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+    def reconstruct_from_frequencies(
+            self, array, freqs, helper: TempAwareKeyHelper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
         validate_cooperation_records(helper.scheme)
-        return super().reconstruct(array, helper, op)
+        return super().reconstruct_from_frequencies(array, freqs,
+                                                    helper, op)
+
+    def batch_evaluator(self, array, helper: TempAwareKeyHelper,
+                        op: OperatingPoint = OperatingPoint()):
+        try:
+            validate_cooperation_records(helper.scheme)
+        except HelperDataRejected:
+            from repro.keygen.batch import ConstantEvaluator
+
+            return ConstantEvaluator(False)
+        return super().batch_evaluator(array, helper, op)

@@ -10,7 +10,9 @@ from repro.pairing.base import (
     Pair,
     orient_pairs,
     pair_deltas,
+    pair_index_arrays,
     response_bits,
+    response_bits_batch,
     validate_pairs,
 )
 from repro.pairing.neighbor import neighbor_chain_pairs, snake_order
@@ -35,7 +37,9 @@ __all__ = [
     "Pair",
     "orient_pairs",
     "pair_deltas",
+    "pair_index_arrays",
     "response_bits",
+    "response_bits_batch",
     "validate_pairs",
     "neighbor_chain_pairs",
     "snake_order",

@@ -45,6 +45,22 @@ def validate_pairs(pairs: Sequence[Pair], n: int,
     return result
 
 
+def pair_index_arrays(pairs: Sequence[Pair]) -> Tuple[np.ndarray,
+                                                      np.ndarray]:
+    """Split a pair list into fancy-index vectors ``(a, b)``.
+
+    The vectors drive batched comparator evaluation: for a frequency
+    matrix ``F`` of shape ``(B, n)``, ``F[:, a] >= F[:, b]`` yields all
+    ``B`` response-bit vectors in one NumPy pass.
+    """
+    if len(pairs) == 0:
+        empty = np.zeros(0, dtype=np.intp)
+        return empty, empty.copy()
+    arr = np.asarray([(int(a), int(b)) for a, b in pairs],
+                     dtype=np.intp)
+    return arr[:, 0], arr[:, 1]
+
+
 def response_bits(frequencies: np.ndarray,
                   pairs: Sequence[Pair]) -> np.ndarray:
     """Comparator response bit of every pair: ``1`` iff ``f_a > f_b``.
@@ -53,17 +69,30 @@ def response_bits(frequencies: np.ndarray,
     resolve to ``1``, matching :func:`repro.puf.compare_counts`.
     """
     freqs = np.asarray(frequencies, dtype=float)
-    bits = np.empty(len(pairs), dtype=np.uint8)
-    for idx, (a, b) in enumerate(pairs):
-        bits[idx] = 1 if freqs[a] >= freqs[b] else 0
-    return bits
+    a, b = pair_index_arrays(pairs)
+    return (freqs[a] >= freqs[b]).astype(np.uint8)
+
+
+def response_bits_batch(frequencies: np.ndarray,
+                        pairs: Sequence[Pair]) -> np.ndarray:
+    """Response bits of every pair for a ``(B, n)`` measurement batch.
+
+    Row ``i`` equals ``response_bits(frequencies[i], pairs)``; the whole
+    ``(B, len(pairs))`` matrix is produced by one vectorized comparison.
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    if freqs.ndim != 2:
+        raise ValueError("batch evaluation needs a (B, n) matrix")
+    a, b = pair_index_arrays(pairs)
+    return (freqs[:, a] >= freqs[:, b]).astype(np.uint8)
 
 
 def pair_deltas(frequencies: np.ndarray,
                 pairs: Sequence[Pair]) -> np.ndarray:
     """Signed frequency discrepancies ``f_a - f_b`` of every pair."""
     freqs = np.asarray(frequencies, dtype=float)
-    return np.array([freqs[a] - freqs[b] for a, b in pairs])
+    a, b = pair_index_arrays(pairs)
+    return freqs[a] - freqs[b]
 
 
 def orient_pairs(pairs: Iterable[Pair], frequencies: np.ndarray,

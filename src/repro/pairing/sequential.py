@@ -29,6 +29,7 @@ from repro.pairing.base import (
     Pair,
     orient_pairs,
     response_bits,
+    response_bits_batch,
     validate_pairs,
 )
 
@@ -136,6 +137,10 @@ class SequentialPairing:
     def storage_order(self) -> str:
         return self._storage_order
 
+    @property
+    def enforce_disjoint(self) -> bool:
+        return self._enforce_disjoint
+
     def enroll(self, frequencies: np.ndarray, rng: RNGLike = None
                ) -> Tuple[SequentialPairingHelper, np.ndarray]:
         """Run Algorithm 1 and store pairs under the configured policy.
@@ -159,3 +164,17 @@ class SequentialPairing:
         validate_pairs(helper.pairs, n,
                        allow_reuse=not self._enforce_disjoint)
         return response_bits(frequencies, helper.pairs)
+
+    def evaluate_batch(self, frequencies: np.ndarray,
+                       helper: SequentialPairingHelper) -> np.ndarray:
+        """Response bits for a ``(B, n)`` measurement batch.
+
+        Helper-data validation runs once for the whole batch; row ``i``
+        of the result equals ``evaluate(frequencies[i], helper)``.
+        """
+        freqs = np.asarray(frequencies, dtype=float)
+        if freqs.ndim != 2:
+            raise ValueError("batch evaluation needs a (B, n) matrix")
+        validate_pairs(helper.pairs, freqs.shape[1],
+                       allow_reuse=not self._enforce_disjoint)
+        return response_bits_batch(freqs, helper.pairs)

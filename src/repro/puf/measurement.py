@@ -64,6 +64,14 @@ class FrequencyCounter:
         return self.counts(array.measure_frequencies(
             temperature, voltage, rng=rng))
 
+    def measure_batch(self, array: ROArray, samples: int,
+                      temperature: Optional[float] = None,
+                      voltage: Optional[float] = None,
+                      rng: RNGLike = None) -> np.ndarray:
+        """*samples* quantised measurements, ``(samples, n)`` counts."""
+        return self.counts(array.measure_frequencies_batch(
+            samples, temperature, voltage, rng=rng))
+
 
 def compare_counts(count_a: int, count_b: int,
                    tie_value: int = 1) -> int:
@@ -95,12 +103,15 @@ def enroll_frequencies(array: ROArray, samples: int = 9,
     if samples < 1:
         raise ValueError("need at least one enrollment sample")
     gen = ensure_rng(rng) if rng is not None else None
+    freqs = array.measure_frequencies_batch(samples, temperature,
+                                            voltage, rng=gen)
+    if counter is not None:
+        freqs = counter.estimate(counter.counts(freqs))
+    # Accumulate row by row: pairwise (np.sum) rounding would perturb
+    # enrollment relative to the historical per-sample loop.
     acc = np.zeros(array.n)
-    for _ in range(samples):
-        freqs = array.measure_frequencies(temperature, voltage, rng=gen)
-        if counter is not None:
-            freqs = counter.estimate(counter.counts(freqs))
-        acc += freqs
+    for row in freqs:
+        acc += row
     return acc / samples
 
 
@@ -120,3 +131,12 @@ class TemperatureSensor:
         """One sensor read-out (°C) at the given ambient temperature."""
         gen = ensure_rng(rng)
         return true_temperature + self.bias + gen.normal(scale=self.sigma)
+
+    def read_batch(self, true_temperature: float, count: int,
+                   rng: RNGLike = None) -> np.ndarray:
+        """*count* independent sensor read-outs (°C), one per query."""
+        if count < 1:
+            raise ValueError("need at least one sensor read")
+        gen = ensure_rng(rng)
+        return (true_temperature + self.bias
+                + gen.normal(scale=self.sigma, size=count))

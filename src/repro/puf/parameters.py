@@ -10,7 +10,7 @@ by the temperature-aware cooperative construction (paper Fig. 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

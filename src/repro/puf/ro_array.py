@@ -142,6 +142,24 @@ class ROArray:
         base = base * (1.0 + p.voltage_coeff * (voltage - p.v_nominal))
         return base - self._slopes * (temperature - p.temp_nominal)
 
+    def measurement_noise(self, count: Optional[int] = None,
+                          rng: RNGLike = None) -> np.ndarray:
+        """Measurement-noise draws from the device's noise stream (Hz).
+
+        Returns a length-``n`` vector when *count* is ``None``, else a
+        ``(count, n)`` matrix of independent rows.  Because NumPy fills
+        any output shape element-by-element from the same bit stream, a
+        single ``(count, n)`` draw consumes the stream exactly like
+        *count* successive per-measurement draws — the property the
+        batched oracle relies on for query-for-query equivalence with
+        sequential simulation.  Noise is additive and operating-point
+        independent, so rows drawn ahead of time remain valid for any
+        later choice of temperature and voltage.
+        """
+        gen = self._noise_rng if rng is None else ensure_rng(rng)
+        size = self.n if count is None else (int(count), self.n)
+        return gen.normal(scale=self._params.sigma_noise, size=size)
+
     def measure_frequencies(self, temperature: Optional[float] = None,
                             voltage: Optional[float] = None,
                             rng: RNGLike = None) -> np.ndarray:
@@ -150,9 +168,24 @@ class ROArray:
         Noise is drawn from *rng* when given, otherwise from the device's
         internal noise stream — fresh on every call.
         """
-        gen = self._noise_rng if rng is None else ensure_rng(rng)
-        noise = gen.normal(scale=self._params.sigma_noise, size=self.n)
+        noise = self.measurement_noise(rng=rng)
         return self.true_frequencies(temperature, voltage) + noise
+
+    def measure_frequencies_batch(self, count: int,
+                                  temperature: Optional[float] = None,
+                                  voltage: Optional[float] = None,
+                                  rng: RNGLike = None) -> np.ndarray:
+        """*count* noisy measurements of every oscillator, ``(count, n)``.
+
+        Row ``i`` is bitwise-identical to what the ``i``-th sequential
+        :meth:`measure_frequencies` call would have returned from the
+        same stream state — one vectorized draw instead of a Python
+        loop.
+        """
+        if count < 1:
+            raise ValueError("need at least one measurement")
+        return (self.true_frequencies(temperature, voltage)[None, :]
+                + self.measurement_noise(count, rng=rng))
 
     def frequency_map(self, temperature: Optional[float] = None,
                       voltage: Optional[float] = None) -> np.ndarray:

@@ -27,7 +27,7 @@ MSB-first into ``ceil(n / 8)`` bytes (``numpy.packbits`` convention).
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -13,7 +13,6 @@ from repro.keygen import (
     GroupBasedKeyGen,
     bch_provider,
 )
-from repro.puf import ROArray, ROArrayParams
 
 
 class TestDistillerAttackEdges:

@@ -16,7 +16,6 @@ from repro.keygen import (
     SequentialPairingKeyGen,
     TempAwareKeyGen,
 )
-from repro.puf import ROArray, ROArrayParams
 
 
 class TestSequentialAttack:
@@ -171,8 +170,6 @@ class TestGroupBasedAttack:
     def test_single_comparison_matches_residual_order(self, setup,
                                                       small_array):
         oracle, keygen, helper, _ = setup
-        from repro.puf.measurement import enroll_frequencies
-
         attack = GroupBasedAttack(oracle, keygen, helper, 4, 10)
         freqs = small_array.true_frequencies()
         residuals = keygen.distiller.residuals(

@@ -1,0 +1,150 @@
+"""Block-mode distinguishers must reproduce sequential decisions.
+
+The comparer, the arg-min selector and the SPRT all dispatch to
+vectorized block paths when handed a ``BatchOracle``; these tests drive
+twin devices through both paths and assert identical decisions, query
+counts and post-decision oracle state.
+"""
+
+import numpy as np
+
+from repro.core import (
+    BatchOracle,
+    HelperDataOracle,
+    SequentialPairingAttack,
+    SPRTDistinguisher,
+)
+from repro.core.framework import FailureRateComparer, select_hypothesis
+from repro.core.injection import flip_orientations
+from repro.keygen import SequentialPairingKeyGen
+from repro.puf import ROArray, ROArrayParams
+
+PARAMS = ROArrayParams(rows=8, cols=16, sigma_noise=300e3)
+
+
+def build(seed, enroll_seed=1, threshold=250e3):
+    seq_array = ROArray(PARAMS, rng=seed)
+    batch_array = ROArray(PARAMS, rng=seed)
+    keygen = SequentialPairingKeyGen(threshold=threshold)
+    helper_seq, key = keygen.enroll(seq_array, rng=enroll_seed)
+    helper_batch, _ = keygen.enroll(batch_array, rng=enroll_seed)
+    return (HelperDataOracle(seq_array, keygen),
+            BatchOracle(batch_array, keygen), keygen, helper_seq,
+            helper_batch, key)
+
+
+def manipulations(keygen, helper, key):
+    """Reference/test helper pairs spanning the decision regimes."""
+    t = keygen.sketch_for(key.size).code.t
+    injected = flip_orientations(helper.pairing,
+                                 list(range(2, 2 + t - 1)))
+    unequal = next(j for j in range(1, key.size)
+                   if key[j] != key[0]
+                   and j not in range(2, 2 + t - 1))
+    equal = next(j for j in range(1, key.size)
+                 if key[j] == key[0] and j not in range(2, 2 + t - 1))
+    reference = helper.with_pairing(injected)
+    wrong = helper.with_pairing(
+        injected.with_swapped_positions(0, unequal))
+    same = helper.with_pairing(
+        injected.with_swapped_positions(0, equal))
+    return reference, wrong, same
+
+
+class TestBlockedComparer:
+    def test_decisions_and_counts_match(self):
+        for seed in range(4):
+            seq_oracle, batch_oracle, keygen, h_seq, h_batch, key = \
+                build(100 + seed)
+            ref_s, wrong_s, same_s = manipulations(keygen, h_seq, key)
+            ref_b, wrong_b, same_b = manipulations(keygen, h_batch,
+                                                   key)
+            comparer = FailureRateComparer(max_queries_per_side=40)
+            for seq_pair, batch_pair in (
+                    ((ref_s, wrong_s), (ref_b, wrong_b)),
+                    ((ref_s, same_s), (ref_b, same_b)),
+                    ((wrong_s, ref_s), (wrong_b, ref_b))):
+                expected = comparer.compare(seq_oracle, *seq_pair)
+                observed = comparer.compare(batch_oracle, *batch_pair)
+                assert expected == observed
+            assert seq_oracle.queries == batch_oracle.queries
+
+    def test_budget_exhaustion_matches(self):
+        seq_oracle, batch_oracle, keygen, h_seq, h_batch, key = \
+            build(300)
+        # Identical helpers on both sides: no separation, the budget
+        # runs out and the z-test resolves to a tie on both paths.
+        comparer = FailureRateComparer(max_queries_per_side=17,
+                                       identical_stop=None)
+        expected = comparer.compare(seq_oracle, h_seq, h_seq)
+        observed = comparer.compare(batch_oracle, h_batch, h_batch)
+        assert expected == observed
+        assert expected.decision == "tie"
+        assert expected.samples == 17
+
+
+class TestBlockedSelectHypothesis:
+    def test_selection_matches(self):
+        seq_oracle, batch_oracle, keygen, h_seq, h_batch, key = \
+            build(200)
+        ref_s, wrong_s, _ = manipulations(keygen, h_seq, key)
+        ref_b, wrong_b, _ = manipulations(keygen, h_batch, key)
+        for early_stop in (True, False):
+            expected = select_hypothesis(
+                seq_oracle, {"eq": ref_s, "neq": wrong_s},
+                queries_per_hypothesis=8, early_stop=early_stop)
+            observed = select_hypothesis(
+                batch_oracle, {"eq": ref_b, "neq": wrong_b},
+                queries_per_hypothesis=8, early_stop=early_stop)
+            assert expected.label == observed.label
+            assert expected.queries == observed.queries
+            assert expected.rates == observed.rates
+
+
+class TestBlockedSPRT:
+    def test_walk_matches_bitwise(self):
+        seq_oracle, batch_oracle, keygen, h_seq, h_batch, key = \
+            build(400)
+        ref_s, wrong_s, same_s = manipulations(keygen, h_seq, key)
+        ref_b, wrong_b, same_b = manipulations(keygen, h_batch, key)
+        sprt = SPRTDistinguisher(0.05, 0.95, max_queries=60)
+        for helper_s, helper_b in ((wrong_s, wrong_b),
+                                   (same_s, same_b),
+                                   (ref_s, ref_b)):
+            expected = sprt.test(seq_oracle, helper_s)
+            observed = sprt.test(batch_oracle, helper_b)
+            assert expected == observed
+        assert seq_oracle.queries == batch_oracle.queries
+
+    def test_calibration_matches(self):
+        seq_oracle, batch_oracle, keygen, h_seq, h_batch, key = \
+            build(500)
+        ref_s, wrong_s, _ = manipulations(keygen, h_seq, key)
+        ref_b, wrong_b, _ = manipulations(keygen, h_batch, key)
+        expected = SPRTDistinguisher.calibrate(seq_oracle, ref_s,
+                                               wrong_s, queries=30)
+        observed = SPRTDistinguisher.calibrate(batch_oracle, ref_b,
+                                               wrong_b, queries=30)
+        assert expected.p_low == observed.p_low
+        assert expected.p_high == observed.p_high
+        assert seq_oracle.queries == batch_oracle.queries == 60
+
+
+class TestFullAttackEquivalence:
+    def test_attack_matches_end_to_end(self):
+        for method in ("paired", "sprt"):
+            seq_oracle, batch_oracle, keygen, h_seq, h_batch, key = \
+                build(600, threshold=300e3)
+            t = keygen.sketch_for(key.size).code.t
+            expected = SequentialPairingAttack(
+                seq_oracle, keygen, h_seq,
+                injected_errors=t - 1).run(method=method)
+            observed = SequentialPairingAttack(
+                batch_oracle, keygen, h_batch,
+                injected_errors=t - 1).run(method=method)
+            np.testing.assert_array_equal(expected.relations,
+                                          observed.relations)
+            assert expected.queries == observed.queries
+            assert expected.key is not None
+            np.testing.assert_array_equal(expected.key, observed.key)
+            np.testing.assert_array_equal(expected.key, key)

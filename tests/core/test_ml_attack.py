@@ -16,7 +16,6 @@ import pytest
 from repro.core import HelperDataOracle, SequentialPairingAttack
 from repro.ecc import BlockwiseCode, ReedMullerCode
 from repro.keygen import SequentialPairingKeyGen
-from repro.puf import ROArray, ROArrayParams
 
 
 def rm_provider(bits):

@@ -9,7 +9,6 @@ from repro.core import (
     SPRTDistinguisher,
 )
 from repro.keygen import SequentialPairingKeyGen
-from repro.puf import ROArray, ROArrayParams
 
 
 class FakeOracle:

@@ -1,0 +1,124 @@
+"""Batch ECC decode and sketch recovery must mirror the scalar paths."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.base import DecodingFailure
+from repro.ecc.bch import BCHCode, design_bch
+from repro.ecc.sketch import CodeOffsetSketch, SyndromeSketch
+from repro.fuzzy.extractor import FuzzyExtractor
+
+
+def corrupted_batch(code, rng, count=60, max_errors=None):
+    """Codewords carrying 0..max_errors random bit errors each."""
+    if max_errors is None:
+        max_errors = code.t + 2
+    words = np.empty((count, code.n), dtype=np.uint8)
+    for i in range(count):
+        codeword = code.encode(
+            rng.integers(0, 2, size=code.k).astype(np.uint8))
+        flips = rng.choice(code.n, size=int(rng.integers(
+            0, max_errors + 1)), replace=False)
+        codeword[flips] ^= 1
+        words[i] = codeword
+    return words
+
+
+class TestBCHDecodeBatch:
+    @pytest.fixture
+    def code(self):
+        return design_bch(60, 3)
+
+    def test_matches_scalar_decode(self, code):
+        rng = np.random.default_rng(0)
+        words = corrupted_batch(code, rng)
+        decoded, ok = code.decode_batch(words)
+        for i, word in enumerate(words):
+            try:
+                expected = code.decode(word)
+            except DecodingFailure:
+                assert not ok[i]
+                assert not decoded[i].any()
+            else:
+                assert ok[i]
+                np.testing.assert_array_equal(expected, decoded[i])
+
+    def test_batch_syndromes_match_scalar(self, code):
+        rng = np.random.default_rng(1)
+        words = corrupted_batch(code, rng, count=20)
+        batch = code.syndromes_batch(words)
+        for i, word in enumerate(words):
+            full = np.zeros(code._full_n, dtype=np.uint8)
+            full[:code.n] = word
+            assert batch[i].tolist() == code._syndromes(full)
+
+    def test_shape_validation(self, code):
+        with pytest.raises(ValueError):
+            code.decode_batch(np.zeros((4, code.n + 1), dtype=np.uint8))
+
+    def test_unshortened_code(self):
+        code = BCHCode(5, 2)
+        rng = np.random.default_rng(2)
+        words = corrupted_batch(code, rng, count=30)
+        decoded, ok = code.decode_batch(words)
+        assert ok.any() and (~ok).any()
+
+
+class TestSketchRecoverBatch:
+    def test_code_offset_matches_scalar(self):
+        code = design_bch(40, 2)
+        sketch = CodeOffsetSketch(code, 40)
+        rng = np.random.default_rng(3)
+        response = rng.integers(0, 2, size=40).astype(np.uint8)
+        helper = sketch.generate(response, rng)
+        batch = np.tile(response, (50, 1))
+        for i in range(50):
+            flips = rng.choice(40, size=int(rng.integers(0, 5)),
+                               replace=False)
+            batch[i, flips] ^= 1
+        recovered, ok = sketch.recover_batch(batch, helper)
+        for i in range(50):
+            try:
+                expected = sketch.recover(batch[i], helper)
+            except DecodingFailure:
+                assert not ok[i]
+            else:
+                assert ok[i]
+                np.testing.assert_array_equal(expected, recovered[i])
+
+    def test_syndrome_sketch_uses_fallback(self):
+        code = BCHCode(6, 3)
+        sketch = SyndromeSketch(code, 30)
+        rng = np.random.default_rng(4)
+        response = rng.integers(0, 2, size=30).astype(np.uint8)
+        helper = sketch.generate(response)
+        batch = np.tile(response, (8, 1))
+        batch[3, :5] ^= 1
+        batch[5, 2] ^= 1
+        recovered, ok = sketch.recover_batch(batch, helper)
+        assert ok[0] and ok[5]
+        np.testing.assert_array_equal(recovered[5], response)
+
+
+class TestFuzzyReproduceBatch:
+    def test_matches_scalar_reproduce(self):
+        code = design_bch(40, 3)
+        sketch = CodeOffsetSketch(code, 40)
+        extractor = FuzzyExtractor(sketch, 16)
+        rng = np.random.default_rng(5)
+        response = rng.integers(0, 2, size=40).astype(np.uint8)
+        key, helper = extractor.generate(response, rng)
+        batch = np.tile(response, (40, 1))
+        for i in range(40):
+            flips = rng.choice(40, size=int(rng.integers(0, 6)),
+                               replace=False)
+            batch[i, flips] ^= 1
+        keys, ok = extractor.reproduce_batch(batch, helper)
+        for i in range(40):
+            try:
+                expected = extractor.reproduce(batch[i], helper)
+            except DecodingFailure:
+                assert not ok[i]
+            else:
+                assert ok[i]
+                np.testing.assert_array_equal(expected, keys[i])

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.ecc import BCHCode, DecodingFailure, design_bch
-from repro.ecc.gf2m import poly_degree
 
 
 class TestParameters:

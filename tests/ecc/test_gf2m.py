@@ -9,7 +9,6 @@ from repro.ecc.gf2m import (
     bits_to_poly,
     poly_degree,
     poly_divmod,
-    poly_mod,
     poly_mul,
     poly_to_bits,
 )

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.ecc import (
-    BCHCode,
     CodeOffsetSketch,
     DecodingFailure,
     SketchData,

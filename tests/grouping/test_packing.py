@@ -1,7 +1,7 @@
 """Tests for entropy packing (paper §V-E)."""
 
 from itertools import permutations
-from math import factorial, log2
+from math import log2
 
 import numpy as np
 import pytest

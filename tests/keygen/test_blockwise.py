@@ -12,7 +12,6 @@ from repro.keygen import (
     SequentialPairingKeyGen,
     blockwise_provider,
 )
-from repro.puf import ROArray, ROArrayParams
 
 
 class TestBlockwiseProvider:

@@ -18,7 +18,6 @@ from repro.keygen import (
     validate_group_thresholds,
 )
 from repro.grouping import GroupingHelper
-from repro.puf import ROArray, ROArrayParams
 
 
 class TestDistillerAmplitudeCheck:

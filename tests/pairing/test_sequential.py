@@ -6,7 +6,6 @@ import pytest
 from repro.pairing import (
     SequentialPairing,
     SequentialPairingHelper,
-    response_bits,
     run_sequential_pairing,
 )
 

@@ -4,13 +4,11 @@ import numpy as np
 import pytest
 
 from repro.pairing import (
-    AssistantSelectionError,
     PairClass,
     TempAwareCooperative,
     classify_pair,
     deterministic_selection_leakage,
 )
-from repro.puf import ROArray, ROArrayParams
 
 
 class TestClassification:

@@ -7,7 +7,6 @@ from repro.puf import (
     CounterParams,
     FrequencyCounter,
     ROArray,
-    ROArrayParams,
     TemperatureSensor,
     compare_counts,
     enroll_frequencies,

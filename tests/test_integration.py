@@ -1,7 +1,6 @@
 """Cross-module integration tests: the paper's storyline end to end."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     bit_bias,

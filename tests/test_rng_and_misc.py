@@ -6,9 +6,7 @@ import pytest
 from repro._rng import ensure_rng, spawn
 from repro.analysis import empirical_bit_error_rate
 from repro.core.injection import injected_values, symmetric_quadratic
-from repro.grouping import GroupingScheme
 from repro.keygen import GroupBasedKeyGen
-from repro.puf import ROArray, ROArrayParams
 
 
 class TestEnsureRng:
