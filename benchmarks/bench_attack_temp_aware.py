@@ -10,20 +10,31 @@ reports two free lunches the construction hands out:
 * a deterministic assistant-selection procedure leaks
   ``r_skipped != r_selected`` for every scanned-and-skipped candidate —
   with zero device queries (paper §IV-D).
+
+The engine section times the vectorized temperature-aware batch path —
+sensor reads, interval interpretation and cooperative assistance in
+one NumPy pass per block — against the scalar per-query loop on twin
+devices, asserting the outcomes match query for query (seeded sensor
+streams make the construction's per-read sensor noise reproducible).
 """
+
+import time
 
 import numpy as np
 
 from _report import record, table
 
-from repro.core import BatchOracle, TempAwareAttack
-from repro.keygen import TempAwareKeyGen
+from repro.core import BatchOracle, HelperDataOracle, TempAwareAttack
+from repro.core.injection import break_inversions
+from repro.keygen import OperatingPoint, TempAwareKeyGen
 from repro.pairing import TempAwareCooperative, \
     deterministic_selection_leakage
 from repro.puf import ROArray, ROArrayParams
 
 DEVICES = 3
 QUICK_DEVICES = 1
+BATCH_QUERIES = 400
+QUICK_BATCH_QUERIES = 60
 
 
 def run_experiment(devices=DEVICES):
@@ -70,6 +81,46 @@ def run_experiment(devices=DEVICES):
                   len(det_helper.cooperation))
 
 
+def run_batch_vs_scalar(queries=BATCH_QUERIES):
+    """Time the batched temp-aware path against the scalar loop.
+
+    Twin devices, twin keygens with a shared sensor seed, an attack
+    temperature inside a crossover interval (so assistance is
+    exercised) and error injection at the ECC boundary (so decodes
+    matter): the engineered §VI-B regime.  Returns timings plus the
+    two outcome vectors for the in-bench equivalence assertion.
+    """
+    params = ROArrayParams(rows=8, cols=16, temp_slope_sigma=8e3)
+    seq_array, batch_array = (ROArray(params, rng=321),
+                              ROArray(params, rng=321))
+    make_keygen = lambda: TempAwareKeyGen(  # noqa: E731
+        t_min=-10, t_max=80, threshold=150e3, sensor_seed=77)
+    seq_keygen, batch_keygen = make_keygen(), make_keygen()
+    seq_helper, key = seq_keygen.enroll(seq_array, rng=5)
+    batch_helper, _ = batch_keygen.enroll(batch_array, rng=5)
+
+    entry = seq_helper.scheme.cooperation[0]
+    temperature = 0.5 * (entry.t_low + entry.t_high)
+    injected = seq_keygen.sketch_for(key.size).code.t
+    seq_target = seq_helper.with_scheme(break_inversions(
+        seq_helper.scheme, temperature, injected))
+    batch_target = batch_helper.with_scheme(break_inversions(
+        batch_helper.scheme, temperature, injected))
+    op = OperatingPoint(temperature=temperature)
+
+    scalar_oracle = HelperDataOracle(seq_array, seq_keygen)
+    start = time.perf_counter()
+    expected = np.array([scalar_oracle.query(seq_target, op)
+                         for _ in range(queries)])
+    scalar_s = time.perf_counter() - start
+
+    batch_oracle = BatchOracle(batch_array, batch_keygen)
+    start = time.perf_counter()
+    observed = batch_oracle.query_block(batch_target, queries, op)
+    batch_s = time.perf_counter() - start
+    return expected, observed, scalar_s, batch_s
+
+
 def test_attack_temp_aware(benchmark, quick):
     devices = QUICK_DEVICES if quick else DEVICES
     rows, leak_stats = benchmark.pedantic(run_experiment,
@@ -88,3 +139,18 @@ def test_attack_temp_aware(benchmark, quick):
     for row in rows:
         assert row[2] == "100%" and row[3] == "100%"
     assert n_leaks > 0 and n_correct == n_leaks
+
+    queries = QUICK_BATCH_QUERIES if quick else BATCH_QUERIES
+    expected, observed, scalar_s, batch_s = run_batch_vs_scalar(queries)
+    assert np.array_equal(expected, observed), \
+        "temp-aware batch path diverged from the scalar evaluator"
+    speedup = scalar_s / batch_s if batch_s > 0 else float("inf")
+    record("E7 — temp-aware batch path vs scalar evaluator "
+           f"({queries} queries, identical outcomes)",
+           [f"scalar loop: {scalar_s * 1e3:.1f} ms",
+            f"batched path: {batch_s * 1e3:.1f} ms",
+            f"speedup: {speedup:.1f}x"])
+    if not quick:
+        # Regression canary only; the vectorized path is typically
+        # far above this floor.
+        assert speedup >= 5.0

@@ -7,6 +7,11 @@ manipulation.  A slice of the workload is re-run through the scalar
 per-query loop on twin devices to (a) assert the block path is
 query-for-query identical and (b) record the measured speedup — the
 engine's reason to exist.
+
+The parallel section repeats one sweep with ``workers`` in {1, 2, 4}
+on identically-seeded fleets and asserts the three result vectors are
+bitwise-identical (the engine's worker-count-invariance contract),
+recording per-worker-count wall time.
 """
 
 import time
@@ -27,6 +32,7 @@ TRIALS = 400
 QUICK_DEVICES = 3
 QUICK_TRIALS = 40
 CHECK_TRIALS = 400
+WORKER_COUNTS = (1, 2, 4)
 
 
 def keygen_factory():
@@ -80,16 +86,37 @@ def run_experiment(devices=DEVICES, trials=TRIALS):
     assert np.array_equal(expected, observed), \
         "fleet block path diverged from the scalar oracle"
 
+    # Parallel section: one sweep per worker count on twin fleets.
+    # Bitwise identity across worker counts is the engine's contract.
+    parallel_times = []
+    parallel_results = []
+    for workers in WORKER_COUNTS:
+        par_fleet = Fleet(PARAMS, size=devices, seed=4242)
+        par_enrollment = par_fleet.enroll(keygen_factory, seed=7)
+        par_helpers = boundary_helpers(par_enrollment)
+        start = time.perf_counter()
+        rates = par_fleet.failure_rates(par_enrollment, trials,
+                                        helpers=par_helpers,
+                                        chunk=256, workers=workers)
+        parallel_times.append(time.perf_counter() - start)
+        parallel_results.append(rates)
+    for rates in parallel_results[1:]:
+        assert np.array_equal(parallel_results[0], rates), \
+            "workers=N diverged from the sequential fleet sweep"
+
     stats = (enrollment.uniqueness(), enroll_s, sweep_s, scalar_s,
              batch_s)
-    return nominal, boundary, enrollment.key_bits, stats
+    return nominal, boundary, enrollment.key_bits, stats, \
+        parallel_times
 
 
 def test_fleet_scale(benchmark, quick):
     devices = QUICK_DEVICES if quick else DEVICES
     trials = QUICK_TRIALS if quick else TRIALS
-    nominal, boundary, key_bits, stats = benchmark.pedantic(
-        run_experiment, args=(devices, trials), rounds=1, iterations=1)
+    nominal, boundary, key_bits, stats, parallel_times = \
+        benchmark.pedantic(
+            run_experiment, args=(devices, trials), rounds=1,
+            iterations=1)
     uniqueness, enroll_s, sweep_s, scalar_s, batch_s = stats
     throughput = 2 * devices * trials / sweep_s
     rows = [(i, int(key_bits[i]), f"{nominal[i]:.3f}",
@@ -109,6 +136,11 @@ def test_fleet_scale(benchmark, quick):
             f"batched oracle (identical results): "
             f"{batch_s * 1e3:.1f} ms",
             f"speedup: {speedup:.1f}x"])
+    record("E16 — parallel sweep (bitwise-identical across workers)",
+           [f"workers={workers}: {elapsed:.2f} s "
+            f"({devices * trials / elapsed:,.0f} reconstructions/s)"
+            for workers, elapsed in zip(WORKER_COUNTS,
+                                        parallel_times)])
     # One error past the correction budget: near-certain failure on
     # every device.
     assert np.all(boundary >= nominal)

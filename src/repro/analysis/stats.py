@@ -78,6 +78,7 @@ class SummaryStats:
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "SummaryStats":
+        """Summary statistics of a sample sequence (NaNs when empty)."""
         arr = np.asarray(list(samples), dtype=float)
         if arr.size == 0:
             return cls(float("nan"), float("nan"), float("nan"),
@@ -86,6 +87,7 @@ class SummaryStats:
                    float(arr.min()), float(arr.max()), int(arr.size))
 
     def as_row(self) -> Dict[str, float]:
+        """The statistics as a ``{name: value}`` report row."""
         return {"mean": self.mean, "std": self.std, "min": self.minimum,
                 "max": self.maximum, "n": self.count}
 

@@ -15,6 +15,11 @@ Subcommands
 ``analyze``
     Population entropy/uniqueness/reliability statistics for a device
     family.
+``fleet``
+    Manufacture a device population and run a chunked Monte-Carlo
+    failure-rate sweep, optionally split across a process pool
+    (``--workers N``); results are bitwise-identical for every worker
+    count.
 
 Examples::
 
@@ -23,12 +28,15 @@ Examples::
     python -m repro.cli attack group-based --rows 4 --cols 10
     python -m repro.cli classify --threshold 150e3
     python -m repro.cli analyze --devices 8
+    python -m repro.cli fleet --devices 32 --trials 500 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -52,6 +60,7 @@ from repro.keygen import (
     SequentialPairingKeyGen,
     TempAwareKeyGen,
 )
+from repro.fleet import Fleet
 from repro.pairing import PairClass, TempAwareCooperative
 from repro.puf import ROArray, ROArrayParams
 from repro._rng import spawn
@@ -95,6 +104,22 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--cols", type=int, default=10)
     analyze.add_argument("--devices", type=int, default=8)
     analyze.add_argument("--seed", type=int, default=0)
+
+    fleet = sub.add_parser(
+        "fleet", help="population Monte-Carlo failure-rate sweep")
+    fleet.add_argument("--rows", type=int, default=8)
+    fleet.add_argument("--cols", type=int, default=16)
+    fleet.add_argument("--devices", type=int, default=16)
+    fleet.add_argument("--trials", type=int, default=200)
+    fleet.add_argument("--threshold", type=float, default=300e3)
+    fleet.add_argument("--chunk", type=int, default=512,
+                       help="trial block size (memory bound)")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="process-pool width; 0 = one per CPU "
+                            "(results are identical for every value)")
+    fleet.add_argument("--temperature", type=float, default=None,
+                       help="operating temperature of the sweep (°C)")
+    fleet.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -208,6 +233,41 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.keygen.base import OperatingPoint
+
+    params = ROArrayParams(rows=args.rows, cols=args.cols)
+    # One user-facing seed, two independent purposes: split it so the
+    # enrollment streams can never collide with the manufacturing
+    # streams (identical seeds spawn identical children).
+    manufacture_rng, enroll_rng = spawn(args.seed, 2)
+    fleet = Fleet(params, size=args.devices, seed=manufacture_rng)
+    # functools.partial keeps the factory picklable for --workers > 1.
+    factory = functools.partial(SequentialPairingKeyGen,
+                                threshold=args.threshold)
+    enrollment = fleet.enroll(factory, seed=enroll_rng,
+                              workers=args.workers)
+    op = (OperatingPoint(temperature=args.temperature)
+          if args.temperature is not None else None)
+    start = time.perf_counter()
+    rates = fleet.failure_rates(enrollment, trials=args.trials, op=op,
+                                chunk=args.chunk, workers=args.workers)
+    elapsed = time.perf_counter() - start
+    throughput = args.devices * args.trials / elapsed if elapsed else 0
+    print(f"fleet {args.devices} devices "
+          f"({args.rows}x{args.cols}, seed {args.seed}), "
+          f"{args.trials} trials/device, workers={args.workers}")
+    print(f"  key bits (min/max)  : {enrollment.key_bits.min()}/"
+          f"{enrollment.key_bits.max()}")
+    print(f"  key uniqueness      : {enrollment.uniqueness():.3f} "
+          f"(ideal 0.5)")
+    print(f"  P(fail) mean/max    : {rates.mean():.4f} / "
+          f"{rates.max():.4f}")
+    print(f"  sweep time          : {elapsed:.2f} s "
+          f"({throughput:,.0f} reconstructions/s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -219,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_attack(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     raise AssertionError("unreachable")
 
 

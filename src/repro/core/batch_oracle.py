@@ -30,8 +30,9 @@ unchanged — handing them a :class:`BatchOracle` silently upgrades every
 distinguisher to the block path.
 
 The bitwise guarantee covers every scheme whose reconstruction takes
-one measurement per query (all standard constructions; temp-aware
-modulo its inherently fresh sensor noise).  The hardened group-based
+one measurement per query (all standard constructions; for temp-aware
+the per-query sensor reads are stream-exact too, so twin runs sharing
+a ``sensor_seed`` match bitwise).  The hardened group-based
 model draws a *separate* validation readout on the scalar path and is
 only statistically equivalent here — see
 :class:`repro.keygen.validation.HardenedGroupBasedKeyGen`.
@@ -98,17 +99,21 @@ class BatchOracle:
 
     @property
     def default_op(self) -> OperatingPoint:
+        """Operating point used when a query does not specify one."""
         return self._op
 
     @property
     def array(self) -> ROArray:
+        """The simulated device whose noise stream feeds the oracle."""
         return self._array
 
     @property
     def keygen(self) -> KeyGenerator:
+        """The device model evaluating reconstruction attempts."""
         return self._keygen
 
     def reset_query_count(self) -> None:
+        """Zero the query counter; buffered noise rows are kept."""
         self._queries = 0
 
     def query(self, helper, op: Optional[OperatingPoint] = None) -> bool:

@@ -51,10 +51,12 @@ class ComparisonOutcome:
 
     @property
     def rate_a(self) -> float:
+        """Empirical failure rate of helper ``a``."""
         return self.failures_a / self.samples if self.samples else 0.0
 
     @property
     def rate_b(self) -> float:
+        """Empirical failure rate of helper ``b``."""
         return self.failures_b / self.samples if self.samples else 0.0
 
 

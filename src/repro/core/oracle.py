@@ -43,9 +43,11 @@ class HelperDataOracle:
 
     @property
     def default_op(self) -> OperatingPoint:
+        """Operating point used when a query does not specify one."""
         return self._op
 
     def reset_query_count(self) -> None:
+        """Zero the query counter."""
         self._queries = 0
 
     def query(self, helper, op: Optional[OperatingPoint] = None) -> bool:

@@ -115,6 +115,7 @@ class SequentialPairingAttack:
 
     @property
     def injected_errors(self) -> int:
+        """Deterministic error count injected per comparison."""
         return self._injected
 
     def _injection_positions(self, target: int) -> List[int]:

@@ -81,10 +81,12 @@ class SPRTDistinguisher:
 
     @property
     def p_low(self) -> float:
+        """Hypothesised failure rate of the lower-rate model."""
         return self._p_low
 
     @property
     def p_high(self) -> float:
+        """Hypothesised failure rate of the higher-rate model."""
         return self._p_high
 
     @classmethod

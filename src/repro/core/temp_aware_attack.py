@@ -20,10 +20,11 @@ the masking good pairs' bits fall into the same components for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.batch_oracle import BatchOracle
 from repro.core.framework import ComparisonOutcome, FailureRateComparer
 from repro.core.injection import break_inversions
 from repro.core.oracle import HelperDataOracle
@@ -62,6 +63,7 @@ class ParityUnionFind:
         return True
 
     def relation(self, a: int, b: int) -> Optional[int]:
+        """``r_a XOR r_b`` when linked, else ``None``."""
         root_a, par_a = self.find(a)
         root_b, par_b = self.find(b)
         if root_a != root_b:
@@ -69,6 +71,7 @@ class ParityUnionFind:
         return par_a ^ par_b
 
     def same_component(self, a: int, b: int) -> bool:
+        """Whether *a* and *b* share a connected component."""
         return self.find(a)[0] == self.find(b)[0]
 
 
@@ -92,6 +95,7 @@ class TempAwareAttackResult:
 
     @property
     def resolved_fraction(self) -> float:
+        """Fraction of cooperating pairs with a recovered relation."""
         total = self.coop_relations.shape[0]
         if total == 0:
             return 1.0
@@ -99,9 +103,20 @@ class TempAwareAttackResult:
 
 
 class TempAwareAttack:
-    """Drives the §VI-B attack against an oracle-wrapped device."""
+    """Drives the §VI-B attack against an oracle-wrapped device.
 
-    def __init__(self, oracle: HelperDataOracle, keygen: TempAwareKeyGen,
+    The canonical oracle is a :class:`~repro.core.batch_oracle.
+    BatchOracle`: every failure-rate comparison then evaluates its
+    paired queries in vectorized blocks (with the temperature-aware
+    batch evaluator doing sensor reads, interval interpretation and
+    assistance in NumPy), while decisions and query counts stay
+    bitwise-identical to scalar simulation.  A scalar
+    :class:`~repro.core.oracle.HelperDataOracle` is still accepted and
+    drives the same comparisons one query at a time.
+    """
+
+    def __init__(self, oracle: Union[BatchOracle, HelperDataOracle],
+                 keygen: TempAwareKeyGen,
                  helper: TempAwareKeyHelper,
                  comparer: Optional[FailureRateComparer] = None,
                  injected_errors: Optional[int] = None,

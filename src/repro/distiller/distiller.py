@@ -49,6 +49,7 @@ class DistillerHelper:
 
     @property
     def polynomial(self) -> Polynomial2D:
+        """The stored coefficients as a callable 2-D polynomial."""
         return Polynomial2D(self.degree, self.coefficients)
 
     def with_polynomial(self, polynomial: Polynomial2D
@@ -77,6 +78,7 @@ class EntropyDistiller:
 
     @property
     def degree(self) -> int:
+        """Degree of the fitted 2-D polynomial surface."""
         return self._degree
 
     def enroll(self, x: np.ndarray, y: np.ndarray,

@@ -78,14 +78,17 @@ class BCHCode(BlockCode):
 
     @property
     def n(self) -> int:
+        """Code length in bits (after shortening)."""
         return self._full_n - self._shorten
 
     @property
     def k(self) -> int:
+        """Number of data bits."""
         return self._full_k - self._shorten
 
     @property
     def t(self) -> int:
+        """Guaranteed error-correction radius in bits."""
         return self._t
 
     @property
@@ -244,6 +247,7 @@ class BCHCode(BlockCode):
         return positions
 
     def decode(self, received: np.ndarray) -> np.ndarray:
+        """Decode an ``(n,)`` word; raises past ``t`` errors."""
         received = as_bits(received, self.n)
         # Re-extend the shortened word with the implicit zero bits.
         full = np.zeros(self._full_n, dtype=np.uint8)

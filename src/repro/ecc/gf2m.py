@@ -140,6 +140,7 @@ class GF2m:
 
     @property
     def m(self) -> int:
+        """Extension degree: the field has ``2^m`` elements."""
         return self._m
 
     @property

@@ -49,10 +49,12 @@ class ReedMullerCode(BlockCode):
 
     @property
     def n(self) -> int:
+        """Code length ``2^m`` in bits."""
         return self._n
 
     @property
     def k(self) -> int:
+        """Number of data bits (``m + 1``, first order)."""
         return self._m + 1
 
     @property
@@ -62,6 +64,7 @@ class ReedMullerCode(BlockCode):
 
     @property
     def m(self) -> int:
+        """Number of Boolean variables of the code."""
         return self._m
 
     @property
@@ -70,6 +73,7 @@ class ReedMullerCode(BlockCode):
         return False
 
     def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode ``(k,)`` data bits into an ``(n,)`` codeword."""
         message = as_bits(message, self.k)
         return (message @ self._generator % 2).astype(np.uint8)
 

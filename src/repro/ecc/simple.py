@@ -30,23 +30,29 @@ class TrivialCode(BlockCode):
 
     @property
     def n(self) -> int:
+        """Code length in bits."""
         return self._k
 
     @property
     def k(self) -> int:
+        """Number of data bits (equal to ``n``)."""
         return self._k
 
     @property
     def t(self) -> int:
+        """Error-correction radius: zero."""
         return 0
 
     def encode(self, message: np.ndarray) -> np.ndarray:
+        """Identity encoding of ``(k,)`` data bits."""
         return as_bits(message, self._k).copy()
 
     def decode(self, received: np.ndarray) -> np.ndarray:
+        """Identity decode: every ``(n,)`` word is a codeword."""
         return as_bits(received, self._k).copy()
 
     def extract(self, codeword: np.ndarray) -> np.ndarray:
+        """Identity extraction of the data bits."""
         return as_bits(codeword, self._k).copy()
 
 
@@ -64,26 +70,32 @@ class RepetitionCode(BlockCode):
 
     @property
     def n(self) -> int:
+        """Code length in bits (the repetition count)."""
         return self._n
 
     @property
     def k(self) -> int:
+        """Number of data bits: one."""
         return 1
 
     @property
     def t(self) -> int:
+        """Error-correction radius ``(n - 1) // 2``."""
         return (self._n - 1) // 2
 
     def encode(self, message: np.ndarray) -> np.ndarray:
+        """Repeat the single data bit ``n`` times."""
         message = as_bits(message, 1)
         return np.full(self._n, message[0], dtype=np.uint8)
 
     def decode(self, received: np.ndarray) -> np.ndarray:
+        """Majority-vote decode of an ``(n,)`` word."""
         received = as_bits(received, self._n)
         majority = 1 if int(received.sum()) * 2 > self._n else 0
         return np.full(self._n, majority, dtype=np.uint8)
 
     def extract(self, codeword: np.ndarray) -> np.ndarray:
+        """Read the data bit back from a codeword."""
         codeword = as_bits(codeword, self._n)
         return codeword[:1].copy()
 
@@ -109,17 +121,21 @@ class HammingCode(BlockCode):
 
     @property
     def n(self) -> int:
+        """Code length ``2^r - 1`` in bits."""
         return self._n
 
     @property
     def k(self) -> int:
+        """Number of data bits ``n - r``."""
         return self._n - self._r
 
     @property
     def t(self) -> int:
+        """Error-correction radius: one."""
         return 1
 
     def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode ``(k,)`` data bits into an ``(n,)`` codeword."""
         message = as_bits(message, self.k)
         word = np.zeros(self._n + 1, dtype=np.uint8)  # 1-based
         for value, position in zip(message, self._data_positions):
@@ -140,6 +156,7 @@ class HammingCode(BlockCode):
         return syndrome
 
     def decode(self, received: np.ndarray) -> np.ndarray:
+        """Syndrome decode correcting up to one bit error."""
         received = as_bits(received, self._n)
         corrected = received.copy()
         syndrome = self._syndrome(corrected)
@@ -151,6 +168,7 @@ class HammingCode(BlockCode):
         return corrected
 
     def extract(self, codeword: np.ndarray) -> np.ndarray:
+        """Extract the ``(k,)`` data bits from a codeword."""
         codeword = as_bits(codeword, self._n)
         return np.array([codeword[p - 1] for p in self._data_positions],
                         dtype=np.uint8)
@@ -175,29 +193,36 @@ class BlockwiseCode(BlockCode):
 
     @property
     def inner(self) -> BlockCode:
+        """The per-block inner code."""
         return self._inner
 
     @property
     def blocks(self) -> int:
+        """Number of independently decoded blocks."""
         return self._blocks
 
     @property
     def bounded_distance(self) -> bool:
+        """Inherited from the inner code."""
         return self._inner.bounded_distance
 
     @property
     def n(self) -> int:
+        """Total code length (inner ``n`` times ``blocks``)."""
         return self._inner.n * self._blocks
 
     @property
     def k(self) -> int:
+        """Total data bits (inner ``k`` times ``blocks``)."""
         return self._inner.k * self._blocks
 
     @property
     def t(self) -> int:
+        """Per-block error-correction radius."""
         return self._inner.t
 
     def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode block-by-block through the inner code."""
         message = as_bits(message, self.k)
         pieces = [self._inner.encode(chunk)
                   for chunk in message.reshape(self._blocks,
@@ -205,6 +230,7 @@ class BlockwiseCode(BlockCode):
         return np.concatenate(pieces)
 
     def decode(self, received: np.ndarray) -> np.ndarray:
+        """Per-block decode; any block failure fails the word."""
         received = as_bits(received, self.n)
         pieces = [self._inner.decode(chunk)
                   for chunk in received.reshape(self._blocks,
@@ -212,6 +238,7 @@ class BlockwiseCode(BlockCode):
         return np.concatenate(pieces)
 
     def extract(self, codeword: np.ndarray) -> np.ndarray:
+        """Concatenate the per-block data bits."""
         codeword = as_bits(codeword, self.n)
         pieces = [self._inner.extract(chunk)
                   for chunk in codeword.reshape(self._blocks,

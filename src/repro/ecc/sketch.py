@@ -120,14 +120,17 @@ class CodeOffsetSketch(SecureSketch):
 
     @property
     def code(self) -> BlockCode:
+        """The underlying block code."""
         return self._code
 
     @property
     def response_length(self) -> int:
+        """Length of the protected response in bits."""
         return self._length
 
     @property
     def helper_length(self) -> int:
+        """Helper payload length: the full code length ``n``."""
         return self._code.n
 
     def _pad(self, response: np.ndarray) -> np.ndarray:
@@ -138,6 +141,7 @@ class CodeOffsetSketch(SecureSketch):
 
     def generate(self, response: np.ndarray,
                  rng: RNGLike = None) -> SketchData:
+        """Helper ``pad(w) XOR C(s)`` for a random seed ``s``."""
         gen = ensure_rng(rng)
         seed = gen.integers(0, 2, size=self._code.k).astype(np.uint8)
         codeword = self._code.encode(seed)
@@ -145,6 +149,7 @@ class CodeOffsetSketch(SecureSketch):
 
     def recover(self, noisy_response: np.ndarray,
                 helper: SketchData) -> np.ndarray:
+        """Decode ``pad(w') XOR h`` back to the response."""
         payload = as_bits(helper.payload, self._code.n)
         shifted = self._pad(noisy_response) ^ payload
         codeword = self._code.decode(shifted)
@@ -208,14 +213,17 @@ class SyndromeSketch(SecureSketch):
 
     @property
     def code(self) -> BCHCode:
+        """The underlying BCH code."""
         return self._code
 
     @property
     def response_length(self) -> int:
+        """Length of the protected response in bits."""
         return self._length
 
     @property
     def helper_length(self) -> int:
+        """Helper payload length: ``2 t m`` syndrome bits."""
         return 2 * self._code.t * self._code.m
 
     # -- serialisation ---------------------------------------------------
@@ -252,10 +260,12 @@ class SyndromeSketch(SecureSketch):
                  rng: RNGLike = None) -> SketchData:
         # The construction is deterministic; *rng* accepted for interface
         # uniformity.
+        """Helper data: the serialised response syndromes."""
         return SketchData(self._serialise(self._syndromes(response)))
 
     def recover(self, noisy_response: np.ndarray,
                 helper: SketchData) -> np.ndarray:
+        """Decode the syndrome difference to recover the response."""
         reference = self._deserialise(helper.payload)
         observed = self._syndromes(noisy_response)
         difference = [a ^ b for a, b in zip(observed, reference)]

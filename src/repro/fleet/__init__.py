@@ -2,13 +2,33 @@
 
 Manufactures many IC samples from one seed and sweeps reliability,
 entropy and attack-success statistics across the population with
-chunked, vectorized execution.
+chunked, vectorized execution — optionally split across a process pool
+(``workers=N``) with shared-memory result buffers and bitwise
+worker-count-invariant results (see ``docs/fleet.md``).
 """
 
-from repro.fleet.fleet import Fleet, FleetEnrollment, KeyGenFactory
+from repro.fleet.fleet import (
+    AttackFactory,
+    Fleet,
+    FleetEnrollment,
+    KeyGenFactory,
+)
+from repro.fleet.parallel import (
+    SharedResultBuffer,
+    chunk_indices,
+    resolve_workers,
+    run_collected,
+    run_scattered,
+)
 
 __all__ = [
+    "AttackFactory",
     "Fleet",
     "FleetEnrollment",
     "KeyGenFactory",
+    "SharedResultBuffer",
+    "chunk_indices",
+    "resolve_workers",
+    "run_collected",
+    "run_scattered",
 ]

@@ -9,28 +9,55 @@ construction on each, and runs chunked Monte-Carlo sweeps through the
 batched oracle so population curves cost one vectorized pass per device
 instead of nested Python loops.
 
-Chunking bounds peak memory: a sweep over ``trials`` reconstructions
-materialises at most ``chunk × n`` measurement floats at a time,
-whatever the requested trial count.
+Two knobs bound resources and scale the sweeps:
+
+* ``chunk`` bounds peak memory: a sweep over ``trials`` reconstructions
+  materialises at most ``chunk × n`` measurement floats at a time,
+  whatever the requested trial count.
+* ``workers`` splits the device population across a process pool with
+  shared-memory result buffers (see :mod:`repro.fleet.parallel`).
+
+Sweeps follow a strict seeding discipline — population seed → per-sweep
+device substreams, all derived in the parent before any dispatch — so a
+sweep's results are **bitwise-identical for every worker count and
+chunk size**, and sweeps never consume the devices' own internal noise
+streams.  ``docs/fleet.md`` spells out the contract.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
-from repro._rng import RNGLike, spawn
+from repro._rng import RNGLike, ensure_rng, spawn
 from repro.analysis.entropy import bit_bias, inter_device_distances
 from repro.core.batch_oracle import BatchOracle
+from repro.fleet.parallel import run_collected, run_scattered
 from repro.keygen.base import KeyGenerator, OperatingPoint
 from repro.puf.parameters import ROArrayParams
 from repro.puf.ro_array import ROArray
 
-#: Builds one device model per IC sample (constructions keep per-device
-#: sketch caches, so sharing one instance across a fleet is also fine).
+#: Builds one device model per IC sample.  The factory must construct
+#: a fresh ``KeyGenerator`` on every call (a class or
+#: ``functools.partial`` does): the resulting enrollment then holds
+#: one independent keygen per device.  A factory returning a pre-built
+#: shared instance is not supported — deep copy treats the factory
+#: closure as atomic, so ``workers=1`` would alias that instance
+#: across all devices while ``workers > 1`` would copy it per chunk.
 KeyGenFactory = Callable[[], KeyGenerator]
+
+#: Builds one attack driver per device; must be picklable (a
+#: module-level callable) when sweeps run with ``workers > 1``.
+AttackFactory = Callable[[BatchOracle, KeyGenerator, object], object]
 
 
 @dataclass(frozen=True)
@@ -56,7 +83,10 @@ class FleetEnrollment:
         return np.array([key.size for key in self.keys])
 
     def key_matrix(self) -> np.ndarray:
-        """Keys truncated to the fleet-wide minimum length."""
+        """Keys truncated to the fleet-wide minimum length.
+
+        Returns a ``(devices, min_bits)`` uint8 matrix.
+        """
         if not self.keys:
             return np.zeros((0, 0), dtype=np.uint8)
         width = int(min(key.size for key in self.keys))
@@ -78,6 +108,82 @@ class FleetEnrollment:
         return bit_bias(matrix)
 
 
+# ----------------------------------------------------------------------
+# per-device jobs (module level so the process pool can pickle them)
+
+
+@dataclass
+class _EnrollJob:
+    """One device's enrollment work order."""
+
+    array: ROArray
+    factory: KeyGenFactory
+    stream: np.random.Generator
+
+
+def _enroll_job(job: _EnrollJob) -> Tuple[KeyGenerator, object,
+                                          np.ndarray]:
+    """Enroll one device; returns ``(keygen, helper, key)``."""
+    keygen = job.factory()
+    helper, key = keygen.enroll(job.array, rng=job.stream)
+    return keygen, helper, key
+
+
+@dataclass
+class _FailureRateJob:
+    """One device's share of a failure-rate sweep."""
+
+    array: ROArray
+    keygen: KeyGenerator
+    helper: object
+    op: OperatingPoint
+    trials: int
+    chunk: int
+    stream: np.random.Generator
+    transient: np.random.Generator
+
+
+def _failure_rate_job(job: _FailureRateJob) -> Tuple[float]:
+    """Estimate one device's failure rate over ``job.trials``."""
+    job.keygen.reseed_transient_streams(job.transient)
+    oracle = BatchOracle(job.array, job.keygen, op=job.op,
+                         rng=job.stream)
+    failures = 0
+    remaining = job.trials
+    while remaining > 0:
+        block = min(job.chunk, remaining)
+        outcomes = oracle.query_block(job.helper, block)
+        failures += int(np.count_nonzero(~outcomes))
+        remaining -= block
+    return (failures / job.trials,)
+
+
+@dataclass
+class _AttackJob:
+    """One device's share of an attack campaign."""
+
+    array: ROArray
+    keygen: KeyGenerator
+    helper: object
+    key: np.ndarray
+    op: OperatingPoint
+    attack_factory: AttackFactory
+    stream: np.random.Generator
+    transient: np.random.Generator
+
+
+def _attack_job(job: _AttackJob) -> Tuple[bool, int]:
+    """Run one attack driver; returns ``(recovered, queries)``."""
+    job.keygen.reseed_transient_streams(job.transient)
+    oracle = BatchOracle(job.array, job.keygen, op=job.op,
+                         rng=job.stream)
+    attack = job.attack_factory(oracle, job.keygen, job.helper)
+    result = attack.run()
+    key = getattr(result, "key", None)
+    recovered = key is not None and bool(np.array_equal(key, job.key))
+    return recovered, int(getattr(result, "queries", oracle.queries))
+
+
 class Fleet:
     """A population of manufactured IC samples.
 
@@ -88,9 +194,11 @@ class Fleet:
     size:
         Number of manufactured devices.
     seed:
-        Experiment seed; device streams are spawned children, so
+        Experiment seed.  Device streams are spawned children, so
         results are reproducible and device ``i`` does not depend on
-        ``size``.
+        ``size``; sweep noise substreams are spawned from the same
+        root, so successive sweeps are reproducible given the seed and
+        the call order.
     """
 
     def __init__(self, params: ROArrayParams, size: int,
@@ -98,25 +206,36 @@ class Fleet:
         if size < 1:
             raise ValueError("a fleet needs at least one device")
         self._params = params
+        self._root = ensure_rng(seed)
         self._arrays = [ROArray(params, rng=child)
-                        for child in spawn(seed, size)]
+                        for child in self._root.spawn(size)]
 
     @classmethod
-    def from_arrays(cls, arrays: Sequence[ROArray]) -> "Fleet":
-        """Wrap already-manufactured devices into a fleet."""
+    def from_arrays(cls, arrays: Sequence[ROArray],
+                    seed: RNGLike = None) -> "Fleet":
+        """Wrap already-manufactured devices into a fleet.
+
+        *seed* feeds the sweep-substream root; omit it for fresh
+        unpredictable sweep noise (results remain worker-count
+        invariant within each sweep, but are not reproducible across
+        runs).
+        """
         if not arrays:
             raise ValueError("a fleet needs at least one device")
         fleet = cls.__new__(cls)
         fleet._params = arrays[0].params
+        fleet._root = ensure_rng(seed)
         fleet._arrays = list(arrays)
         return fleet
 
     @property
     def params(self) -> ROArrayParams:
+        """Physical parameter set shared by the population."""
         return self._params
 
     @property
     def devices(self) -> List[ROArray]:
+        """The manufactured device models, in fleet order."""
         return list(self._arrays)
 
     def __len__(self) -> int:
@@ -128,33 +247,56 @@ class Fleet:
     def __getitem__(self, index: int) -> ROArray:
         return self._arrays[index]
 
+    def _sweep_streams(self) -> List[Tuple[np.random.Generator,
+                                           np.random.Generator]]:
+        """Fresh per-device ``(noise, transient)`` sweep substreams.
+
+        Two substreams per device: one feeds the oracle's measurement
+        noise, the other re-seeds the keygen's transient per-query
+        randomness (e.g. the temperature-aware sensor stream), so
+        successive sweeps draw independent sensor noise too.  All
+        substreams are spawned from the population root in the parent
+        process, *before* any dispatch: stream identity is therefore a
+        function of (population seed, sweep call order, device index)
+        only — never of worker count, chunking or scheduling.
+        """
+        streams = self._root.spawn(2 * len(self._arrays))
+        return list(zip(streams[0::2], streams[1::2]))
+
     # ------------------------------------------------------------------
     # enrollment
 
     def enroll(self, keygen_factory: KeyGenFactory,
-               seed: RNGLike = None) -> FleetEnrollment:
+               seed: RNGLike = None,
+               workers: Optional[int] = 1) -> FleetEnrollment:
         """Enroll one construction on every device.
 
         Enrollment randomness is spawned per device from *seed*, so a
-        fleet enrollment is as reproducible as a single-device one.
+        fleet enrollment is as reproducible as a single-device one and
+        bitwise-independent of *workers*.  With ``workers > 1`` the
+        factory must be picklable (module-level, not a lambda).
         """
-        keygens: List[KeyGenerator] = []
-        helpers: List[object] = []
-        keys: List[np.ndarray] = []
-        for array, child in zip(self._arrays,
-                                spawn(seed, len(self._arrays))):
-            keygen = keygen_factory()
-            helper, key = keygen.enroll(array, rng=child)
-            keygens.append(keygen)
-            helpers.append(helper)
-            keys.append(key)
-        return FleetEnrollment(tuple(keygens), tuple(helpers),
-                               tuple(keys))
+        jobs = [_EnrollJob(array, keygen_factory, child)
+                for array, child in zip(self._arrays,
+                                        spawn(seed,
+                                              len(self._arrays)))]
+        results = run_collected(_enroll_job, jobs, workers=workers,
+                                shared=self._arrays)
+        return FleetEnrollment(
+            tuple(keygen for keygen, _, _ in results),
+            tuple(helper for _, helper, _ in results),
+            tuple(key for _, _, key in results))
 
     def oracles(self, enrollment: FleetEnrollment,
                 op: OperatingPoint = OperatingPoint()
                 ) -> List[BatchOracle]:
-        """One batched failure oracle per enrolled device."""
+        """One batched failure oracle per enrolled device.
+
+        These oracles draw noise from each device's own internal
+        stream (scalar-compatible semantics); the sweep methods below
+        instead derive dedicated substreams so they stay parallel- and
+        repeat-deterministic.
+        """
         return [BatchOracle(array, keygen, op=op)
                 for array, keygen in zip(self._arrays,
                                          enrollment.keygens)]
@@ -165,12 +307,26 @@ class Fleet:
     def failure_rates(self, enrollment: FleetEnrollment, trials: int,
                       op: Optional[OperatingPoint] = None,
                       helpers: Optional[Sequence[object]] = None,
-                      chunk: int = 1024) -> np.ndarray:
+                      chunk: int = 1024,
+                      workers: Optional[int] = 1) -> np.ndarray:
         """Per-device key-regeneration failure rate over *trials*.
 
-        *helpers* overrides the enrolled helper data (e.g. a fleet-wide
-        manipulation under study); trials are executed in blocks of at
-        most *chunk* queries to bound memory.
+        Parameters
+        ----------
+        helpers:
+            Overrides the enrolled helper data (e.g. a fleet-wide
+            manipulation under study).
+        chunk:
+            Trials are executed in blocks of at most *chunk* queries
+            to bound memory.
+        workers:
+            Process-pool width; ``None``/``0`` uses every CPU.  The
+            returned rates are bitwise-identical for every value.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(len(fleet),)`` float64 failure-rate vector.
         """
         if trials < 1:
             raise ValueError("need at least one trial")
@@ -181,58 +337,76 @@ class Fleet:
         if len(helpers) != len(self._arrays):
             raise ValueError("one helper per device required")
         resolved = op if op is not None else OperatingPoint()
-        rates = np.empty(len(self._arrays))
-        for index, oracle in enumerate(self.oracles(enrollment,
-                                                    op=resolved)):
-            failures = 0
-            remaining = trials
-            while remaining > 0:
-                block = min(chunk, remaining)
-                outcomes = oracle.query_block(helpers[index], block)
-                failures += int(np.count_nonzero(~outcomes))
-                remaining -= block
-            rates[index] = failures / trials
+        jobs = [_FailureRateJob(array, keygen, helper, resolved,
+                                trials, chunk, stream, transient)
+                for array, keygen, helper, (stream, transient) in zip(
+                    self._arrays, enrollment.keygens, helpers,
+                    self._sweep_streams())]
+        (rates,) = run_scattered(_failure_rate_job, jobs,
+                                 (np.float64,), workers=workers,
+                                 shared=self._arrays)
         return rates
 
     def reliability_curve(self, enrollment: FleetEnrollment,
                           temperatures: Sequence[float], trials: int,
-                          chunk: int = 1024) -> np.ndarray:
+                          chunk: int = 1024,
+                          workers: Optional[int] = 1) -> np.ndarray:
         """Success rates over an environmental sweep.
 
-        Returns a ``(len(temperatures), len(fleet))`` matrix of key
-        regeneration success rates, each entry estimated from *trials*
-        batched reconstructions at that operating point.
+        Returns a ``(len(temperatures), len(fleet))`` float64 matrix
+        of key regeneration success rates, each entry estimated from
+        *trials* batched reconstructions at that operating point.
+        Each temperature row derives its own device substreams, so the
+        matrix is bitwise-independent of *workers* and *chunk*; all
+        ``rows × devices`` jobs run through one dispatch (one pool,
+        one payload serialisation) instead of one pool per row.
         """
-        curve = np.empty((len(temperatures), len(self._arrays)))
-        for row, temperature in enumerate(temperatures):
-            op = OperatingPoint(temperature=float(temperature))
-            curve[row] = 1.0 - self.failure_rates(
-                enrollment, trials, op=op, chunk=chunk)
-        return curve
+        if trials < 1:
+            raise ValueError("need at least one trial")
+        if chunk < 1:
+            raise ValueError("chunk must be positive")
+        devices = len(self._arrays)
+        temps = [float(t) for t in temperatures]
+        if not temps:
+            return np.empty((0, devices))
+        jobs = []
+        for temperature in temps:
+            point = OperatingPoint(temperature=temperature)
+            jobs.extend(
+                _FailureRateJob(array, keygen, helper, point, trials,
+                                chunk, stream, transient)
+                for array, keygen, helper, (stream, transient) in zip(
+                    self._arrays, enrollment.keygens,
+                    enrollment.helpers, self._sweep_streams()))
+        (rates,) = run_scattered(_failure_rate_job, jobs,
+                                 (np.float64,), workers=workers,
+                                 shared=self._arrays)
+        return 1.0 - rates.reshape(len(temps), devices)
 
     def attack_success(self, enrollment: FleetEnrollment,
-                       attack_factory: Callable[
-                           [BatchOracle, KeyGenerator, object], object],
-                       op: OperatingPoint = OperatingPoint()
+                       attack_factory: AttackFactory,
+                       op: OperatingPoint = OperatingPoint(),
+                       workers: Optional[int] = 1
                        ) -> Tuple[np.ndarray, np.ndarray]:
         """Run a full helper-data attack against every device.
 
         *attack_factory(oracle, keygen, helper)* builds an attack
         driver exposing ``run()`` with a ``key`` attribute on its
-        result.  Returns ``(recovered, queries)``: a boolean
-        key-recovery mask and the per-device oracle query bill.  The
-        drivers run their distinguishers through the batched oracle, so
-        a fleet-wide campaign stays one vectorized block per decision.
+        result; with ``workers > 1`` it must be picklable
+        (module-level).  Returns ``(recovered, queries)``: a boolean
+        key-recovery mask and the per-device ``int64`` oracle query
+        bill.  The drivers run their distinguishers through the
+        batched oracle, so a fleet-wide campaign stays one vectorized
+        block per decision; per-device outcomes are bitwise-identical
+        for every worker count.
         """
-        recovered = np.zeros(len(self._arrays), dtype=bool)
-        queries = np.zeros(len(self._arrays), dtype=np.int64)
-        oracles = self.oracles(enrollment, op=op)
-        for index, oracle in enumerate(oracles):
-            attack = attack_factory(oracle, enrollment.keygens[index],
-                                    enrollment.helpers[index])
-            result = attack.run()
-            key = getattr(result, "key", None)
-            recovered[index] = (key is not None and np.array_equal(
-                key, enrollment.keys[index]))
-            queries[index] = getattr(result, "queries", oracle.queries)
+        jobs = [_AttackJob(array, keygen, helper, key, op,
+                           attack_factory, stream, transient)
+                for array, keygen, helper, key, (stream, transient)
+                in zip(self._arrays, enrollment.keygens,
+                       enrollment.helpers, enrollment.keys,
+                       self._sweep_streams())]
+        recovered, queries = run_scattered(
+            _attack_job, jobs, (np.bool_, np.int64), workers=workers,
+            shared=self._arrays)
         return recovered, queries

@@ -1,0 +1,262 @@
+"""Process-pool execution layer for fleet sweeps.
+
+Fleet sweeps are embarrassingly parallel across devices: each device's
+Monte-Carlo outcome is a pure function of (a) the device/keygen/helper
+state captured when the sweep starts and (b) a noise substream derived
+from the population seed.  This module exploits that shape:
+
+* :func:`run_scattered` executes one job per device and scatters each
+  job's fixed-width numeric outputs into **shared-memory result
+  buffers** — workers write their chunk of the result vector in place,
+  nothing is serialised on the way back.
+* :func:`run_collected` executes one job per device and collects
+  arbitrary Python results (used for enrollment, whose outputs are
+  keygen/helper objects).
+
+Both entry points guarantee **worker-count invariance**: results are
+bitwise-identical whatever ``workers`` is, including 1.  Two mechanisms
+make that hold.  First, every per-device random stream is derived in
+the parent *before* dispatch, so stream identity cannot depend on which
+worker runs the job or in which order.  Second, jobs always run against
+*copies* of their payload — a deep copy in-process for ``workers=1``,
+the pickle across the process boundary otherwise — so a sweep never
+mutates parent-side device or keygen state either way.
+
+Payloads must be picklable for ``workers > 1`` (library objects are;
+user-supplied attack factories must be module-level callables, not
+lambdas).  ``workers=1`` relaxes this to deep-copyability, which keeps
+lambda factories working for in-process sweeps.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: A job maps one device's payload to a tuple of numeric outputs.
+JobFn = Callable[[object], Tuple]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise the ``workers`` knob to a positive worker count.
+
+    ``None`` and ``0`` mean "one worker per available CPU"; any other
+    value must be a positive integer and is used as-is (a count larger
+    than the device count simply leaves workers idle).
+    """
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    count = int(workers)
+    if count < 1:
+        raise ValueError("workers must be a positive integer, 0 or "
+                         "None (auto)")
+    return count
+
+
+def chunk_indices(count: int, chunks: int) -> List[np.ndarray]:
+    """Split ``range(count)`` into at most *chunks* contiguous blocks.
+
+    Chunks are the unit of work handed to a pool worker and the unit of
+    shared-memory writeback; contiguity keeps each worker's writes in
+    one cache-friendly slice.  Empty blocks are dropped.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if chunks < 1:
+        raise ValueError("need at least one chunk")
+    return [block for block in np.array_split(np.arange(count), chunks)
+            if block.size]
+
+
+def _pool_context():
+    """The platform-default multiprocessing start method.
+
+    Deliberately not forced to ``fork``: CPython picks per platform
+    and version (fork on Linux ≤ 3.13, forkserver on Linux 3.14+,
+    spawn on macOS/Windows) precisely because forking a multi-threaded
+    parent can deadlock children.  Sweep payloads are picklable, so
+    every start method works; under spawn/forkserver, scripts calling
+    parallel sweeps at module level need the standard
+    ``if __name__ == "__main__":`` guard.
+    """
+    return multiprocessing.get_context()
+
+
+@dataclass(frozen=True)
+class _BufferSlot:
+    """Attach handle for one shared-memory result vector."""
+
+    name: str
+    length: int
+    dtype: str
+
+
+class SharedResultBuffer:
+    """A 1-D result vector in shared memory, filled chunk-by-chunk.
+
+    The parent allocates the buffer and passes :attr:`slot` to workers;
+    each worker attaches, writes the entries of its device chunk, and
+    detaches.  :meth:`read` copies the vector out so the segment can be
+    unlinked as soon as the sweep completes.
+    """
+
+    def __init__(self, length: int, dtype) -> None:
+        self._dtype = np.dtype(dtype)
+        self._length = int(length)
+        size = max(1, self._length * self._dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self.view()[:] = 0
+
+    @property
+    def slot(self) -> _BufferSlot:
+        """Pickle-friendly handle workers use to attach."""
+        return _BufferSlot(self._shm.name, self._length,
+                           self._dtype.str)
+
+    def view(self) -> np.ndarray:
+        """The parent's live view of the shared vector."""
+        return np.ndarray((self._length,), dtype=self._dtype,
+                          buffer=self._shm.buf)
+
+    def read(self) -> np.ndarray:
+        """A private copy of the current buffer contents."""
+        return self.view().copy()
+
+    def dispose(self) -> None:
+        """Release and unlink the shared segment."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _write_chunk(run_job: JobFn, slots: Sequence[_BufferSlot],
+                 indices: Sequence[int],
+                 payloads: Sequence[object]) -> None:
+    """Worker body: run a chunk of jobs, scatter outputs into shm."""
+    segments = [shared_memory.SharedMemory(name=slot.name)
+                for slot in slots]
+    try:
+        views = [np.ndarray((slot.length,), dtype=slot.dtype,
+                            buffer=segment.buf)
+                 for slot, segment in zip(slots, segments)]
+        try:
+            for index, payload in zip(indices, payloads):
+                for view, value in zip(views, run_job(payload)):
+                    view[index] = value
+        finally:
+            # Drop the buffer exports before closing; a propagating
+            # job exception must not be masked by close() complaints.
+            views.clear()
+            del views
+    finally:
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - interpreter-
+                pass             # version dependent export tracking
+
+
+def _collect_chunk(run_job: JobFn,
+                   payloads: Sequence[object]) -> List[object]:
+    """Worker body: run a chunk of jobs, return results by value."""
+    return [run_job(payload) for payload in payloads]
+
+
+def _run_inprocess(run_job: JobFn, payloads: Sequence[object],
+                   shared: Sequence[object] = ()) -> list:
+    """Single-worker path: same mutation semantics as the pool path.
+
+    Jobs run against deep copies so parent-side keygen streams stay
+    untouched, exactly as they do when the payload is pickled to
+    another process.  Objects in *shared* are kept by reference
+    instead of copied — the caller guarantees jobs never mutate them
+    (fleet sweeps treat device models as read-only: all noise comes
+    from explicit job streams), which skips duplicating the device
+    physics on every in-process sweep.
+    """
+    results = []
+    for payload in payloads:
+        memo = {id(obj): obj for obj in shared}
+        results.append(run_job(copy.deepcopy(payload, memo)))
+    return results
+
+
+def run_scattered(run_job: JobFn, payloads: Sequence[object],
+                  dtypes: Sequence, workers: Optional[int] = 1,
+                  shared: Sequence[object] = ()
+                  ) -> Tuple[np.ndarray, ...]:
+    """Run one job per payload; scatter numeric outputs per device.
+
+    *run_job* must return one scalar per entry of *dtypes* for every
+    payload.  Returns one 1-D array per dtype, each of length
+    ``len(payloads)``, with entry ``i`` produced by ``payloads[i]`` —
+    bitwise-independent of *workers* and of how devices were chunked.
+    *shared* lists read-only payload constituents exempt from the
+    in-process defensive copy (see :func:`_run_inprocess`).
+    """
+    count = len(payloads)
+    resolved = resolve_workers(workers)
+    if resolved == 1 or count <= 1:
+        outputs = [np.zeros(count, dtype=dt) for dt in dtypes]
+        for index, values in enumerate(
+                _run_inprocess(run_job, payloads, shared)):
+            for output, value in zip(outputs, values):
+                output[index] = value
+        return tuple(outputs)
+
+    buffers = [SharedResultBuffer(count, dt) for dt in dtypes]
+    try:
+        slots = [buffer.slot for buffer in buffers]
+        chunks = chunk_indices(count, min(count, 4 * resolved))
+        with ProcessPoolExecutor(
+                max_workers=min(resolved, len(chunks)),
+                mp_context=_pool_context()) as pool:
+            futures = [
+                pool.submit(_write_chunk, run_job, slots,
+                            block.tolist(),
+                            [payloads[i] for i in block])
+                for block in chunks]
+            for future in futures:
+                future.result()
+        return tuple(buffer.read() for buffer in buffers)
+    finally:
+        for buffer in buffers:
+            buffer.dispose()
+
+
+def run_collected(run_job: JobFn, payloads: Sequence[object],
+                  workers: Optional[int] = 1,
+                  shared: Sequence[object] = ()) -> list:
+    """Run one job per payload; collect Python results in order.
+
+    Like :func:`run_scattered` but for jobs whose outputs are objects
+    (enrollment produces keygens and helper data); results travel back
+    through the future machinery instead of shared memory.  *shared*
+    lists read-only payload constituents exempt from the in-process
+    defensive copy.
+    """
+    count = len(payloads)
+    resolved = resolve_workers(workers)
+    if resolved == 1 or count <= 1:
+        return _run_inprocess(run_job, payloads, shared)
+    chunks = chunk_indices(count, min(count, 4 * resolved))
+    results: list = [None] * count
+    with ProcessPoolExecutor(max_workers=min(resolved, len(chunks)),
+                             mp_context=_pool_context()) as pool:
+        futures = [(block,
+                    pool.submit(_collect_chunk, run_job,
+                                [payloads[i] for i in block]))
+                   for block in chunks]
+        for block, future in futures:
+            for index, result in zip(block, future.result()):
+                results[index] = result
+    return results

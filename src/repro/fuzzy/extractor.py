@@ -52,10 +52,12 @@ class FuzzyExtractor:
 
     @property
     def sketch(self) -> SecureSketch:
+        """The secure sketch recovering the raw response."""
         return self._sketch
 
     @property
     def out_bits(self) -> int:
+        """Extracted key length in bits."""
         return self._out_bits
 
     def generate(self, response: np.ndarray, rng: RNGLike = None

@@ -51,10 +51,12 @@ class ToeplitzHash:
 
     @property
     def in_bits(self) -> int:
+        """Input length in bits."""
         return self._in
 
     @property
     def out_bits(self) -> int:
+        """Hashed output length in bits."""
         return self._out
 
     @property

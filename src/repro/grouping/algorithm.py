@@ -103,6 +103,7 @@ class GroupingHelper:
 
     @property
     def sizes(self) -> Tuple[int, ...]:
+        """Size of every stored group, in storage order."""
         return tuple(len(group) for group in self.groups)
 
     def with_groups(self, groups: Sequence[Sequence[int]]
@@ -142,10 +143,12 @@ class GroupingScheme:
 
     @property
     def threshold(self) -> float:
+        """Intra-group reliability threshold in Hz."""
         return self._threshold
 
     @property
     def storage_order(self) -> str:
+        """Helper-data storage-order policy."""
         return self._storage_order
 
     def enroll(self, frequencies: np.ndarray) -> GroupingHelper:

@@ -13,6 +13,7 @@ from repro.keygen.base import (
 from repro.keygen.batch import (
     BatchEvaluator,
     ConstantEvaluator,
+    MaskedBitEvaluator,
     ResponseBitEvaluator,
     RowwiseBitEvaluator,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "key_check_digest",
     "BatchEvaluator",
     "ConstantEvaluator",
+    "MaskedBitEvaluator",
     "ResponseBitEvaluator",
     "RowwiseBitEvaluator",
     "SequentialKeyHelper",

@@ -46,15 +46,72 @@ class OperatingPoint:
 CodeProvider = Callable[[int], BlockCode]
 
 
+@dataclass(frozen=True)
+class _TrivialProvider:
+    """Provider of rate-1 codes (no error correction)."""
+
+    def __call__(self, bits: int) -> BlockCode:
+        from repro.ecc.simple import TrivialCode
+
+        return TrivialCode(bits)
+
+
+@dataclass(frozen=True)
+class _BCHProvider:
+    """Provider of the smallest shortened BCH with a fixed ``t``."""
+
+    t: int
+    max_m: int = 12
+
+    def __call__(self, bits: int) -> BlockCode:
+        return design_bch(bits, self.t, max_m=self.max_m)
+
+
+@dataclass(frozen=True)
+class _BlockwiseProvider:
+    """Provider splitting the response across independent BCH blocks."""
+
+    t: int
+    block_data_bits: int
+    max_m: int = 12
+
+    def __call__(self, bits: int) -> BlockCode:
+        from repro.ecc.simple import BlockwiseCode
+
+        blocks = max(1, -(-bits // self.block_data_bits))
+        inner = bch_provider(self.t, max_m=self.max_m)(
+            self.block_data_bits)
+        if blocks == 1:
+            return inner
+        return BlockwiseCode(inner, blocks)
+
+
+@dataclass(frozen=True)
+class _FixedCodeProvider:
+    """Provider returning one pre-built code regardless of length."""
+
+    code: BlockCode
+
+    def __call__(self, bits: int) -> BlockCode:
+        if bits > self.code.n:
+            raise ValueError(
+                f"response of {bits} bits exceeds code length "
+                f"{self.code.n}")
+        return self.code
+
+
 def bch_provider(t: int, max_m: int = 12) -> CodeProvider:
-    """Provider returning the smallest shortened BCH with the given t."""
+    """Provider returning the smallest shortened BCH with the given t.
+
+    Providers are plain picklable objects (not closures) so that key
+    generators holding them can cross process boundaries — the parallel
+    fleet engine ships enrolled devices to worker processes.
+    """
     if t < 0:
         raise ValueError("t must be non-negative")
     if t == 0:
-        from repro.ecc.simple import TrivialCode
-
-        return lambda bits: TrivialCode(bits)
-    return lambda bits: design_bch(bits, t, max_m=max_m)
+        return _TrivialProvider()
+    return _BCHProvider(int(t), int(max_m))
 
 
 def blockwise_provider(t: int, block_data_bits: int,
@@ -69,30 +126,12 @@ def blockwise_provider(t: int, block_data_bits: int,
     """
     if block_data_bits < 1:
         raise ValueError("block_data_bits must be positive")
-    from repro.ecc.simple import BlockwiseCode
-
-    inner_provider = bch_provider(t, max_m=max_m)
-
-    def provide(bits: int) -> BlockCode:
-        blocks = max(1, -(-bits // block_data_bits))
-        inner = inner_provider(block_data_bits)
-        if blocks == 1:
-            return inner
-        return BlockwiseCode(inner, blocks)
-
-    return provide
+    return _BlockwiseProvider(int(t), int(block_data_bits), int(max_m))
 
 
 def fixed_code(code: BlockCode) -> CodeProvider:
     """Provider returning one pre-built code regardless of length."""
-
-    def provide(bits: int) -> BlockCode:
-        if bits > code.n:
-            raise ValueError(
-                f"response of {bits} bits exceeds code length {code.n}")
-        return code
-
-    return provide
+    return _FixedCodeProvider(code)
 
 
 def key_check_digest(key_bits: np.ndarray) -> bytes:
@@ -151,6 +190,18 @@ class KeyGenerator(abc.ABC):
         batched simulation engine draws many measurement rows in one
         vectorized pass and feeds them through this path (or through the
         faster :meth:`batch_evaluator` when the scheme provides one).
+        """
+
+    def reseed_transient_streams(self, rng: RNGLike = None) -> None:
+        """Re-seed per-query transient noise streams (no-op default).
+
+        Measurement noise always comes from the caller (the device's
+        stream or an explicit oracle stream), but some schemes consume
+        *additional* per-query randomness — e.g. the temperature-aware
+        on-chip sensor.  Fleet sweeps re-seed those streams from sweep
+        substreams derived from the population seed, so successive
+        sweeps draw independent transient noise while staying
+        reproducible and worker-count invariant.
         """
 
     def batch_evaluator(self, array: ROArray, helper,

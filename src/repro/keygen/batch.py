@@ -18,7 +18,7 @@ a block of hundreds of queries typically needs single-digit decodes.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,9 @@ CompletionFn = Callable[[np.ndarray], bool]
 BatchCompletionFn = Callable[[np.ndarray], np.ndarray]
 #: Extraction: (B, n) measurement batch -> (B, bits) response matrix.
 ExtractionFn = Callable[[np.ndarray], np.ndarray]
+#: Masked extraction: (B, n) batch -> ((B, bits) matrix, (B,) validity).
+MaskedExtractionFn = Callable[[np.ndarray],
+                              Tuple[np.ndarray, np.ndarray]]
 
 
 class BatchEvaluator(abc.ABC):
@@ -59,6 +62,7 @@ class ConstantEvaluator(BatchEvaluator):
         self._value = bool(value)
 
     def outcomes(self, freqs: np.ndarray) -> np.ndarray:
+        """Success booleans for a ``(B, n)`` measurement batch."""
         return np.full(np.asarray(freqs).shape[0], self._value,
                        dtype=bool)
 
@@ -125,9 +129,38 @@ class ResponseBitEvaluator(BatchEvaluator):
         self._memo = _CompletionMemo(complete, complete_batch)
 
     def outcomes(self, freqs: np.ndarray) -> np.ndarray:
+        """Success booleans for a ``(B, n)`` measurement batch."""
         bits = self._extract(np.asarray(freqs, dtype=float))
         out = np.empty(bits.shape[0], dtype=bool)
         self._memo.fill(bits, out)
+        return out
+
+
+class MaskedBitEvaluator(BatchEvaluator):
+    """Vectorized extraction with per-row observable refusals.
+
+    Like :class:`ResponseBitEvaluator`, but *extract* returns ``(bits,
+    valid)``: rows whose scalar reconstruction would raise before bit
+    extraction completes (e.g. the temperature-aware assistance-cycle
+    refusal, which depends on each row's sensed temperature) carry
+    ``valid = False`` and fail without ever reaching the completion
+    stage.  Valid rows are completed once per distinct bit pattern,
+    through *complete_batch* when provided.
+    """
+
+    def __init__(self, extract: MaskedExtractionFn,
+                 complete: CompletionFn,
+                 complete_batch: Optional[BatchCompletionFn] = None):
+        self._extract = extract
+        self._memo = _CompletionMemo(complete, complete_batch)
+
+    def outcomes(self, freqs: np.ndarray) -> np.ndarray:
+        """Success booleans for a ``(B, n)`` measurement batch."""
+        bits, valid = self._extract(np.asarray(freqs, dtype=float))
+        out = np.zeros(bits.shape[0], dtype=bool)
+        rows = np.flatnonzero(np.asarray(valid, dtype=bool))
+        if rows.size:
+            self._memo.fill(bits, out, rows)
         return out
 
 
@@ -147,6 +180,7 @@ class RowwiseBitEvaluator(BatchEvaluator):
         self._bits = int(bits)
 
     def outcomes(self, freqs: np.ndarray) -> np.ndarray:
+        """Success booleans for a ``(B, n)`` measurement batch."""
         freqs = np.asarray(freqs, dtype=float)
         count = freqs.shape[0]
         bits = np.zeros((count, self._bits), dtype=np.uint8)

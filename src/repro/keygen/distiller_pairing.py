@@ -96,6 +96,7 @@ class DistillerPairingKeyGen(KeyGenerator):
 
     @property
     def pairing_mode(self) -> str:
+        """Active pairing mode (one of :data:`PAIRING_MODES`)."""
         return self._mode
 
     @property
@@ -105,10 +106,12 @@ class DistillerPairingKeyGen(KeyGenerator):
 
     @property
     def masking(self) -> Optional[OneOutOfKMasking]:
+        """The masking pairing scheme, when the mode uses one."""
         return self._masking
 
     @property
     def distiller(self) -> EntropyDistiller:
+        """The entropy distiller removing systematic variation."""
         return self._distiller
 
     @property
@@ -130,6 +133,7 @@ class DistillerPairingKeyGen(KeyGenerator):
 
     def enroll(self, array: ROArray, rng: RNGLike = None
                ) -> Tuple[DistillerPairingHelper, np.ndarray]:
+        """One-time enrollment; returns ``(helper, key_bits)``."""
         if (array.params.rows, array.params.cols) != (self._rows,
                                                       self._cols):
             raise ValueError("array layout does not match the key "
@@ -154,6 +158,7 @@ class DistillerPairingKeyGen(KeyGenerator):
             self, array: ROArray, freqs: np.ndarray,
             helper: DistillerPairingHelper,
             op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Regenerate the key from one ``(n,)`` measurement row."""
         residuals = self._distiller.residuals(array.x, array.y, freqs,
                                               helper.distiller)
         try:
@@ -168,6 +173,7 @@ class DistillerPairingKeyGen(KeyGenerator):
     def batch_evaluator(self, array: ROArray,
                         helper: DistillerPairingHelper,
                         op: OperatingPoint = OperatingPoint()):
+        """Vectorized evaluator: one decode per distinct pattern."""
         x, y = array.x, array.y
         try:
             if self._masking is not None:

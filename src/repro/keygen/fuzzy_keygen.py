@@ -71,6 +71,7 @@ class FuzzyExtractorKeyGen(KeyGenerator):
 
     @property
     def extractor(self) -> FuzzyExtractor:
+        """The underlying fuzzy extractor."""
         return self._extractor
 
     @property
@@ -80,6 +81,7 @@ class FuzzyExtractorKeyGen(KeyGenerator):
 
     def enroll(self, array: ROArray, rng: RNGLike = None
                ) -> Tuple[FuzzyKeyHelper, np.ndarray]:
+        """One-time enrollment; returns ``(helper, key_bits)``."""
         if (array.params.rows, array.params.cols) != (self._rows,
                                                       self._cols):
             raise ValueError("array layout does not match the key "
@@ -95,6 +97,7 @@ class FuzzyExtractorKeyGen(KeyGenerator):
             self, array: ROArray, freqs: np.ndarray,
             helper: FuzzyKeyHelper,
             op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Regenerate the key from one ``(n,)`` measurement row."""
         response = response_bits(freqs, self._pairs)
         try:
             key = self._decode_or_fail(
@@ -106,6 +109,7 @@ class FuzzyExtractorKeyGen(KeyGenerator):
 
     def batch_evaluator(self, array: ROArray, helper: FuzzyKeyHelper,
                         op: OperatingPoint = OperatingPoint()):
+        """Vectorized evaluator: one decode per distinct pattern."""
         pairs = self._pairs
         extractor = self._extractor
         extractor_helper = helper.extractor

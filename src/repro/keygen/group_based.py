@@ -135,16 +135,19 @@ class GroupBasedKeyGen(KeyGenerator):
 
     @property
     def distiller(self) -> EntropyDistiller:
+        """The entropy distiller removing systematic variation."""
         return self._distiller
 
     @property
     def grouping(self) -> GroupingScheme:
+        """The grouping scheme partitioning distilled residuals."""
         return self._grouping
 
     # ------------------------------------------------------------------
 
     def enroll(self, array: ROArray, rng: RNGLike = None
                ) -> Tuple[GroupBasedKeyHelper, np.ndarray]:
+        """One-time enrollment; returns ``(helper, key_bits)``."""
         gen = ensure_rng(rng)
         freqs = enroll_frequencies(array, self._samples, rng=gen)
         distiller_helper, residuals = self._distiller.enroll(
@@ -165,6 +168,7 @@ class GroupBasedKeyGen(KeyGenerator):
             self, array: ROArray, freqs: np.ndarray,
             helper: GroupBasedKeyHelper,
             op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Regenerate the key from one ``(n,)`` measurement row."""
         residuals = self._distiller.residuals(array.x, array.y, freqs,
                                               helper.distiller)
         try:
@@ -182,6 +186,7 @@ class GroupBasedKeyGen(KeyGenerator):
     def batch_evaluator(self, array: ROArray,
                         helper: GroupBasedKeyHelper,
                         op: OperatingPoint = OperatingPoint()):
+        """Vectorized evaluator: one decode per distinct pattern."""
         grouping = helper.grouping
         try:
             bits = sum(kendall_bit_count(len(g))

@@ -66,10 +66,12 @@ class SequentialPairingKeyGen(KeyGenerator):
 
     @property
     def pairing(self) -> SequentialPairing:
+        """The sequential pairing scheme (paper Algorithm 1)."""
         return self._pairing
 
     def enroll(self, array: ROArray, rng: RNGLike = None
                ) -> Tuple[SequentialKeyHelper, np.ndarray]:
+        """One-time enrollment; returns ``(helper, key_bits)``."""
         gen = ensure_rng(rng)
         freqs = enroll_frequencies(array, self._samples, rng=gen)
         pairing_helper, key = self._pairing.enroll(freqs, gen)
@@ -87,6 +89,7 @@ class SequentialPairingKeyGen(KeyGenerator):
             self, array: ROArray, freqs: np.ndarray,
             helper: SequentialKeyHelper,
             op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Regenerate the key from one ``(n,)`` measurement row."""
         try:
             bits = self._pairing.evaluate(freqs, helper.pairing)
         except ValueError as exc:
@@ -100,6 +103,7 @@ class SequentialPairingKeyGen(KeyGenerator):
     def batch_evaluator(self, array: ROArray,
                         helper: SequentialKeyHelper,
                         op: OperatingPoint = OperatingPoint()):
+        """Vectorized evaluator: one decode per distinct pattern."""
         pairs = helper.pairing.pairs
         try:
             validate_pairs(pairs, array.n,

@@ -25,7 +25,7 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
-from repro.keygen.batch import ConstantEvaluator, RowwiseBitEvaluator
+from repro.keygen.batch import ConstantEvaluator, MaskedBitEvaluator
 from repro.pairing.temp_aware import TempAwareCooperative, TempAwareHelper
 from repro.puf.measurement import TemperatureSensor
 from repro.puf.ro_array import ROArray
@@ -45,25 +45,48 @@ class TempAwareKeyHelper:
 
 
 class TempAwareKeyGen(KeyGenerator):
-    """Device model: temperature-aware cooperative pairs + ECC + check."""
+    """Device model: temperature-aware cooperative pairs + ECC + check.
+
+    The device reads its on-chip temperature sensor once per
+    reconstruction attempt.  Sensor noise is drawn from a per-device
+    stream seeded by *sensor_seed*, and the batched evaluator consumes
+    that stream in exactly the per-query amounts the scalar path does —
+    so with a seeded sensor, batched and scalar simulation of twin
+    devices stay bitwise-equivalent query for query.  The default
+    (``None``) keeps the historical behaviour of unpredictable fresh
+    sensor noise.
+    """
 
     def __init__(self, t_min: float, t_max: float, threshold: float,
                  code_provider: CodeProvider = None,
                  selection: str = "randomized",
                  enrollment_samples: int = 9,
-                 sensor: TemperatureSensor = TemperatureSensor()):
+                 sensor: TemperatureSensor = TemperatureSensor(),
+                 sensor_seed: RNGLike = None):
         self._scheme = TempAwareCooperative(
             t_min, t_max, threshold, selection=selection,
             enrollment_samples=enrollment_samples)
         self._code_provider = code_provider or bch_provider(3)
         self._sensor = sensor
+        self._sensor_rng = ensure_rng(sensor_seed)
 
     @property
     def scheme(self) -> TempAwareCooperative:
+        """The temperature-aware cooperative pairing scheme."""
         return self._scheme
+
+    def reseed_transient_streams(self, rng: RNGLike = None) -> None:
+        """Replace the sensor noise stream (fleet sweep substreams).
+
+        Subsequent scalar *and* batched reconstructions read the
+        sensor from the new stream; the bitwise scalar/batch
+        equivalence is unaffected as long as both paths share it.
+        """
+        self._sensor_rng = ensure_rng(rng)
 
     def enroll(self, array: ROArray, rng: RNGLike = None
                ) -> Tuple[TempAwareKeyHelper, np.ndarray]:
+        """One-time enrollment; returns ``(helper, key_bits)``."""
         gen = ensure_rng(rng)
         scheme_helper, key = self._scheme.enroll(array, gen)
         if key.size == 0:
@@ -78,9 +101,10 @@ class TempAwareKeyGen(KeyGenerator):
             self, array: ROArray, freqs: np.ndarray,
             helper: TempAwareKeyHelper,
             op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Regenerate the key from one ``(n,)`` measurement row."""
         temperature = (op.temperature if op.temperature is not None
                        else array.params.temp_nominal)
-        sensed = self._sensor.read(temperature)
+        sensed = self._sensor.read(temperature, rng=self._sensor_rng)
         try:
             bits = self._scheme.evaluate(freqs, helper.scheme, sensed)
         except ValueError as exc:
@@ -93,12 +117,22 @@ class TempAwareKeyGen(KeyGenerator):
     def batch_evaluator(self, array: ROArray,
                         helper: TempAwareKeyHelper,
                         op: OperatingPoint = OperatingPoint()):
+        """Vectorized success evaluator for *helper* at *op*.
+
+        Sensor reads, interval interpretation and cooperative
+        assistance are evaluated in one NumPy pass per block
+        (:meth:`TempAwareCooperative.evaluate_batch`); the sketch
+        recovery runs once per distinct response pattern.  Outcome
+        ``i`` of a block equals what the ``i``-th sequential
+        :meth:`reconstruct` call would observe, provided scalar and
+        batched simulation share the sensor stream seeding.
+        """
         temperature = (op.temperature if op.temperature is not None
                        else array.params.temp_nominal)
         scheme = self._scheme
         scheme_helper = helper.scheme
         sensor = self._sensor
-        sensor_rng = ensure_rng(None)
+        sensor_rng = self._sensor_rng
         bits = scheme_helper.bits
         try:
             sketch = self.sketch_for(bits)
@@ -107,13 +141,13 @@ class TempAwareKeyGen(KeyGenerator):
         sketch_data = helper.sketch
         key_check = helper.key_check
 
-        def extract_row(freqs_row: np.ndarray) -> np.ndarray:
-            # One fresh sensor read per query, as on the scalar path;
-            # the interval interpretation makes the response bits
-            # depend on the sensed value, so rows are evaluated
-            # individually (the decode is still deduplicated).
-            sensed = sensor.read(temperature, rng=sensor_rng)
-            return scheme.evaluate(freqs_row, scheme_helper, sensed)
+        def extract(freqs: np.ndarray):
+            # One sensor read per query, exactly as on the scalar
+            # path: a (B,) batch draw consumes the sensor stream like
+            # B successive scalar reads.
+            sensed = sensor.read_batch(temperature, freqs.shape[0],
+                                       rng=sensor_rng)
+            return scheme.evaluate_batch(freqs, scheme_helper, sensed)
 
         def complete(bits_row: np.ndarray) -> bool:
             try:
@@ -122,4 +156,11 @@ class TempAwareKeyGen(KeyGenerator):
                 return False
             return key_check_digest(recovered) == key_check
 
-        return RowwiseBitEvaluator(extract_row, complete, bits)
+        def complete_batch(patterns: np.ndarray) -> np.ndarray:
+            recovered, ok = sketch.recover_batch(patterns, sketch_data)
+            good = np.flatnonzero(ok)
+            ok[good] = [key_check_digest(recovered[i]) == key_check
+                        for i in good]
+            return ok
+
+        return MaskedBitEvaluator(extract, complete, complete_batch)

@@ -161,6 +161,7 @@ class HardenedGroupBasedKeyGen(GroupBasedKeyGen):
         # Validation runs on its own measurement, as a real device
         # would sanity-check incoming helper data before the actual
         # regeneration readout; only the second readout regenerates.
+        """Validate helper data on its own readout, then regenerate."""
         freqs = array.measure_frequencies(op.temperature, op.voltage)
         self._validate(array, freqs, helper)
         regen = array.measure_frequencies(op.temperature, op.voltage)
@@ -177,6 +178,7 @@ class HardenedGroupBasedKeyGen(GroupBasedKeyGen):
         # query-for-query identical with, the two-readout
         # :meth:`reconstruct` — the batch engine's bitwise-equivalence
         # guarantee therefore does not extend to this hardened model.
+        """Single-readout variant for the batched fallback path."""
         self._validate(array, freqs, helper)
         return super().reconstruct_from_frequencies(array, freqs,
                                                     helper, op)
@@ -186,6 +188,7 @@ class HardenedGroupBasedKeyGen(GroupBasedKeyGen):
         # The measured-threshold check depends on each query's own
         # residuals, so the bit-level fast path would skip it; fall
         # back to row-wise reconstruction.
+        """Always ``None``: residual checks resist vectorization."""
         return None
 
 
@@ -195,12 +198,14 @@ class HardenedTempAwareKeyGen(TempAwareKeyGen):
     def reconstruct_from_frequencies(
             self, array, freqs, helper: TempAwareKeyHelper,
             op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Reject invalid cooperation records, then reconstruct."""
         validate_cooperation_records(helper.scheme)
         return super().reconstruct_from_frequencies(array, freqs,
                                                     helper, op)
 
     def batch_evaluator(self, array, helper: TempAwareKeyHelper,
                         op: OperatingPoint = OperatingPoint()):
+        """Validate records once, then use the vectorized path."""
         try:
             validate_cooperation_records(helper.scheme)
         except HelperDataRejected:

@@ -72,6 +72,7 @@ class OneOutOfKMasking:
 
     @property
     def k(self) -> int:
+        """Number of candidate pairs per response bit."""
         return self._k
 
     @property
@@ -81,6 +82,7 @@ class OneOutOfKMasking:
 
     @property
     def base_pairs(self) -> List[Pair]:
+        """The underlying neighbour pairs, in layout order."""
         return list(self._base_pairs)
 
     def group_pairs(self, group: int) -> List[Pair]:

@@ -131,14 +131,17 @@ class SequentialPairing:
 
     @property
     def threshold(self) -> float:
+        """Pair-selection reliability threshold in Hz."""
         return self._threshold
 
     @property
     def storage_order(self) -> str:
+        """Pair-list storage-order policy."""
         return self._storage_order
 
     @property
     def enforce_disjoint(self) -> bool:
+        """Whether evaluation rejects reused oscillators."""
         return self._enforce_disjoint
 
     def enroll(self, frequencies: np.ndarray, rng: RNGLike = None

@@ -402,6 +402,107 @@ class TempAwareCooperative:
                  for e in helper.cooperation]
         return np.array(bits, dtype=np.uint8)
 
+    def evaluate_batch(self, frequencies: np.ndarray,
+                       helper: TempAwareHelper,
+                       temperatures: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`evaluate` over a measurement batch.
+
+        Parameters
+        ----------
+        frequencies:
+            ``(B, n)`` float matrix of noisy measurement rows, one per
+            reconstruction attempt.
+        helper:
+            Public helper data (possibly manipulated).
+        temperatures:
+            ``(B,)`` float vector of *sensed* temperatures, one per row
+            — each attempt reads the on-chip sensor independently.
+
+        Returns
+        -------
+        (bits, valid):
+            ``bits`` is the ``(B, helper.bits)`` uint8 response matrix;
+            ``valid`` is a ``(B,)`` boolean vector.  Row ``i`` of
+            ``bits`` equals ``evaluate(frequencies[i], helper,
+            temperatures[i])`` wherever ``valid[i]`` is true; where it
+            is false the scalar path would have raised ``ValueError``
+            (assistant index not a cooperating pair, or an assistance
+            cycle — both observable per-row failures), and the row's
+            bits are unspecified.
+        """
+        freqs = np.asarray(frequencies, dtype=float)
+        if freqs.ndim != 2:
+            raise ValueError("frequencies must be a (B, n) matrix")
+        temps = np.asarray(temperatures, dtype=float)
+        count = freqs.shape[0]
+        if temps.shape != (count,):
+            raise ValueError("need one sensed temperature per row")
+
+        first = np.fromiter((p[0] for p in helper.pairs), dtype=np.intp,
+                            count=len(helper.pairs))
+        second = np.fromiter((p[1] for p in helper.pairs), dtype=np.intp,
+                             count=len(helper.pairs))
+        # (B, P) comparator outcomes, matching the scalar tie policy
+        # (``>=``) bit for bit.
+        measured = freqs[:, first] >= freqs[:, second]
+
+        if helper.good_indices:
+            good_bits = measured[:, list(helper.good_indices)]
+        else:
+            good_bits = np.zeros((count, 0), dtype=bool)
+
+        entries = helper.cooperation
+        valid = np.ones(count, dtype=bool)
+        if entries:
+            # The scalar path resolves every record through a
+            # pair_index-keyed dict, so on (manipulated) helper data
+            # with duplicate pair indices the *last* duplicate wins
+            # for all of them; replicate that resolution before
+            # building the column arrays.
+            entry_of = {e.pair_index: e for e in entries}
+            resolved = [entry_of[e.pair_index] for e in entries]
+            position_of = {e.pair_index: i
+                           for i, e in enumerate(entries)}
+            pair_idx = np.array([e.pair_index for e in resolved],
+                                dtype=np.intp)
+            t_low = np.array([e.t_low for e in resolved])
+            t_high = np.array([e.t_high for e in resolved])
+            good_idx = np.array([e.good_index for e in resolved],
+                                dtype=np.intp)
+            assist_pos = np.array(
+                [position_of.get(e.assist_index, -1)
+                 for e in resolved],
+                dtype=np.intp)
+
+            own = measured[:, pair_idx]
+            above = temps[:, None] > t_high[None, :]
+            inside = (~above) & (temps[:, None] >= t_low[None, :])
+            # Reference bit assuming the row is *outside* the entry's
+            # interval; junk inside, where assistance takes over.
+            shallow = np.where(above, ~own, own)
+            # Single-level assistance: the assistant's own reference
+            # bit, read through the same outside-interval rule.  A -1
+            # position indexes the last column — junk, but only where
+            # the row is invalid anyway.
+            assisted = measured[:, good_idx] ^ shallow[:, assist_pos]
+            coop_bits = np.where(inside, assisted, shallow)
+
+            # A row fails observably when any entry needs assistance
+            # from a non-cooperating pair, or when the assistant is
+            # itself inside its interval (the scalar path's cycle
+            # refusal at recursion depth 2).
+            no_assist = assist_pos < 0
+            assist_inside = inside[:, assist_pos]
+            bad = inside & (no_assist[None, :] | assist_inside)
+            valid = ~bad.any(axis=1)
+        else:
+            coop_bits = np.zeros((count, 0), dtype=bool)
+
+        bits = np.concatenate(
+            [good_bits, coop_bits], axis=1).astype(np.uint8)
+        return bits, valid
+
 
 def deterministic_selection_leakage(
         helper: TempAwareHelper,

@@ -43,6 +43,7 @@ class FrequencyCounter:
 
     @property
     def params(self) -> CounterParams:
+        """The counter's gate-window parameters."""
         return self._params
 
     def counts(self, frequencies: np.ndarray) -> np.ndarray:

@@ -79,6 +79,7 @@ class ROArray:
 
     @property
     def params(self) -> ROArrayParams:
+        """Physical parameter set of the device."""
         return self._params
 
     @property

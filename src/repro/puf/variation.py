@@ -79,6 +79,7 @@ class Polynomial2D:
 
     @property
     def degree(self) -> int:
+        """Total degree of the polynomial."""
         return self._degree
 
     @property

@@ -46,6 +46,28 @@ class TestAnalyze:
         assert "inter-device distance" in out
 
 
+class TestFleet:
+    def test_sweep_summary(self, capsys):
+        assert main(["fleet", "--devices", "3", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "key uniqueness" in out
+        assert "P(fail)" in out
+
+    def test_workers_do_not_change_the_report(self, capsys):
+        base_args = ["fleet", "--devices", "3", "--trials", "20",
+                     "--seed", "5"]
+        assert main(base_args + ["--workers", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(base_args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def stats(report):
+            return [line for line in report.splitlines()
+                    if "sweep time" not in line and "workers" not in line]
+
+        assert stats(sequential) == stats(parallel)
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
