@@ -7,7 +7,12 @@ and syndrome secure-sketch constructions of the fuzzy-extractor
 literature.
 """
 
-from repro.ecc.base import BlockCode, DecodingFailure, as_bits
+from repro.ecc.base import (
+    BlockCode,
+    DecodingFailure,
+    as_bit_matrix,
+    as_bits,
+)
 from repro.ecc.bch import BCHCode, design_bch
 from repro.ecc.gf2m import (
     GF2m,
@@ -36,6 +41,7 @@ from repro.ecc.sketch import (
 __all__ = [
     "BlockCode",
     "DecodingFailure",
+    "as_bit_matrix",
     "as_bits",
     "BCHCode",
     "design_bch",

@@ -37,6 +37,21 @@ def as_bits(bits: np.ndarray, length: int = None) -> np.ndarray:
     return arr.astype(np.uint8)
 
 
+def as_bit_matrix(bits: np.ndarray, length: int) -> np.ndarray:
+    """Validate and normalise a ``(B, length)`` bit matrix to ``uint8``.
+
+    The batch-shape counterpart of :func:`as_bits`, shared by every
+    ``decode_batch`` / ``recover_batch`` entry point.  Only the shape is
+    checked — batch producers are internal NumPy pipelines already
+    emitting 0/1 matrices, so the per-element value scan that guards
+    the scalar public API is skipped on the hot path.
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 2 or arr.shape[1] != length:
+        raise ValueError(f"batch shape must be (B, {length})")
+    return arr
+
+
 class BlockCode(abc.ABC):
     """An ``[n, k]`` binary block code correcting ``t`` errors."""
 
@@ -84,15 +99,22 @@ class BlockCode(abc.ABC):
         batch consumers observe failures as data instead of control
         flow, which is what the failure-rate oracles need.
 
-        The base implementation deduplicates identical received words
-        (failure-rate workloads concentrate on few distinct error
-        patterns) and decodes each distinct word once through the scalar
-        path, so results match :meth:`decode` row-for-row by
-        construction.  Codes with a vectorizable decoder may override.
+        **Batch contract** — every implementation, overridden or not,
+        must be bitwise-equivalent to calling :meth:`decode` row by
+        row: same corrected bits on success, same rows failing.  The
+        engine's query-for-query equivalence guarantee (see
+        ``docs/ecc.md``) rests on this; ``tests/ecc/test_batch_decode``
+        and ``benchmarks/bench_ecc_decode.py`` assert it.
+
+        Every shipped code overrides this with a vectorized decoder
+        (BCH: batched Berlekamp–Massey + Chien; Reed–Muller: batched
+        Hadamard transform; repetition/Hamming: closed-form).  The base
+        implementation is the fallback for external codes without a
+        vectorizable decoder: it deduplicates identical received words
+        and decodes each distinct word once through the scalar path, so
+        the contract holds by construction.
         """
-        words = np.asarray(received, dtype=np.uint8)
-        if words.ndim != 2 or words.shape[1] != self.n:
-            raise ValueError(f"batch shape must be (B, {self.n})")
+        words = as_bit_matrix(received, self.n)
         codewords = np.zeros_like(words)
         ok = np.zeros(words.shape[0], dtype=bool)
         for word, rows in iter_unique_rows(words):

@@ -11,18 +11,22 @@ the complete pipeline:
 * decoding through syndromes, the Berlekamp–Massey algorithm and a Chien
   search, with explicit :class:`~repro.ecc.base.DecodingFailure` on
   uncorrectable words;
+* a *vectorized* decode engine running the same pipeline lock-step
+  across whole batches: ``syndromes_batch`` → ``solve_syndromes_batch``
+  (batched Berlekamp–Massey + one-shot Chien over the alpha-power
+  table) → error-pattern XOR, bitwise-equivalent to the scalar decoder
+  row for row (see ``docs/ecc.md``);
 * optional code *shortening*, so block lengths can be matched to the bit
   counts the PUF constructions actually produce.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro._dedup import iter_unique_rows
-from repro.ecc.base import BlockCode, DecodingFailure, as_bits
+from repro.ecc.base import BlockCode, DecodingFailure, as_bit_matrix, as_bits
 from repro.ecc.gf2m import GF2m, poly_degree, poly_mod, poly_mul, poly_to_bits
 
 
@@ -157,9 +161,7 @@ class BCHCode(BlockCode):
         plus an XOR-reduction.  Shortened (implicitly zero) positions
         contribute nothing and are simply absent from the table.
         """
-        words = np.asarray(received, dtype=np.uint8)
-        if words.ndim != 2 or words.shape[1] != self.n:
-            raise ValueError(f"batch shape must be (B, {self.n})")
+        words = as_bit_matrix(received, self.n)
         if self._syndrome_powers is None:
             j = np.arange(1, 2 * self._t + 1, dtype=np.int64)[:, None]
             i = np.arange(self.n, dtype=np.int64)[None, :]
@@ -170,27 +172,179 @@ class BCHCode(BlockCode):
 
     def decode_batch(self, received: np.ndarray
                      ) -> "tuple[np.ndarray, np.ndarray]":
-        """Batch decode with a vectorized error-free fast path.
+        """Fully vectorized batch decode (no scalar inner loop).
 
-        All-zero syndrome rows (the overwhelmingly common case for a
-        provisioned reliability layer) are accepted without touching the
-        scalar Berlekamp–Massey machinery; the remaining distinct words
-        are deduplicated and decoded once each through :meth:`decode`.
+        The pipeline is one NumPy pass per stage: :meth:`syndromes_batch`
+        over the whole block, an all-zero-syndrome fast path (the
+        overwhelmingly common case for a provisioned reliability layer),
+        then :meth:`solve_syndromes_batch` — lock-step Berlekamp–Massey
+        plus a one-shot Chien evaluation — over the distinct non-zero
+        syndrome vectors.  The error pattern is a function of the
+        syndrome alone, so deduplicating on syndromes (cheap ``2t``-wide
+        rows) never changes outcomes and keeps low-distinct workloads as
+        fast as before.  Results are bitwise-identical to running
+        :meth:`decode` row by row; failed rows come back all-zero with
+        ``ok = False``.
         """
-        words = np.asarray(received, dtype=np.uint8)
+        words = as_bit_matrix(received, self.n)
         syndromes = self.syndromes_batch(words)
         clean = ~syndromes.any(axis=1)
         codewords = np.zeros_like(words)
         ok = clean.copy()
         codewords[clean] = words[clean]
         dirty = np.flatnonzero(~clean)
-        for word, rows in iter_unique_rows(words, dirty):
-            try:
-                codewords[rows] = self.decode(word)
-            except DecodingFailure:
-                continue
-            ok[rows] = True
+        if dirty.size == 0:
+            return codewords, ok
+        errors, solved = self.solve_syndromes_batch(syndromes[dirty])
+        good = dirty[solved]
+        codewords[good] = words[good] ^ errors[solved]
+        ok[good] = True
         return codewords, ok
+
+    # -- vectorized decode engine --------------------------------------
+
+    def solve_syndromes_batch(self, syndromes: np.ndarray,
+                              max_position: int = None
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Locate the error patterns of a ``(B, 2t)`` syndrome batch.
+
+        The vectorized counterpart of the scalar
+        Berlekamp–Massey/Chien/verify chain in :meth:`decode`: returns
+        ``(error_bits, ok)`` where ``error_bits`` is a ``(B, n)`` uint8
+        matrix (XOR it onto the received words to correct them) and
+        ``ok`` flags rows whose syndromes resolve to a correctable
+        pattern.  A row fails — all-zero error bits, ``ok = False`` —
+        under exactly the scalar decoder's conditions: locator degree
+        beyond ``t``, a locator that does not split over the field, an
+        error located at or past *max_position* (default: the shortened
+        code length ``n``), or a located pattern whose syndromes do not
+        reproduce the input.  :class:`~repro.ecc.sketch.SyndromeSketch`
+        reuses the kernel with ``max_position`` set to its response
+        length, which is how the scalar recovery bounds corrections.
+
+        Duplicate syndrome rows are solved once and the result is
+        scattered back (the error pattern is a function of the
+        syndrome alone), so low-distinct workloads stay cheap without
+        any caller-side deduplication.  All-zero rows resolve to the
+        empty error pattern with ``ok = True``; batch callers
+        typically fast-path them anyway.
+        """
+        if max_position is None:
+            max_position = self.n
+        syn = np.asarray(syndromes, dtype=np.int64)
+        if syn.ndim != 2 or syn.shape[1] != 2 * self._t:
+            raise ValueError(
+                f"syndrome batch shape must be (B, {2 * self._t})")
+        if syn.shape[0] == 0:
+            return (np.zeros((0, self.n), dtype=np.uint8),
+                    np.zeros(0, dtype=bool))
+        distinct, inverse = np.unique(syn, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        errors, ok = self._solve_distinct_syndromes(distinct,
+                                                    max_position)
+        return errors[inverse], ok[inverse]
+
+    def _solve_distinct_syndromes(self, syn: np.ndarray,
+                                  max_position: int
+                                  ) -> Tuple[np.ndarray, np.ndarray]:
+        """The dedup-free solve core behind :meth:`solve_syndromes_batch`."""
+        batch = syn.shape[0]
+        error_bits = np.zeros((batch, self.n), dtype=np.uint8)
+        ok = np.zeros(batch, dtype=bool)
+        sigma = self._berlekamp_massey_batch(syn)
+        degrees = (sigma.shape[1] - 1) - np.argmax(
+            (sigma != 0)[:, ::-1], axis=1)
+        viable = np.flatnonzero(degrees <= self._t)
+        if viable.size == 0:
+            return error_bits, ok
+        roots = self._chien_roots_batch(sigma[viable, :self._t + 1])
+        good = roots.sum(axis=1) == degrees[viable]
+        good &= ~roots[:, max_position:].any(axis=1)
+        keep = viable[good]
+        if keep.size == 0:
+            return error_bits, ok
+        error_bits[keep] = roots[good][:, :self.n]
+        # Final guard, as in the scalar path: the located pattern must
+        # reproduce the input syndromes (beyond-t patterns can yield a
+        # small locator that splits but corrects to a non-codeword).
+        verified = np.all(
+            self.syndromes_batch(error_bits[keep]) == syn[keep], axis=1)
+        error_bits[keep[~verified]] = 0
+        ok[keep[verified]] = True
+        return error_bits, ok
+
+    def _berlekamp_massey_batch(self, syndromes: np.ndarray
+                                ) -> np.ndarray:
+        """Lock-step Berlekamp–Massey over a ``(B, 2t)`` syndrome matrix.
+
+        Runs the exact update schedule of :meth:`_berlekamp_massey` on
+        every row simultaneously: one pass over the ``2t`` steps, with
+        per-row discrepancy masks selecting which rows lengthen their
+        LFSR, which only shift, and which skip (zero discrepancy) —
+        instead of a Python loop per word.  Returns the ``(B, 2t + 2)``
+        error-locator coefficient matrix (degree 0 first; trailing
+        columns zero, ``sigma_0 = 1`` everywhere).  Coefficients match
+        the scalar routine exactly, including for beyond-``t`` rows.
+        """
+        field = self._field
+        syn = np.asarray(syndromes, dtype=np.int64)
+        batch, steps = syn.shape
+        width = steps + 2
+        sigma = np.zeros((batch, width), dtype=np.int64)
+        sigma[:, 0] = 1
+        prev_sigma = sigma.copy()
+        prev_discrepancy = np.ones(batch, dtype=np.int64)
+        shift = np.ones(batch, dtype=np.int64)
+        errors = np.zeros(batch, dtype=np.int64)
+        columns = np.arange(width, dtype=np.int64)[None, :]
+        for step in range(steps):
+            # Per-row discrepancy: S_step + sum sigma_i * S_{step-i}
+            # over 1 <= i <= errors (the current LFSR length).
+            discrepancy = syn[:, step].copy()
+            limit = min(step, width - 1)
+            if limit >= 1:
+                lags = np.arange(1, limit + 1)
+                terms = field.mul_array(sigma[:, 1:limit + 1],
+                                        syn[:, step - lags])
+                in_range = lags[None, :] <= errors[:, None]
+                discrepancy ^= np.bitwise_xor.reduce(
+                    np.where(in_range, terms, 0), axis=1)
+            active = np.flatnonzero(discrepancy)
+            shift[discrepancy == 0] += 1
+            if active.size == 0:
+                continue
+            scale = field.div_array(discrepancy[active],
+                                    prev_discrepancy[active])
+            # candidate = sigma - scale * x^shift * prev_sigma, with a
+            # per-row shift realised as a clipped gather.
+            offsets = columns - shift[active, None]
+            shifted = np.where(
+                offsets >= 0,
+                prev_sigma[active[:, None], np.clip(offsets, 0, None)],
+                0)
+            candidate = sigma[active] ^ field.mul_array(scale[:, None],
+                                                        shifted)
+            grow = active[2 * errors[active] <= step]
+            stay = active[2 * errors[active] > step]
+            prev_sigma[grow] = sigma[grow]
+            prev_discrepancy[grow] = discrepancy[grow]
+            errors[grow] = step + 1 - errors[grow]
+            shift[grow] = 1
+            shift[stay] += 1
+            sigma[active] = candidate
+        return sigma
+
+    def _chien_roots_batch(self, sigma: np.ndarray) -> np.ndarray:
+        """Root masks of a batch of error locators, over all positions.
+
+        One :meth:`~repro.ecc.gf2m.GF2m.alpha_eval_batch` pass over the
+        precomputed alpha-power grid replaces the per-word Chien loop:
+        entry ``[r, i]`` of the returned ``(B, full_n)`` boolean matrix
+        is True where ``sigma_r(alpha^{-i}) == 0``, i.e. position ``i``
+        of the parent code carries an error according to locator ``r``.
+        """
+        exponents = -np.arange(self._full_n, dtype=np.int64)
+        return self._field.alpha_eval_batch(sigma, exponents) == 0
 
     def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
         """Error-locator polynomial sigma (LSB-first field coefficients)."""

@@ -3,7 +3,11 @@
 Everything the BCH machinery needs, built from scratch:
 
 * :class:`GF2m` — log/antilog-table arithmetic in GF(2^m) for
-  ``2 <= m <= 16``, with the usual primitive polynomials.
+  ``2 <= m <= 16``, with the usual primitive polynomials.  Scalar
+  operations are complemented by array-native ones (``mul_array``,
+  ``alpha_eval_batch``, …) that apply the same log/antilog tables as
+  NumPy gathers across whole element matrices — the foundation of the
+  vectorized decode engine (see ``docs/ecc.md``).
 * GF(2)[x] polynomial helpers operating on Python integers used as
   coefficient bitmasks (bit ``i`` is the coefficient of ``x^i``), which
   keeps carry-less multiplication and long division simple and fast.
@@ -211,6 +215,83 @@ class GF2m:
         if a == 0:
             raise ZeroDivisionError("zero has no discrete logarithm")
         return int(self._log[a])
+
+    # ------------------------------------------------------------------
+    # array-native field operations (the vectorized decode engine)
+
+    def mul_array(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise field product of two element arrays.
+
+        Broadcasting follows NumPy rules.  Non-zero lanes are one
+        log-table gather per operand, an exponent add, and one antilog
+        gather — the exp table is stored doubled, so the exponent sum
+        needs no modulo reduction.  Lanes with a zero operand
+        short-circuit to zero (zero has no logarithm; its ``-1``
+        sentinel in the log table is masked out before the gather).
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        nonzero = (a != 0) & (b != 0)
+        index = np.where(nonzero, self._log[a] + self._log[b], 0)
+        return np.where(nonzero, self._exp[index], 0)
+
+    def inv_array(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise multiplicative inverse of a non-zero array.
+
+        Raises :class:`ZeroDivisionError` if any lane is zero; batch
+        callers must mask zero lanes away first (the Berlekamp–Massey
+        step only ever inverts previous discrepancies, which are
+        non-zero by construction).
+        """
+        a = np.asarray(a, dtype=np.int64)
+        if np.any(a == 0):
+            raise ZeroDivisionError("zero has no inverse")
+        return self._exp[self._order - self._log[a]]
+
+    def div_array(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise field quotient ``a / b`` (*b* must be non-zero)."""
+        return self.mul_array(a, self.inv_array(b))
+
+    def log_array(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise discrete log; zero lanes map to the ``-1`` sentinel.
+
+        The sentinel convention lets callers gather logs of sparse
+        coefficient matrices in one pass and mask the zero lanes out
+        afterwards, instead of branching per element.
+        """
+        return self._log[np.asarray(a, dtype=np.int64)]
+
+    def alpha_eval_batch(self, coeffs: np.ndarray,
+                         point_exponents: np.ndarray) -> np.ndarray:
+        """Evaluate field polynomials on an ``alpha``-power grid, batched.
+
+        *coeffs* is a ``(B, D)`` matrix of GF(2^m) coefficients (degree
+        0 first); *point_exponents* is a length-``P`` integer array of
+        exponents ``e`` (negative allowed).  Returns the ``(B, P)``
+        value matrix ``V[b, p] = sum_d coeffs[b, d] * alpha^(e_p * d)``
+        — the workhorse of the batched Chien search, where the grid is
+        ``e_p = -p`` over all codeword positions.
+
+        The evaluation runs one degree at a time (``D`` passes over a
+        ``(B, P)`` XOR accumulator), keeping peak memory at one
+        batch-by-grid matrix instead of materialising a ``(B, D, P)``
+        cube.  All-zero coefficient columns are skipped outright.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        exps = np.asarray(point_exponents, dtype=np.int64)
+        coeff_logs = self._log[coeffs]  # -1 marks zero coefficients
+        values = np.zeros((coeffs.shape[0], exps.shape[0]),
+                          dtype=np.int64)
+        for degree in range(coeffs.shape[1]):
+            logs = coeff_logs[:, degree]
+            present = logs >= 0
+            if not present.any():
+                continue
+            grid = np.mod(exps * degree, self._order)
+            term = self._exp[np.where(present, logs, 0)[:, None]
+                             + grid[None, :]]
+            values ^= np.where(present[:, None], term, 0)
+        return values
 
     # ------------------------------------------------------------------
     # structures built on the field

@@ -14,7 +14,6 @@ from typing import Tuple
 
 import numpy as np
 
-from repro._dedup import iter_unique_rows
 from repro._rng import RNGLike, ensure_rng
 from repro.ecc.base import as_bits
 from repro.ecc.sketch import SecureSketch, SketchData
@@ -93,17 +92,15 @@ class FuzzyExtractor:
         Returns ``(keys, ok)``: an ``(B, out_bits)`` key matrix and a
         success mask.  Rows beyond the sketch's correction radius are
         all-zero with ``ok = False``; successful rows match
-        :meth:`reproduce` bit-for-bit.  The universal hash is applied
-        only to the distinct recovered responses.
+        :meth:`reproduce` bit-for-bit.  Both stages are vectorized:
+        sketch recovery through the batched decode engine, then one
+        GF(2) matmul hashing every recovered response (failed rows are
+        all-zero, and the linear hash maps zero to zero, so the
+        failure convention survives the hash for free).
         """
         batch = np.asarray(noisy_responses, dtype=np.uint8)
         recovered, ok = self._sketch.recover_batch(batch, helper.sketch)
         hasher = ToeplitzHash(helper.hash_seed,
                               self._sketch.response_length,
                               helper.out_bits)
-        keys = np.zeros((batch.shape[0], helper.out_bits),
-                        dtype=np.uint8)
-        good = np.flatnonzero(ok)
-        for response, rows in iter_unique_rows(recovered, good):
-            keys[rows] = hasher(response)
-        return keys, ok
+        return hasher.hash_batch(recovered), ok

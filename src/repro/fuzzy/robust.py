@@ -30,6 +30,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro._dedup import iter_unique_rows
 from repro._rng import RNGLike, ensure_rng
 from repro.ecc.base import as_bits
 from repro.ecc.sketch import SecureSketch, SketchData
@@ -135,3 +136,32 @@ class RobustFuzzyExtractor:
                               self._sketch.response_length,
                               helper.out_bits)
         return hasher(recovered)
+
+    def reproduce_batch(self, noisy_responses: np.ndarray,
+                        helper: RobustHelper
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Reproduce a batch of noisy readings with tag verification.
+
+        Returns ``(keys, ok)``; a row fails (all-zero key,
+        ``ok = False``) when the sketch cannot recover it *or* when the
+        authentication tag over the recovered response does not verify
+        — the batch counterpart of :meth:`reproduce`'s
+        ``DecodingFailure`` / :class:`ManipulationDetected` outcomes,
+        collapsed into the mask.  Sketch recovery and hashing are
+        vectorized; the SHA-256 tag is recomputed once per *distinct*
+        recovered response (typically one: the reference).
+        """
+        batch = np.asarray(noisy_responses, dtype=np.uint8)
+        recovered, ok = self._sketch.recover_batch(batch, helper.sketch)
+        authentic = np.zeros(batch.shape[0], dtype=bool)
+        for response, rows in iter_unique_rows(recovered,
+                                               np.flatnonzero(ok)):
+            tag = _authentication_tag(response, helper.sketch.payload,
+                                      helper.hash_seed, helper.out_bits)
+            authentic[rows] = tag == helper.tag
+        hasher = ToeplitzHash(helper.hash_seed,
+                              self._sketch.response_length,
+                              helper.out_bits)
+        keys = hasher.hash_batch(recovered)
+        keys[~authentic] = 0
+        return keys, authentic

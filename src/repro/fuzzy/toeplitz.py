@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
-from repro.ecc.base import as_bits
+from repro.ecc.base import as_bit_matrix, as_bits
 
 
 class ToeplitzHash:
@@ -68,3 +68,15 @@ class ToeplitzHash:
         """Hash an ``in_bits``-long word to ``out_bits`` bits."""
         word = as_bits(word, self._in)
         return ((self._matrix @ word) % 2).astype(np.uint8)
+
+    def hash_batch(self, words: np.ndarray) -> np.ndarray:
+        """Hash a ``(B, in_bits)`` matrix of words in one GF(2) matmul.
+
+        Row ``i`` equals ``self(words[i])`` bit-for-bit (integer
+        matrix multiplication is exact); this is how the batched
+        fuzzy-extractor path hashes every recovered response without a
+        per-row Python loop.
+        """
+        words = as_bit_matrix(words, self._in)
+        return ((words.astype(np.int64) @ self._matrix.T) % 2) \
+            .astype(np.uint8)

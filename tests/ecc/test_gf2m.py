@@ -156,3 +156,64 @@ class TestMinimalPolynomials:
         bits = np.array([1, 0, 1], dtype=np.uint8)
         expected = field.pow(2, 2) ^ 1
         assert field.poly_eval(bits, 2) == expected
+
+
+class TestArrayFieldOps:
+    """The array-native ops must agree with their scalar counterparts."""
+
+    @pytest.fixture
+    def field(self):
+        return GF2m(6)
+
+    def test_mul_array_matches_scalar(self, field, rng):
+        a = rng.integers(0, field.size, size=200)
+        b = rng.integers(0, field.size, size=200)
+        products = field.mul_array(a, b)
+        for x, y, p in zip(a, b, products):
+            assert int(p) == field.mul(int(x), int(y))
+
+    def test_mul_array_broadcasts(self, field):
+        a = np.arange(1, 9).reshape(4, 2)
+        b = np.array([3])
+        products = field.mul_array(a, b)
+        assert products.shape == (4, 2)
+        assert int(products[2, 1]) == field.mul(6, 3)
+
+    def test_inv_and_div_array(self, field, rng):
+        a = rng.integers(1, field.size, size=100)
+        b = rng.integers(1, field.size, size=100)
+        assert np.all(field.mul_array(a, field.inv_array(a)) == 1)
+        quotients = field.div_array(a, b)
+        for x, y, q in zip(a, b, quotients):
+            assert int(q) == field.div(int(x), int(y))
+
+    def test_inv_array_rejects_zero(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv_array(np.array([1, 0, 3]))
+
+    def test_log_array_sentinel(self, field):
+        logs = field.log_array(np.array([0, 1, 2]))
+        assert logs[0] == -1
+        assert logs[1] == field.log_alpha(1)
+        assert logs[2] == field.log_alpha(2)
+
+    def test_alpha_eval_batch_matches_horner(self, field, rng):
+        # Random field-coefficient polynomials evaluated on a grid of
+        # alpha powers (negative exponents included, as in the Chien
+        # search) must match scalar Horner evaluation.
+        coeffs = rng.integers(0, field.size, size=(10, 5))
+        exponents = np.arange(-field.order, field.order, 7)
+        values = field.alpha_eval_batch(coeffs, exponents)
+        for r in range(coeffs.shape[0]):
+            for c, exponent in enumerate(exponents):
+                point = field.alpha_pow(int(exponent))
+                expected = 0
+                for degree in range(coeffs.shape[1] - 1, -1, -1):
+                    expected = field.mul(expected, point) \
+                        ^ int(coeffs[r, degree])
+                assert int(values[r, c]) == expected
+
+    def test_alpha_eval_batch_zero_polynomial(self, field):
+        values = field.alpha_eval_batch(
+            np.zeros((3, 4), dtype=np.int64), np.arange(5))
+        assert not values.any()

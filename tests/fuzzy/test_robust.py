@@ -91,3 +91,35 @@ class TestManipulationDetection:
         with pytest.raises(ValueError):
             RobustFuzzyExtractor(CodeOffsetSketch(code, 16),
                                  out_bits=17)
+
+
+class TestReproduceBatch:
+    def test_matches_scalar_reproduce(self, extractor, response, rng):
+        key, helper = extractor.generate(response, rng)
+        batch = np.tile(response, (40, 1))
+        for i in range(40):
+            flips = rng.choice(48, size=int(rng.integers(0, 7)),
+                               replace=False)
+            batch[i, flips] ^= 1
+        keys, ok = extractor.reproduce_batch(batch, helper)
+        for i in range(40):
+            try:
+                expected = extractor.reproduce(batch[i], helper)
+            except (ManipulationDetected, DecodingFailure):
+                assert not ok[i]
+                assert not keys[i].any()
+            else:
+                assert ok[i]
+                np.testing.assert_array_equal(expected, keys[i])
+
+    def test_manipulated_helper_fails_every_row(self, extractor,
+                                                response, rng):
+        _, helper = extractor.generate(response, rng)
+        payload = helper.sketch.payload.copy()
+        payload[0] ^= 1
+        manipulated = helper.with_sketch(
+            helper.sketch.with_payload(payload))
+        batch = np.tile(response, (10, 1))
+        keys, ok = extractor.reproduce_batch(batch, manipulated)
+        assert not ok.any()
+        assert not keys.any()
