@@ -1,0 +1,189 @@
+"""E18: lock-step cross-device attack campaign engine.
+
+The paper's attack results are population claims, so the engine must
+replay one attack across whole device fleets.  This bench runs the
+§VI-A sequential-pairing key recovery over a multi-device campaign
+three ways at ``workers=1``:
+
+* **scalar loop** — one device at a time through the single-query
+  ``HelperDataOracle`` walk (the executable equivalence reference);
+* **batched loop** — one device at a time, each attack driving its own
+  ``BatchOracle`` in vectorized blocks (the pre-campaign fast path);
+* **lock-step campaign** — all devices advanced together in rounds by
+  ``LockstepCampaign``: the frontier of pending distinguisher requests
+  is fused into one vectorized bookkeeping pass per round.
+
+Twin fleets are identically seeded, so the three executions must agree
+**bitwise** on every recovered key, per-device query bill and comparer
+decision — asserted in-bench before any timing is reported, alongside
+a ≥5× regression canary for lock-step vs the scalar loop.  A
+group-based (§VI-C, Fig. 6a) campaign section repeats the equivalence
+check on the comparison-sort attack.
+"""
+
+import time
+
+import numpy as np
+
+from _report import record, table
+
+from repro.core import (
+    BatchOracle,
+    GroupBasedAttack,
+    HelperDataOracle,
+    SequentialPairingAttack,
+)
+from repro.fleet import run_campaign
+from repro.keygen import GroupBasedKeyGen, SequentialPairingKeyGen
+from repro.puf import FIG6_PARAMS, ROArray, ROArrayParams
+
+DEVICES = 16
+QUICK_DEVICES = 4
+GROUP_DEVICES = 3
+QUICK_GROUP_DEVICES = 1
+
+SEQ_PARAMS = ROArrayParams(rows=8, cols=16)
+
+
+def _sequential_device(seed):
+    array = ROArray(SEQ_PARAMS, rng=600 + seed)
+    keygen = SequentialPairingKeyGen(threshold=300e3)
+    helper, key = keygen.enroll(array, rng=seed)
+    return array, keygen, helper, key
+
+
+def _group_device(seed):
+    array = ROArray(FIG6_PARAMS, rng=300 + seed)
+    keygen = GroupBasedKeyGen(distiller_degree=2,
+                              group_threshold=120e3)
+    helper, key = keygen.enroll(array, rng=seed)
+    return array, keygen, helper, key
+
+
+def _signature(result):
+    """Bitwise-comparable digest of one attack result."""
+    key = getattr(result, "key", None)
+    return (None if key is None else key.tolist(),
+            int(result.queries),
+            tuple(getattr(result, "comparisons", ())))
+
+
+def run_sequential_campaign(devices=DEVICES):
+    """Three executions of the same fleet campaign; timings + results."""
+    scalar_results = []
+    start = time.perf_counter()
+    for seed in range(devices):
+        array, keygen, helper, _ = _sequential_device(seed)
+        oracle = HelperDataOracle(array, keygen)
+        scalar_results.append(
+            SequentialPairingAttack(oracle, keygen, helper).run())
+    scalar_s = time.perf_counter() - start
+
+    batched_results = []
+    start = time.perf_counter()
+    for seed in range(devices):
+        array, keygen, helper, _ = _sequential_device(seed)
+        oracle = BatchOracle(array, keygen)
+        batched_results.append(
+            SequentialPairingAttack(oracle, keygen, helper).run())
+    batched_s = time.perf_counter() - start
+
+    oracles, attacks, keys = [], [], []
+    for seed in range(devices):
+        array, keygen, helper, key = _sequential_device(seed)
+        oracle = BatchOracle(array, keygen)
+        oracles.append(oracle)
+        attacks.append(SequentialPairingAttack(oracle, keygen, helper))
+        keys.append(key)
+    start = time.perf_counter()
+    lockstep_results = run_campaign(oracles, attacks)
+    lockstep_s = time.perf_counter() - start
+
+    return (scalar_results, batched_results, lockstep_results, keys,
+            scalar_s, batched_s, lockstep_s)
+
+
+def run_group_campaign(devices=GROUP_DEVICES):
+    """Scalar loop vs lock-step campaign on the §VI-C attack."""
+    scalar_results = []
+    start = time.perf_counter()
+    for seed in range(devices):
+        array, keygen, helper, _ = _group_device(seed)
+        oracle = HelperDataOracle(array, keygen)
+        scalar_results.append(GroupBasedAttack(
+            oracle, keygen, helper, rows=4, cols=10).run())
+    scalar_s = time.perf_counter() - start
+
+    oracles, attacks, keys = [], [], []
+    for seed in range(devices):
+        array, keygen, helper, key = _group_device(seed)
+        oracle = BatchOracle(array, keygen)
+        oracles.append(oracle)
+        attacks.append(GroupBasedAttack(oracle, keygen, helper, rows=4,
+                                        cols=10))
+        keys.append(key)
+    start = time.perf_counter()
+    lockstep_results = run_campaign(oracles, attacks)
+    lockstep_s = time.perf_counter() - start
+    return scalar_results, lockstep_results, keys, scalar_s, lockstep_s
+
+
+def test_attack_lockstep_campaign(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    (scalar_results, batched_results, lockstep_results, keys,
+     scalar_s, batched_s, lockstep_s) = benchmark.pedantic(
+        run_sequential_campaign, args=(devices,), rounds=1,
+        iterations=1)
+
+    # Bitwise equivalence before any timing claims: recovered keys,
+    # per-device query bills and comparer decisions must be identical
+    # across all three executions.
+    for reference, batched, lockstep, key in zip(
+            scalar_results, batched_results, lockstep_results, keys):
+        assert _signature(reference) == _signature(batched), \
+            "batched per-device loop diverged from the scalar loop"
+        assert _signature(reference) == _signature(lockstep), \
+            "lock-step campaign diverged from the scalar loop"
+        assert reference.key is not None
+        assert np.array_equal(reference.key, key)
+
+    queries = int(np.sum([r.queries for r in scalar_results]))
+    speedup_lockstep = scalar_s / lockstep_s if lockstep_s else \
+        float("inf")
+    speedup_batched = scalar_s / batched_s if batched_s else \
+        float("inf")
+    record("E18 / §VI-A — lock-step campaign engine, sequential "
+           f"pairing ({devices} devices, workers=1, bitwise-equal "
+           "keys/queries/decisions)",
+           table(("execution", "time (s)", "speedup vs scalar",
+                  "devices", "oracle queries"),
+                 [("scalar per-device loop", f"{scalar_s:.2f}",
+                   "1.0x", devices, queries),
+                  ("batched per-device loop", f"{batched_s:.2f}",
+                   f"{speedup_batched:.1f}x", devices, queries),
+                  ("lock-step campaign", f"{lockstep_s:.2f}",
+                   f"{speedup_lockstep:.1f}x", devices, queries)]))
+
+    grp_devices = QUICK_GROUP_DEVICES if quick else GROUP_DEVICES
+    (grp_scalar, grp_lockstep, grp_keys, grp_scalar_s,
+     grp_lockstep_s) = run_group_campaign(grp_devices)
+    for reference, lockstep, key in zip(grp_scalar, grp_lockstep,
+                                        grp_keys):
+        assert reference.orders == lockstep.orders
+        assert reference.queries == lockstep.queries
+        assert np.array_equal(reference.key, lockstep.key)
+        assert np.array_equal(reference.key, key)
+    grp_speedup = grp_scalar_s / grp_lockstep_s if grp_lockstep_s \
+        else float("inf")
+    record("E18 / §VI-C — lock-step campaign engine, group-based "
+           f"({grp_devices} devices, workers=1, bitwise-equal "
+           "orders/keys/queries)",
+           [f"scalar per-device loop: {grp_scalar_s:.2f} s",
+            f"lock-step campaign:     {grp_lockstep_s:.2f} s",
+            f"speedup: {grp_speedup:.1f}x"])
+
+    if not quick:
+        # Regression canary: the lock-step campaign must hold a wide
+        # margin over the scalar reference loop on a real fleet.
+        assert devices >= 16
+        assert speedup_lockstep >= 5.0

@@ -3,15 +3,28 @@
 Failure-rate workloads concentrate on few distinct discrete patterns
 (response bits, received words, noisy readings), so each batch layer
 applies its expensive scalar completion once per *distinct* row and
-broadcasts the result.  This module holds the one grouping primitive
-they all share.
+broadcasts the result.  This module holds the grouping primitives they
+all share.
+
+Two regimes, one contract.  Large blocks (Monte-Carlo sweeps, the
+decode-engine benches) group via ``np.unique(axis=0)``; small blocks —
+the adaptive-distinguisher rounds of the attack engine, typically
+≤ 16 rows — use hashed ``tobytes`` grouping instead, which skips the
+structured-dtype sort machinery that dominates tiny batches.  Group
+*contents* are identical either way; only the group iteration order
+differs (lexicographic vs first occurrence), which no consumer depends
+on: every caller computes a per-pattern result and scatters it back to
+the pattern's row indices.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
+
+#: Below this row count the hashed grouping beats the vectorized sort.
+SMALL_BLOCK = 128
 
 
 def iter_unique_rows(matrix: np.ndarray,
@@ -26,8 +39,45 @@ def iter_unique_rows(matrix: np.ndarray,
         rows = np.arange(matrix.shape[0])
     if rows.size == 0:
         return
-    unique, inverse = np.unique(matrix[rows], axis=0,
-                                return_inverse=True)
+    subset = matrix[rows]
+    if subset.shape[0] <= SMALL_BLOCK:
+        groups: dict = {}
+        data = np.ascontiguousarray(subset)
+        for position in range(data.shape[0]):
+            groups.setdefault(data[position].tobytes(),
+                              []).append(position)
+        for positions in groups.values():
+            yield subset[positions[0]], rows[np.array(positions)]
+        return
+    unique, inverse = np.unique(subset, axis=0, return_inverse=True)
     inverse = inverse.reshape(-1)
     for index in range(unique.shape[0]):
         yield unique[index], rows[inverse == index]
+
+
+def unique_rows(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct rows of a 2-D array plus the row → distinct map.
+
+    The allocation-light sibling of :func:`iter_unique_rows` for
+    callers that solve all distinct rows in one vectorized kernel and
+    scatter with ``distinct_result[inverse]``.  Same contract as
+    ``np.unique(matrix, axis=0, return_inverse=True)`` except that the
+    distinct rows of a small block come back in first-occurrence order
+    rather than sorted — immaterial to scatter-back consumers.
+    """
+    count = matrix.shape[0]
+    if count <= SMALL_BLOCK:
+        data = np.ascontiguousarray(matrix)
+        first: dict = {}
+        inverse = np.empty(count, dtype=np.intp)
+        order: List[int] = []
+        for position in range(count):
+            key = data[position].tobytes()
+            slot = first.get(key)
+            if slot is None:
+                slot = first[key] = len(order)
+                order.append(position)
+            inverse[position] = slot
+        return matrix[order], inverse
+    distinct, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    return distinct, inverse.reshape(-1)

@@ -19,7 +19,10 @@ Subcommands
     Manufacture a device population and run a chunked Monte-Carlo
     failure-rate sweep, optionally split across a process pool
     (``--workers N``); results are bitwise-identical for every worker
-    count.
+    count.  With ``--attack CONSTRUCTION`` the sweep becomes a
+    fleet-wide helper-data attack campaign executed by the lock-step
+    engine (``--scalar-loop`` falls back to the per-device reference
+    loop; per-device results are identical either way).
 
 Examples::
 
@@ -29,6 +32,7 @@ Examples::
     python -m repro.cli classify --threshold 150e3
     python -m repro.cli analyze --devices 8
     python -m repro.cli fleet --devices 32 --trials 500 --workers 4
+    python -m repro.cli fleet --devices 16 --attack sequential
 """
 
 from __future__ import annotations
@@ -120,6 +124,20 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--temperature", type=float, default=None,
                        help="operating temperature of the sweep (°C)")
     fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--attack", choices=("sequential", "group-based",
+                                            "masking",
+                                            "neighbor-overlap"),
+                       default=None,
+                       help="run a fleet-wide helper-data attack "
+                            "campaign instead of the failure-rate "
+                            "sweep")
+    fleet.add_argument("--batch", type=int, default=None,
+                       help="devices per lock-step campaign chunk "
+                            "(default: one chunk per worker)")
+    fleet.add_argument("--scalar-loop", action="store_true",
+                       help="drive the campaign with the per-device "
+                            "scalar loop instead of the lock-step "
+                            "engine (identical results, slower)")
     return parser
 
 
@@ -233,6 +251,53 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_attack(args: argparse.Namespace, fleet: Fleet,
+                      enroll_rng) -> int:
+    """Fleet-wide attack campaign branch of the ``fleet`` subcommand."""
+    from repro.fleet import (
+        DistillerAttackFactory,
+        GroupAttackFactory,
+        sequential_attack_factory,
+    )
+
+    rows, cols = args.rows, args.cols
+    if args.attack == "sequential":
+        keygen_factory = functools.partial(SequentialPairingKeyGen,
+                                           threshold=args.threshold)
+        attack_factory = sequential_attack_factory
+    elif args.attack == "group-based":
+        keygen_factory = functools.partial(GroupBasedKeyGen,
+                                           group_threshold=120e3)
+        attack_factory = GroupAttackFactory(rows, cols)
+    else:
+        keygen_factory = functools.partial(DistillerPairingKeyGen,
+                                           rows, cols,
+                                           pairing_mode=args.attack,
+                                           k=5)
+        attack_factory = DistillerAttackFactory(rows, cols)
+    enrollment = fleet.enroll(keygen_factory, seed=enroll_rng,
+                              workers=args.workers)
+    start = time.perf_counter()
+    recovered, queries = fleet.attack_success(
+        enrollment, attack_factory, workers=args.workers,
+        lockstep=not args.scalar_loop, batch=args.batch)
+    elapsed = time.perf_counter() - start
+    engine = "scalar per-device loop" if args.scalar_loop \
+        else "lock-step campaign"
+    print(f"fleet attack campaign: {args.attack} x {args.devices} "
+          f"devices ({rows}x{cols}, seed {args.seed})")
+    print(f"  engine              : {engine} "
+          f"(workers={args.workers})")
+    print(f"  keys recovered      : {int(recovered.sum())}/"
+          f"{args.devices}")
+    print(f"  oracle queries      : {int(queries.sum())} total, "
+          f"{queries.mean():.1f}/device")
+    throughput = args.devices / elapsed if elapsed else 0.0
+    print(f"  campaign time       : {elapsed:.2f} s "
+          f"({throughput:.2f} devices/s)")
+    return 0 if recovered.all() else 1
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.keygen.base import OperatingPoint
 
@@ -242,6 +307,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     # streams (identical seeds spawn identical children).
     manufacture_rng, enroll_rng = spawn(args.seed, 2)
     fleet = Fleet(params, size=args.devices, seed=manufacture_rng)
+    if args.attack is not None:
+        return _cmd_fleet_attack(args, fleet, enroll_rng)
     # functools.partial keeps the factory picklable for --workers > 1.
     factory = functools.partial(SequentialPairingKeyGen,
                                 threshold=args.threshold)

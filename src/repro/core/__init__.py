@@ -24,6 +24,15 @@ from repro.core.injection import (
 )
 from repro.core.oracle import HelperDataOracle
 from repro.core.batch_oracle import BatchOracle
+from repro.core.lockstep import (
+    ComparisonRequest,
+    QueryBlockRequest,
+    SelectionRequest,
+    SPRTRequest,
+    drive,
+    execute_request,
+    outcome_queries,
+)
 from repro.core.sprt import SPRTDistinguisher, SPRTOutcome
 from repro.core.sequential_attack import (
     SequentialAttackResult,
@@ -55,6 +64,13 @@ __all__ = [
     "symmetric_quadratic",
     "HelperDataOracle",
     "BatchOracle",
+    "ComparisonRequest",
+    "QueryBlockRequest",
+    "SelectionRequest",
+    "SPRTRequest",
+    "drive",
+    "execute_request",
+    "outcome_queries",
     "SPRTDistinguisher",
     "SPRTOutcome",
     "SequentialAttackResult",

@@ -21,7 +21,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.framework import repair_with_commitment, select_hypothesis
+from repro.core.framework import repair_with_commitment
+from repro.core.lockstep import (
+    AttackSteps,
+    SelectionRequest,
+    drive,
+)
 from repro.core.injection import (
     predicted_pair_bits,
     symmetric_quadratic,
@@ -95,14 +100,11 @@ class DistillerPairingAttack:
         return predicted_pair_bits(values, self._key_pairs(),
                                    self._margin)
 
-    def isolate(self, target: int) -> Tuple[Dict[int, int], int]:
-        """Learn the true bits of every pair isolated by one placement.
+    def _isolate_steps(self, target: int) -> AttackSteps:
+        """Stepwise :meth:`isolate`; returns ``(learned, count, queries)``.
 
-        Centres the quadratic on the *target* key position's pair; all
-        positions whose injected discrepancy collapses (the target plus
-        geometric mirror pairs, cf. Fig. 6c) become joint hypothesis
-        bits.  Returns ``{position: bit}`` for every isolated position
-        and the number of hypotheses enumerated.
+        Builds the full reprogrammed helper set per joint hypothesis
+        and yields one :class:`SelectionRequest` for the arg-min scan.
         """
         pairs = self._key_pairs()
         if not 0 <= target < len(pairs):
@@ -143,26 +145,46 @@ class DistillerPairingAttack:
                 masking=self._helper.masking,
                 sketch=sketch.helper_for_response(reference, seed),
                 key_check=key_check_digest(reference))
-        outcome = select_hypothesis(
-            self._oracle, helpers,
+        outcome = yield SelectionRequest(
+            helpers,
             queries_per_hypothesis=self._queries_per_hypothesis)
         learned = dict(zip(isolated, outcome.label))
-        return learned, len(helpers)
+        return learned, len(helpers), outcome.queries
+
+    def isolate(self, target: int) -> Tuple[Dict[int, int], int]:
+        """Learn the true bits of every pair isolated by one placement.
+
+        Centres the quadratic on the *target* key position's pair; all
+        positions whose injected discrepancy collapses (the target plus
+        geometric mirror pairs, cf. Fig. 6c) become joint hypothesis
+        bits.  Returns ``{position: bit}`` for every isolated position
+        and the number of hypotheses enumerated.
+        """
+        learned, count, _ = drive(self._isolate_steps(target),
+                                  self._oracle)
+        return learned, count
 
     # ------------------------------------------------------------------
 
-    def run(self) -> DistillerAttackResult:
-        """Recover every key bit, sliding the isolation pattern."""
+    def steps(self) -> AttackSteps:
+        """Stepwise protocol of the full attack (lock-step entry).
+
+        One :class:`SelectionRequest` per quadratic placement; returns
+        the :class:`DistillerAttackResult` with the query bill summed
+        from the selection outcomes.
+        """
         pairs = self._key_pairs()
-        start = self._oracle.queries
+        queries = 0
         known: Dict[int, int] = {}
         rounds: List[int] = []
         for target in range(len(pairs)):
             if target in known:
                 continue
-            learned, hypotheses = self.isolate(target)
+            learned, hypotheses, spent = \
+                yield from self._isolate_steps(target)
             known.update(learned)
             rounds.append(hypotheses)
+            queries += spent
         key = np.array([known[pos] for pos in range(len(pairs))],
                        dtype=np.uint8)
         # Marginal (near-tie) pairs may have been frozen on the other
@@ -173,6 +195,13 @@ class DistillerPairingAttack:
             key = repaired
         confirmed = key_check_digest(key) == self._helper.key_check
         return DistillerAttackResult(
-            key=key, confirmed=confirmed,
-            queries=self._oracle.queries - start,
+            key=key, confirmed=confirmed, queries=queries,
             hypothesis_rounds=tuple(rounds))
+
+    def run(self) -> DistillerAttackResult:
+        """Recover every key bit, sliding the isolation pattern.
+
+        Drives :meth:`steps` against the attack's own oracle — the
+        scalar per-device reference for the lock-step campaign engine.
+        """
+        return drive(self.steps(), self._oracle)

@@ -18,6 +18,12 @@ Two distinguishers are provided:
 * :func:`select_hypothesis` — fixed-budget arg-min selection over many
   labelled helpers; used for the multi-bit ``2^u``-hypothesis variants
   (paper Fig. 6c).
+
+Both drive a :class:`~repro.core.batch_oracle.BatchOracle` in
+vectorized blocks (decisions, query counts and stream positions match
+the single-query walk bitwise); the lock-step campaign engine
+(:mod:`repro.core.lockstep`) additionally advances the same decision
+rules for whole device batches at once.
 """
 
 from __future__ import annotations
@@ -63,10 +69,19 @@ class ComparisonOutcome:
 class FailureRateComparer:
     """Adaptive paired comparison of two helpers' failure rates.
 
-    Queries the two helpers alternately and stops as soon as the
-    empirical rate difference exceeds a two-sided Hoeffding bound at the
-    configured confidence, or when the per-side budget is exhausted
-    (then deciding by majority, with ``"tie"`` on equality).
+    Samples the two helpers in paired a/b order and stops as soon as
+    the empirical rate difference exceeds a two-sided Hoeffding bound
+    at the configured confidence, or when the per-side budget is
+    exhausted (then resolving by a two-proportion z-test, with
+    ``"tie"`` on insignificance).  Despite the sequential decision
+    rule, queries are *not* issued one at a time: a scalar oracle is
+    walked query by query, while a
+    :class:`~repro.core.batch_oracle.BatchOracle` is driven in
+    speculative vectorized blocks whose unused rows are unwound, and
+    the lock-step engine (:mod:`repro.core.lockstep`) advances many
+    devices' comparisons through the same rules in shared rounds —
+    all three paths land on bitwise-identical decisions and query
+    counts.
     """
 
     def __init__(self, max_queries_per_side: int = 40,
@@ -97,6 +112,26 @@ class FailureRateComparer:
         self._confidence = float(confidence)
         self._identical_stop = (None if identical_stop is None
                                 else int(identical_stop))
+
+    @property
+    def max_queries_per_side(self) -> int:
+        """Per-helper query budget of one comparison."""
+        return self._max
+
+    @property
+    def min_queries_per_side(self) -> int:
+        """Paired samples required before any stopping rule applies."""
+        return self._min
+
+    @property
+    def confidence(self) -> float:
+        """Two-sided confidence level of the Hoeffding stopping rule."""
+        return self._confidence
+
+    @property
+    def identical_stop(self) -> Optional[int]:
+        """Identical-extremes early-stop threshold (``None`` = off)."""
+        return self._identical_stop
 
     def _bound(self, samples: int) -> float:
         """Hoeffding bound on the difference of two Bernoulli means."""
@@ -176,67 +211,27 @@ class FailureRateComparer:
                          ) -> ComparisonOutcome:
         """Block-vectorized :meth:`compare` over a batched oracle.
 
-        Paired samples are evaluated a block at a time: even noise rows
-        feed *helper_a*, odd rows *helper_b*, reproducing the
-        sequential a/b interleave exactly.  All three stopping rules
-        are evaluated on cumulative failure counts; rows past the first
-        trigger are unwound so the stream and query counter land where
-        the sequential loop would have stopped.
+        Delegates to the lock-step ``ComparisonEngine`` with a single
+        lane, so the vectorized form of the stopping rules exists
+        exactly once — the same code advances one device's block walk
+        and a whole campaign batch.  Rows past the decision point are
+        unwound by the engine; stream position and query count land
+        where the sequential loop would have stopped.
         """
-        start = oracle.queries
-        failures_a = 0
-        failures_b = 0
-        samples = 0
-        separated = False
-        delta_log = math.log(2.0 / (1.0 - self._confidence))
-        block = max(self._min, 8)
-        while samples < self._max:
-            size = min(block, self._max - samples)
-            block *= 2
-            rows = oracle.take_rows(2 * size)
-            out_a = oracle.evaluate_rows(helper_a, rows[0::2], op)
-            out_b = oracle.evaluate_rows(helper_b, rows[1::2], op)
-            cum_a = failures_a + np.cumsum(~out_a)
-            cum_b = failures_b + np.cumsum(~out_b)
-            counts = samples + np.arange(1, size + 1)
-            low = np.minimum(cum_a, cum_b)
-            high = np.maximum(cum_a, cum_b)
-            stop_separated = ((low == 0) & (high == counts)
-                              & (cum_a != cum_b))
-            # Same IEEE operation sequence as _bound() so block and
-            # sequential comparisons round identically.
-            bounds = 2.0 * np.sqrt(delta_log / (2.0 * counts))
-            stop_gap = np.abs(cum_a - cum_b) / counts > bounds
-            if self._identical_stop is None:
-                stop_identical = np.zeros(size, dtype=bool)
-            else:
-                stop_identical = ((counts >= self._identical_stop)
-                                  & (cum_a == cum_b)
-                                  & ((cum_a == 0) | (cum_a == counts)))
-            trigger = ((counts >= self._min)
-                       & (stop_separated | stop_identical | stop_gap))
-            if trigger.any():
-                idx = int(np.argmax(trigger))
-                oracle.untake_rows(rows[2 * (idx + 1):])
-                failures_a = int(cum_a[idx])
-                failures_b = int(cum_b[idx])
-                samples = int(counts[idx])
-                separated = bool(stop_separated[idx] or stop_gap[idx])
-                break
-            failures_a = int(cum_a[-1])
-            failures_b = int(cum_b[-1])
-            samples = int(counts[-1])
-        if not separated:
-            separated = self._significant(failures_a, failures_b,
-                                          samples)
-        if not separated or failures_a == failures_b:
-            decision = "tie"
-        elif failures_a < failures_b:
-            decision = "a"
-        else:
-            decision = "b"
-        return ComparisonOutcome(decision, oracle.queries - start,
-                                 failures_a, failures_b, samples)
+        # Imported here: lockstep depends on this module at import
+        # time for the outcome/request vocabulary.
+        from repro.core.lockstep import (
+            ComparisonEngine,
+            ComparisonRequest,
+            Lane,
+        )
+
+        lane = Lane(oracle, ComparisonRequest(helper_a, helper_b,
+                                              self, op))
+        engine = ComparisonEngine()
+        while not lane.finished:
+            engine.step([lane])
+        return lane.outcome
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ from repro.core.framework import (
     FailureRateComparer,
     repair_with_commitment,
 )
+from repro.core.lockstep import AttackSteps, ComparisonRequest, drive
 from repro.core.injection import (
     pair_cells_by_value,
     predicted_pair_bits,
@@ -147,34 +148,58 @@ class GroupBasedAttack:
 
     # ------------------------------------------------------------------
 
-    def recover_group_order(self, members: Sequence[int]
-                            ) -> Tuple[int, ...]:
-        """Comparison-sort one stored group's members by residual.
+    def _order_steps(self, members: Sequence[int]) -> AttackSteps:
+        """Stepwise comparison-sort of one stored group's members.
 
         Binary-insertion sort: ``O(g log g)`` oracle comparisons per
-        group instead of the naive ``g^2`` pairwise matrix.
+        group instead of the naive ``g^2`` pairwise matrix.  Each
+        comparison is yielded as a :class:`ComparisonRequest`; returns
+        ``(order, queries)``.
         """
         members = [int(m) for m in members]
+        queries = 0
         sorted_desc: List[int] = []
         for member in members:
             lo, hi = 0, len(sorted_desc)
             while lo < hi:
                 mid = (lo + hi) // 2
-                if self.compare_ros(sorted_desc[mid], member):
+                helper0, helper1 = self._attack_helpers(
+                    sorted_desc[mid], member)
+                outcome = yield ComparisonRequest(
+                    helper0, helper1, self._comparer)
+                self._comparisons += 1
+                queries += outcome.queries
+                if outcome.decision != "b":  # hypothesis 0 (or tie)
                     lo = mid + 1
                 else:
                     hi = mid
             sorted_desc.insert(lo, member)
         label_of = {member: position
                     for position, member in enumerate(members)}
-        return tuple(label_of[m] for m in sorted_desc)
+        return tuple(label_of[m] for m in sorted_desc), queries
 
-    def run(self) -> GroupAttackResult:
-        """Recover every original group's order and reassemble the key."""
-        start = self._oracle.queries
+    def recover_group_order(self, members: Sequence[int]
+                            ) -> Tuple[int, ...]:
+        """Comparison-sort one stored group's members by residual."""
+        order, _ = drive(self._order_steps(members), self._oracle)
+        return order
+
+    def steps(self) -> AttackSteps:
+        """Stepwise protocol of the full attack (lock-step entry).
+
+        Yields one :class:`ComparisonRequest` at a time — the
+        binary-insertion sort makes each comparison depend on the
+        previous decision, so the per-device frontier is exactly one
+        request — and returns the :class:`GroupAttackResult`.
+        """
         self._comparisons = 0
-        orders = tuple(self.recover_group_order(group)
-                       for group in self._helper.grouping.groups)
+        queries = 0
+        orders = []
+        for group in self._helper.grouping.groups:
+            order, group_queries = yield from self._order_steps(group)
+            orders.append(order)
+            queries += group_queries
+        orders = tuple(orders)
         stream = np.concatenate([kendall_encode(order)
                                  for order in orders]) \
             if orders else np.zeros(0, dtype=np.uint8)
@@ -188,5 +213,13 @@ class GroupBasedAttack:
         confirmed = key_check_digest(key) == self._helper.key_check
         return GroupAttackResult(
             orders=orders, key=key, confirmed=confirmed,
-            queries=self._oracle.queries - start,
-            comparisons=self._comparisons)
+            queries=queries, comparisons=self._comparisons)
+
+    def run(self) -> GroupAttackResult:
+        """Recover every original group's order and reassemble the key.
+
+        Drives :meth:`steps` against the attack's own oracle — the
+        scalar per-device reference the lock-step campaign engine is
+        asserted bitwise-equal against.
+        """
+        return drive(self.steps(), self._oracle)

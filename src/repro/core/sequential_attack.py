@@ -32,6 +32,14 @@ from repro.core.framework import (
     repair_with_commitment,
 )
 from repro.core.injection import flip_orientations
+from repro.core.lockstep import (
+    AttackSteps,
+    ComparisonRequest,
+    QueryBlockRequest,
+    SPRTRequest,
+    drive,
+    outcome_queries,
+)
 from repro.core.oracle import HelperDataOracle
 from repro.keygen.base import OperatingPoint, key_check_digest
 from repro.keygen.sequential import (
@@ -134,13 +142,8 @@ class SequentialPairingAttack:
             raise ValueError("not enough pairs to carry the injection")
         return positions[:self._injected]
 
-    def test_relation(self, target: int) -> Tuple[int, ComparisonOutcome]:
-        """Recover ``r_0 XOR r_target`` with one paired comparison.
-
-        Builds a *reference* helper carrying only the injected errors
-        and a *test* helper additionally swapping positions 0 and
-        *target*; the test helper fails more iff the bits differ.
-        """
+    def _relation_steps(self, target: int) -> AttackSteps:
+        """Stepwise :meth:`test_relation`; returns the same pair."""
         if not 1 <= target < self._helper.pairing.bits:
             raise ValueError("target must be a non-zero pair position")
         injected = flip_orientations(self._helper.pairing,
@@ -148,33 +151,51 @@ class SequentialPairingAttack:
         reference = self._helper.with_pairing(injected)
         test = self._helper.with_pairing(
             injected.with_swapped_positions(0, target))
-        outcome = self._comparer.compare(self._oracle, reference, test,
-                                         self._op)
+        outcome = yield ComparisonRequest(reference, test,
+                                          self._comparer, self._op)
         # Lower failure rate for the swapped helper would mean the swap
         # *removed* errors, which the construction cannot produce; treat
         # tie as "equal" (no extra errors observed).
         relation = 1 if outcome.decision == "a" else 0
         return relation, outcome
 
+    def test_relation(self, target: int) -> Tuple[int, ComparisonOutcome]:
+        """Recover ``r_0 XOR r_target`` with one paired comparison.
+
+        Builds a *reference* helper carrying only the injected errors
+        and a *test* helper additionally swapping positions 0 and
+        *target*; the test helper fails more iff the bits differ.
+        """
+        return drive(self._relation_steps(target), self._oracle)
+
+    def _paired_relations_steps(self) -> AttackSteps:
+        """Stepwise paired-comparer relation recovery."""
+        bits = self._helper.pairing.bits
+        relations = np.zeros(bits, dtype=np.uint8)
+        outcomes: List[ComparisonOutcome] = []
+        for target in range(1, bits):
+            relation, outcome = yield from self._relation_steps(target)
+            relations[target] = relation
+            outcomes.append(outcome)
+        return relations, outcomes
+
     def recover_relations(self) -> Tuple[np.ndarray,
                                          List[ComparisonOutcome]]:
         """Match ``r_0`` against every other response bit."""
         if self._ml_decoder:
             return self._recover_relations_ml(), []
-        bits = self._helper.pairing.bits
-        relations = np.zeros(bits, dtype=np.uint8)
-        outcomes: List[ComparisonOutcome] = []
-        for target in range(1, bits):
-            relation, outcome = self.test_relation(target)
-            relations[target] = relation
-            outcomes.append(outcome)
-        return relations, outcomes
+        return drive(self._paired_relations_steps(), self._oracle)
 
     # ------------------------------------------------------------------
     # maximum-likelihood (non-bounded-distance) decoders
 
-    def _ml_calibrate_anchor(self, anchor: int,
-                             samples: int = 4) -> Tuple[List[int], int]:
+    def _ml_rate_steps(self, helper, samples: int) -> AttackSteps:
+        """Stepwise empirical failure rate over *samples* queries."""
+        outcomes = yield QueryBlockRequest(helper, samples, self._op)
+        return np.count_nonzero(~outcomes) / samples
+
+    def _ml_calibrate_steps(self, anchor: int,
+                            samples: int = 4) -> AttackSteps:
         """Find an injection whose failure signature *moves* when one
         extra error lands on *anchor*.
 
@@ -204,12 +225,11 @@ class SequentialPairingAttack:
             subset = sorted(rng.choice(candidates, size=size,
                                        replace=False).tolist())
             base = flip_orientations(pairing, subset)
-            rate_eq = self._oracle.failure_rate(
-                self._helper.with_pairing(base), samples, self._op)
-            rate_neq = self._oracle.failure_rate(
+            rate_eq = yield from self._ml_rate_steps(
+                self._helper.with_pairing(base), samples)
+            rate_neq = yield from self._ml_rate_steps(
                 self._helper.with_pairing(
-                    base.with_flipped_orientation(anchor)),
-                samples, self._op)
+                    base.with_flipped_orientation(anchor)), samples)
             if rate_eq <= 0.25 and rate_neq >= 0.75:
                 return [int(p) for p in subset], 1
             if rate_eq >= 0.75 and rate_neq <= 0.25:
@@ -217,19 +237,25 @@ class SequentialPairingAttack:
         raise ValueError(
             f"no separating injection found for anchor {anchor}")
 
-    def _ml_test(self, anchor: int, positions: List[int],
-                 neq_signature: int, target: int,
-                 samples: int = 4) -> int:
+    def _ml_calibrate_anchor(self, anchor: int,
+                             samples: int = 4) -> Tuple[List[int], int]:
+        """Scalar drive of :meth:`_ml_calibrate_steps`."""
+        return drive(self._ml_calibrate_steps(anchor, samples),
+                     self._oracle)
+
+    def _ml_test_steps(self, anchor: int, positions: List[int],
+                       neq_signature: int, target: int,
+                       samples: int = 4) -> AttackSteps:
         """One relation test against a calibrated anchor signature."""
         injected = flip_orientations(self._helper.pairing, positions)
         test = self._helper.with_pairing(
             injected.with_swapped_positions(anchor, target))
-        rate = self._oracle.failure_rate(test, samples, self._op)
+        rate = yield from self._ml_rate_steps(test, samples)
         observed = 1 if rate >= 0.5 else 0
         return 1 if observed == neq_signature else 0
 
-    def _recover_relations_ml(self) -> np.ndarray:
-        """Relation recovery against an ML-decoded reliability layer.
+    def _ml_relations_steps(self) -> AttackSteps:
+        """Stepwise relation recovery against an ML-decoded layer.
 
         Anchor A (position 0) handles every target outside its block;
         targets sharing block 0 are compared against a second anchor in
@@ -238,12 +264,13 @@ class SequentialPairingAttack:
         bits = self._helper.pairing.bits
         block = self._block_size or self._inner_code.n
         relations = np.zeros(bits, dtype=np.uint8)
-        positions_a, signature_a = self._ml_calibrate_anchor(0)
+        positions_a, signature_a = yield from self._ml_calibrate_steps(
+            0)
         in_block0 = [t for t in range(1, bits) if t < block]
         outside = [t for t in range(1, bits) if t >= block]
         for target in outside:
-            relations[target] = self._ml_test(0, positions_a,
-                                              signature_a, target)
+            relations[target] = yield from self._ml_test_steps(
+                0, positions_a, signature_a, target)
         if in_block0:
             if not outside:
                 raise ValueError(
@@ -251,24 +278,27 @@ class SequentialPairingAttack:
                     "the anchor block; brute-force the (tiny) key "
                     "against the public commitment instead")
             anchor_b = outside[0]
-            positions_b, signature_b = self._ml_calibrate_anchor(
-                anchor_b)
+            positions_b, signature_b = \
+                yield from self._ml_calibrate_steps(anchor_b)
             rel_0_b = relations[anchor_b]
             for target in in_block0:
-                rel_b_t = self._ml_test(anchor_b, positions_b,
-                                        signature_b, target)
+                rel_b_t = yield from self._ml_test_steps(
+                    anchor_b, positions_b, signature_b, target)
                 relations[target] = rel_0_b ^ rel_b_t
         return relations
 
-    def recover_relations_sprt(self, calibration_queries: int = 25
-                               ) -> np.ndarray:
-        """SPRT variant: one calibration, then single-helper tests.
+    def _recover_relations_ml(self) -> np.ndarray:
+        """Relation recovery against an ML-decoded reliability layer."""
+        return drive(self._ml_relations_steps(), self._oracle)
 
-        The paired comparer queries a reference helper alongside every
-        test helper; Wald's SPRT instead calibrates the two failure
-        rates once (injection only vs injection + one known extra
-        error) and then tests each swapped helper alone — roughly
-        halving the query bill in the engineered regime.
+    def _sprt_relations_steps(self, calibration_queries: int = 25
+                              ) -> AttackSteps:
+        """Stepwise SPRT relation recovery (calibration + tests).
+
+        Calibration is expressed as two fixed query blocks whose
+        failure counts feed ``SPRTDistinguisher.from_counts`` — the
+        same constructor ``calibrate`` uses, so the stepwise and
+        direct calibrations share one implementation.
         """
         from repro.core.sprt import SPRTDistinguisher
 
@@ -284,9 +314,13 @@ class SequentialPairingAttack:
         helper_eq = self._helper.with_pairing(base)
         helper_neq = self._helper.with_pairing(
             flip_orientations(base, extras))
-        sprt = SPRTDistinguisher.calibrate(
-            self._oracle, helper_eq, helper_neq,
-            queries=calibration_queries, op=self._op)
+        outcomes_eq = yield QueryBlockRequest(
+            helper_eq, calibration_queries, self._op)
+        outcomes_neq = yield QueryBlockRequest(
+            helper_neq, calibration_queries, self._op)
+        sprt = SPRTDistinguisher.from_counts(
+            int(np.count_nonzero(~outcomes_eq)),
+            int(np.count_nonzero(~outcomes_neq)), calibration_queries)
 
         relations = np.zeros(bits, dtype=np.uint8)
         occupied = set(tail)
@@ -301,17 +335,25 @@ class SequentialPairingAttack:
                 injected = base
             test = self._helper.with_pairing(
                 injected.with_swapped_positions(0, target))
-            outcome = sprt.test(self._oracle, test, self._op)
+            outcome = yield SPRTRequest(sprt, test, self._op)
             relations[target] = 1 if outcome.decision == "neq" else 0
         return relations
 
-    def resolve_key(self, relations: np.ndarray) -> Optional[np.ndarray]:
-        """Final decision between the two candidate keys (§VI-A).
+    def recover_relations_sprt(self, calibration_queries: int = 25
+                               ) -> np.ndarray:
+        """SPRT variant: one calibration, then single-helper tests.
 
-        Writes, for each candidate, ECC redundancy consistent with the
-        candidate plus the matching key-check commitment, and observes
-        which reconstruction the application accepts.
+        The paired comparer queries a reference helper alongside every
+        test helper; Wald's SPRT instead calibrates the two failure
+        rates once (injection only vs injection + one known extra
+        error) and then tests each swapped helper alone — roughly
+        halving the query bill in the engineered regime.
         """
+        return drive(self._sprt_relations_steps(calibration_queries),
+                     self._oracle)
+
+    def _resolve_steps(self, relations: np.ndarray) -> AttackSteps:
+        """Stepwise two-candidate resolution (§VI-A final decision)."""
         bits = relations.shape[0]
         sketch = self._keygen.sketch_for(bits)
         seed = np.zeros(sketch.code.k, dtype=np.uint8)
@@ -323,8 +365,9 @@ class SequentialPairingAttack:
                 key_check_digest(candidate))
             # A handful of retries guards against a noise burst failing
             # the correct candidate's reconstruction.
-            if any(self._oracle.query(programmed, self._op)
-                   for _ in range(3)):
+            outcomes = yield QueryBlockRequest(programmed, 3, self._op,
+                                               stop_on_success=True)
+            if outcomes.any():
                 return candidate
         # Neither candidate was accepted: a few relations were called
         # wrong (marginal bits in a noisy regime).  The key-check digest
@@ -338,23 +381,61 @@ class SequentialPairingAttack:
                 return repaired
         return None
 
+    def resolve_key(self, relations: np.ndarray) -> Optional[np.ndarray]:
+        """Final decision between the two candidate keys (§VI-A).
+
+        Writes, for each candidate, ECC redundancy consistent with the
+        candidate plus the matching key-check commitment, and observes
+        which reconstruction the application accepts.
+        """
+        return drive(self._resolve_steps(relations), self._oracle)
+
+    def _attack_body_steps(self, method: str) -> AttackSteps:
+        """Relations plus candidate resolution, without accounting."""
+        if method == "paired":
+            if self._ml_decoder:
+                relations = yield from self._ml_relations_steps()
+                outcomes: List[ComparisonOutcome] = []
+            else:
+                relations, outcomes = \
+                    yield from self._paired_relations_steps()
+        elif method == "sprt":
+            relations = yield from self._sprt_relations_steps()
+            outcomes = []
+        else:
+            raise ValueError("method must be 'paired' or 'sprt'")
+        key = yield from self._resolve_steps(relations)
+        return relations, key, outcomes
+
+    def steps(self, method: str = "paired") -> AttackSteps:
+        """Stepwise protocol of the full attack (lock-step entry).
+
+        Yields comparison / SPRT / query-block requests and returns
+        the :class:`SequentialAttackResult`; the query bill is summed
+        from the delivered outcomes, so scalar and lock-step execution
+        report identical totals.
+        """
+        inner = self._attack_body_steps(method)
+        queries = 0
+        reply = None
+        while True:
+            try:
+                request = inner.send(reply)
+            except StopIteration as stop:
+                relations, key, outcomes = stop.value
+                return SequentialAttackResult(
+                    relations=relations, key=key, queries=queries,
+                    comparisons=tuple(outcomes))
+            reply = yield request
+            queries += outcome_queries(reply)
+
     def run(self, method: str = "paired") -> SequentialAttackResult:
         """Full attack: relations, then the two-candidate resolution.
 
         ``method`` selects the distinguisher: ``"paired"`` (adaptive
         reference/test comparison, no calibration) or ``"sprt"``
-        (Wald's sequential test after a one-time calibration).
+        (Wald's sequential test after a one-time calibration).  Drives
+        :meth:`steps` against the attack's own oracle — the scalar
+        per-device reference for the lock-step campaign engine.
         """
-        start = self._oracle.queries
-        if method == "paired":
-            relations, outcomes = self.recover_relations()
-        elif method == "sprt":
-            relations = self.recover_relations_sprt()
-            outcomes = []
-        else:
-            raise ValueError("method must be 'paired' or 'sprt'")
-        key = self.resolve_key(relations)
-        return SequentialAttackResult(
-            relations=relations, key=key,
-            queries=self._oracle.queries - start,
-            comparisons=tuple(outcomes))
+        return drive(self.steps(method), self._oracle)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -89,6 +89,41 @@ class SPRTDistinguisher:
         """Hypothesised failure rate of the higher-rate model."""
         return self._p_high
 
+    @property
+    def boundaries(self) -> Tuple[float, float]:
+        """Wald acceptance boundaries ``(lower, upper)`` on the LLR."""
+        return self._lower, self._upper
+
+    @property
+    def llr_steps(self) -> Tuple[float, float]:
+        """Per-observation LLR increments ``(success, failure)``."""
+        return self._llr_success, self._llr_fail
+
+    @property
+    def max_queries(self) -> int:
+        """Hard per-test query budget."""
+        return self._max
+
+    @classmethod
+    def from_counts(cls, fails_eq: int, fails_neq: int, queries: int,
+                    **kwargs) -> "SPRTDistinguisher":
+        """Build from two calibration failure counts.
+
+        The one place the Laplace-smoothed rate estimates and the
+        separation guard live: :meth:`calibrate` and the stepwise
+        attack calibration
+        (``SequentialPairingAttack._sprt_relations_steps``) both feed
+        their observed counts through here, so the two paths cannot
+        drift apart.
+        """
+        p_low = (fails_eq + 1) / (queries + 2)
+        p_high = (fails_neq + 1) / (queries + 2)
+        if p_high <= p_low:
+            raise ValueError(
+                "calibration helpers are not separated; increase the "
+                "injected error count")
+        return cls(p_low, p_high, **kwargs)
+
     @classmethod
     def calibrate(cls, oracle: HelperDataOracle, helper_eq, helper_neq,
                   queries: int = 30,
@@ -111,13 +146,7 @@ class SPRTDistinguisher:
                            for _ in range(queries))
             fails_neq = sum(0 if oracle.query(helper_neq, op) else 1
                             for _ in range(queries))
-        p_low = (fails_eq + 1) / (queries + 2)
-        p_high = (fails_neq + 1) / (queries + 2)
-        if p_high <= p_low:
-            raise ValueError(
-                "calibration helpers are not separated; increase the "
-                "injected error count")
-        return cls(p_low, p_high, **kwargs)
+        return cls.from_counts(fails_eq, fails_neq, queries, **kwargs)
 
     def test(self, oracle: HelperDataOracle, helper,
              op: Optional[OperatingPoint] = None) -> SPRTOutcome:
@@ -150,39 +179,20 @@ class SPRTDistinguisher:
                       op: Optional[OperatingPoint]) -> SPRTOutcome:
         """Block-vectorized Wald walk.
 
-        The running log-likelihood is rebuilt with a cumulative sum
-        seeded by the carried-over value (same floating-point
-        accumulation order as the scalar loop), and the first boundary
-        crossing decides; rows past it go back to the oracle.
+        Delegates to the lock-step ``SPRTEngine`` with a single lane,
+        so the vectorized walk (carry-seeded cumulative sum, first
+        boundary crossing decides, tail rows unwound) exists exactly
+        once for single tests and campaign batches alike.
         """
-        llr = 0.0
-        failures = 0
-        queries = 0
-        block = 16
-        while queries < self._max:
-            size = min(block, self._max - queries)
-            block *= 2
-            rows = oracle.take_rows(size)
-            outcomes = oracle.evaluate_rows(helper, rows, op)
-            steps = np.where(outcomes, self._llr_success,
-                             self._llr_fail)
-            # Prepending the carry keeps the additions in scalar order:
-            # ((llr + s1) + s2) + ... rather than llr + (s1 + s2 + ...).
-            walk = np.cumsum(np.concatenate(([llr], steps)))[1:]
-            crossed = (walk >= self._upper) | (walk <= self._lower)
-            if crossed.any():
-                idx = int(np.argmax(crossed))
-                oracle.untake_rows(rows[idx + 1:])
-                queries += idx + 1
-                failures += int(np.count_nonzero(~outcomes[:idx + 1]))
-                llr = float(walk[idx])
-                decision = "neq" if llr >= self._upper else "eq"
-                return SPRTOutcome(decision, queries, failures, llr)
-            queries += size
-            failures += int(np.count_nonzero(~outcomes))
-            llr = float(walk[-1])
-        decision = "neq" if llr > 0 else "eq"
-        return SPRTOutcome(decision, queries, failures, llr)
+        # Imported here: lockstep depends on this module at import
+        # time for the outcome/request vocabulary.
+        from repro.core.lockstep import Lane, SPRTEngine, SPRTRequest
+
+        lane = Lane(oracle, SPRTRequest(self, helper, op))
+        engine = SPRTEngine()
+        while not lane.finished:
+            engine.step([lane])
+        return lane.outcome
 
     def expected_queries(self, true_p: float) -> float:
         """Wald's approximation of E[queries] at failure rate *true_p*.

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro._dedup import unique_rows
 from repro.ecc.base import BlockCode, DecodingFailure, as_bit_matrix, as_bits
 from repro.ecc.gf2m import GF2m, poly_degree, poly_mod, poly_mul, poly_to_bits
 
@@ -238,8 +239,7 @@ class BCHCode(BlockCode):
         if syn.shape[0] == 0:
             return (np.zeros((0, self.n), dtype=np.uint8),
                     np.zeros(0, dtype=bool))
-        distinct, inverse = np.unique(syn, axis=0, return_inverse=True)
-        inverse = inverse.reshape(-1)
+        distinct, inverse = unique_rows(syn)
         errors, ok = self._solve_distinct_syndromes(distinct,
                                                     max_position)
         return errors[inverse], ok[inverse]

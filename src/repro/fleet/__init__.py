@@ -4,9 +4,20 @@ Manufactures many IC samples from one seed and sweeps reliability,
 entropy and attack-success statistics across the population with
 chunked, vectorized execution — optionally split across a process pool
 (``workers=N``) with shared-memory result buffers and bitwise
-worker-count-invariant results (see ``docs/fleet.md``).
+worker-count-invariant results (see ``docs/fleet.md``).  Attack
+campaigns run through the round-based lock-step engine
+(:mod:`repro.fleet.campaign`): one attack advanced across a whole
+device batch per distinguisher round, bitwise-identical to the
+per-device scalar loop (see ``docs/attacks.md``).
 """
 
+from repro.fleet.campaign import (
+    DistillerAttackFactory,
+    GroupAttackFactory,
+    LockstepCampaign,
+    run_campaign,
+    sequential_attack_factory,
+)
 from repro.fleet.fleet import (
     AttackFactory,
     Fleet,
@@ -23,9 +34,14 @@ from repro.fleet.parallel import (
 
 __all__ = [
     "AttackFactory",
+    "DistillerAttackFactory",
     "Fleet",
     "FleetEnrollment",
+    "GroupAttackFactory",
     "KeyGenFactory",
+    "LockstepCampaign",
+    "run_campaign",
+    "sequential_attack_factory",
     "SharedResultBuffer",
     "chunk_indices",
     "resolve_workers",

@@ -1,0 +1,161 @@
+"""Round-based lock-step execution of one attack across many devices.
+
+``Fleet.attack_success`` used to walk its device population one attack
+at a time: each worker drove one adaptive attack loop to completion,
+one distinguisher decision per oracle round trip, before touching the
+next device.  :class:`LockstepCampaign` turns that inside out.  Every
+device's attack runs as a stepwise generator
+(:mod:`repro.core.lockstep`); the campaign gathers the **frontier** —
+the pending request of every still-active device — each round and
+advances all of them together through the vectorized lane engines: one
+noise block per device, one batched bookkeeping pass per request type
+(per-device accept/reject/continue masks, variable per-device query
+counts), then the finished devices' generators resume and contribute
+their next request to the following round.
+
+Devices finish at different rounds; the frontier simply shrinks.
+Because every lane consumes only its own oracle's stream, in request
+order, with speculative tails unwound, per-device decisions, query
+bills and recovered keys are **bitwise-identical** to driving each
+attack alone — the property that lets the lock-step path slot under
+``Fleet.attack_success`` (lock-step within a worker, processes across
+chunks) without changing a single reported number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.batch_oracle import BatchOracle
+from repro.core.distiller_attack import DistillerPairingAttack
+from repro.core.group_attack import GroupBasedAttack
+from repro.core.lockstep import AttackSteps, Lane, lane_engines
+from repro.core.sequential_attack import SequentialPairingAttack
+
+
+class LockstepCampaign:
+    """Drives a batch of stepwise attacks in shared rounds.
+
+    Parameters
+    ----------
+    lanes:
+        One ``(oracle, steps)`` pair per device: the device's batched
+        oracle and the attack's :meth:`steps` generator.  Oracles must
+        be distinct objects — each lane owns its noise stream.
+    """
+
+    def __init__(self, lanes: Sequence[Tuple[BatchOracle, AttackSteps]]
+                 ) -> None:
+        self._entries = list(lanes)
+
+    def run(self) -> List[object]:
+        """Execute every attack to completion; results in lane order.
+
+        Each scheduler round partitions the active frontier by request
+        type and hands every group to its lane engine for one block of
+        progress; devices whose request completed are resumed
+        immediately so their next request joins the very next round.
+        """
+        engines = lane_engines()
+        results: List[object] = [None] * len(self._entries)
+        active: List[Tuple[int, AttackSteps, Lane]] = []
+        for index, (oracle, steps) in enumerate(self._entries):
+            slot = self._advance(index, steps, oracle, None, results)
+            if slot is not None:
+                active.append(slot)
+        while active:
+            progressed = False
+            for engine in engines:
+                lanes = [lane for _, _, lane in active
+                         if isinstance(lane.request,
+                                       engine.request_type)]
+                if lanes:
+                    engine.step(lanes)
+                    progressed = True
+            if not progressed:
+                request = active[0][2].request
+                raise TypeError(
+                    f"no lane engine accepts request {request!r}")
+            survivors: List[Tuple[int, AttackSteps, Lane]] = []
+            for index, steps, lane in active:
+                if not lane.finished:
+                    survivors.append((index, steps, lane))
+                    continue
+                slot = self._advance(index, steps, lane.oracle,
+                                     lane.outcome, results)
+                if slot is not None:
+                    survivors.append(slot)
+            active = survivors
+        return results
+
+    @staticmethod
+    def _advance(index: int, steps: AttackSteps, oracle: BatchOracle,
+                 reply, results: List[object]
+                 ) -> Optional[Tuple[int, AttackSteps, Lane]]:
+        """Resume one generator; park its next request or its result."""
+        try:
+            request = steps.send(reply)
+        except StopIteration as stop:
+            results[index] = stop.value
+            return None
+        return index, steps, Lane(oracle, request)
+
+
+def run_campaign(oracles: Sequence[BatchOracle],
+                 attacks: Sequence[object]) -> List[object]:
+    """Lock-step a batch of constructed attack drivers.
+
+    Convenience wrapper pairing each attack's ``steps()`` generator
+    with its device's oracle; returns the attack results in device
+    order, bitwise-identical to calling each ``run()`` alone.
+    """
+    if len(oracles) != len(attacks):
+        raise ValueError("need exactly one oracle per attack")
+    missing = [attack for attack in attacks
+               if not hasattr(attack, "steps")]
+    if missing:
+        raise TypeError(
+            f"attack driver {missing[0]!r} does not expose the "
+            "stepwise protocol (steps())")
+    return LockstepCampaign(
+        [(oracle, attack.steps())
+         for oracle, attack in zip(oracles, attacks)]).run()
+
+
+# ----------------------------------------------------------------------
+# picklable attack factories (module-level, for workers > 1)
+
+
+def sequential_attack_factory(oracle, keygen, helper
+                              ) -> SequentialPairingAttack:
+    """Build a §VI-A sequential-pairing attack driver for one device."""
+    return SequentialPairingAttack(oracle, keygen, helper)
+
+
+@dataclass(frozen=True)
+class GroupAttackFactory:
+    """Picklable §VI-C group-based attack factory for a geometry."""
+
+    rows: int
+    cols: int
+
+    def __call__(self, oracle, keygen, helper) -> GroupBasedAttack:
+        """Build the attack driver for one enrolled device."""
+        return GroupBasedAttack(oracle, keygen, helper, self.rows,
+                                self.cols)
+
+
+@dataclass(frozen=True)
+class DistillerAttackFactory:
+    """Picklable §VI-D distiller + pairing attack factory."""
+
+    rows: int
+    cols: int
+    max_joint_bits: int = 8
+
+    def __call__(self, oracle, keygen, helper) -> DistillerPairingAttack:
+        """Build the attack driver for one enrolled device."""
+        return DistillerPairingAttack(oracle, keygen, helper,
+                                      self.rows, self.cols,
+                                      max_joint_bits=self.max_joint_bits)

@@ -41,7 +41,12 @@ import numpy as np
 from repro._rng import RNGLike, ensure_rng, spawn
 from repro.analysis.entropy import bit_bias, inter_device_distances
 from repro.core.batch_oracle import BatchOracle
-from repro.fleet.parallel import run_collected, run_scattered
+from repro.fleet.campaign import run_campaign
+from repro.fleet.parallel import (
+    resolve_workers,
+    run_collected,
+    run_scattered,
+)
 from repro.keygen.base import KeyGenerator, OperatingPoint
 from repro.puf.parameters import ROArrayParams
 from repro.puf.ro_array import ROArray
@@ -159,29 +164,49 @@ def _failure_rate_job(job: _FailureRateJob) -> Tuple[float]:
 
 
 @dataclass
-class _AttackJob:
-    """One device's share of an attack campaign."""
+class _AttackChunkJob:
+    """One worker's share of an attack campaign: a device chunk.
 
-    array: ROArray
-    keygen: KeyGenerator
-    helper: object
-    key: np.ndarray
+    The chunk is the lock-step unit — the devices listed here advance
+    through the campaign scheduler together inside one worker; with
+    ``lockstep=False`` the same chunk falls back to the per-device
+    scalar loop (one ``run()`` at a time), which is the executable
+    equivalence reference.
+    """
+
+    arrays: List[ROArray]
+    keygens: List[KeyGenerator]
+    helpers: List[object]
+    keys: List[np.ndarray]
     op: OperatingPoint
     attack_factory: AttackFactory
-    stream: np.random.Generator
-    transient: np.random.Generator
+    streams: List[Tuple[np.random.Generator, np.random.Generator]]
+    lockstep: bool
 
 
-def _attack_job(job: _AttackJob) -> Tuple[bool, int]:
-    """Run one attack driver; returns ``(recovered, queries)``."""
-    job.keygen.reseed_transient_streams(job.transient)
-    oracle = BatchOracle(job.array, job.keygen, op=job.op,
-                         rng=job.stream)
-    attack = job.attack_factory(oracle, job.keygen, job.helper)
-    result = attack.run()
-    key = getattr(result, "key", None)
-    recovered = key is not None and bool(np.array_equal(key, job.key))
-    return recovered, int(getattr(result, "queries", oracle.queries))
+def _attack_chunk_job(job: _AttackChunkJob) -> List[Tuple[bool, int]]:
+    """Run one chunk's attacks; ``(recovered, queries)`` per device."""
+    oracles: List[BatchOracle] = []
+    attacks: List[object] = []
+    for array, keygen, helper, (stream, transient) in zip(
+            job.arrays, job.keygens, job.helpers, job.streams):
+        keygen.reseed_transient_streams(transient)
+        oracle = BatchOracle(array, keygen, op=job.op, rng=stream)
+        oracles.append(oracle)
+        attacks.append(job.attack_factory(oracle, keygen, helper))
+    if job.lockstep:
+        results = run_campaign(oracles, attacks)
+    else:
+        results = [attack.run() for attack in attacks]
+    report: List[Tuple[bool, int]] = []
+    for result, oracle, key in zip(results, oracles, job.keys):
+        recovered_key = getattr(result, "key", None)
+        recovered = (recovered_key is not None
+                     and bool(np.array_equal(recovered_key, key)))
+        report.append((recovered,
+                       int(getattr(result, "queries",
+                                   oracle.queries))))
+    return report
 
 
 class Fleet:
@@ -386,7 +411,9 @@ class Fleet:
     def attack_success(self, enrollment: FleetEnrollment,
                        attack_factory: AttackFactory,
                        op: OperatingPoint = OperatingPoint(),
-                       workers: Optional[int] = 1
+                       workers: Optional[int] = 1,
+                       lockstep: Optional[bool] = None,
+                       batch: Optional[int] = None
                        ) -> Tuple[np.ndarray, np.ndarray]:
         """Run a full helper-data attack against every device.
 
@@ -395,18 +422,70 @@ class Fleet:
         result; with ``workers > 1`` it must be picklable
         (module-level).  Returns ``(recovered, queries)``: a boolean
         key-recovery mask and the per-device ``int64`` oracle query
-        bill.  The drivers run their distinguishers through the
-        batched oracle, so a fleet-wide campaign stays one vectorized
-        block per decision; per-device outcomes are bitwise-identical
-        for every worker count.
+        bill.
+
+        Parameters
+        ----------
+        lockstep:
+            ``True`` runs the round-based lock-step campaign engine
+            (:mod:`repro.fleet.campaign`): each worker advances its
+            whole device chunk together, one fused oracle round per
+            distinguisher block.  ``False`` keeps the per-device
+            scalar loop.  ``None`` (default) auto-detects: lock-step
+            whenever the driver exposes the stepwise ``steps()``
+            protocol.  Either way the per-device results are
+            **bitwise-identical** — lock-stepping only reorders work
+            across devices, never within one device's oracle stream.
+        batch:
+            Devices per lock-step chunk (and per worker dispatch).
+            Defaults to an even split over the resolved worker count,
+            i.e. the widest batch the pool allows.  Lock-step within a
+            worker composes with processes across chunks.
         """
-        jobs = [_AttackJob(array, keygen, helper, key, op,
-                           attack_factory, stream, transient)
-                for array, keygen, helper, key, (stream, transient)
-                in zip(self._arrays, enrollment.keygens,
-                       enrollment.helpers, enrollment.keys,
-                       self._sweep_streams())]
-        recovered, queries = run_scattered(
-            _attack_job, jobs, (np.bool_, np.int64), workers=workers,
-            shared=self._arrays)
+        count = len(self._arrays)
+        streams = self._sweep_streams()
+        resolved = resolve_workers(workers)
+        if lockstep is None:
+            lockstep = self._supports_lockstep(enrollment,
+                                               attack_factory, op)
+        if batch is None:
+            chunks = max(1, min(count,
+                                resolved if lockstep else 4 * resolved))
+            width = -(-count // chunks)
+        else:
+            width = int(batch)
+            if width < 1:
+                raise ValueError("batch must be a positive integer")
+        jobs = []
+        for begin in range(0, count, width):
+            indices = range(begin, min(begin + width, count))
+            jobs.append(_AttackChunkJob(
+                [self._arrays[i] for i in indices],
+                [enrollment.keygens[i] for i in indices],
+                [enrollment.helpers[i] for i in indices],
+                [enrollment.keys[i] for i in indices],
+                op, attack_factory,
+                [streams[i] for i in indices], bool(lockstep)))
+        reports = run_collected(_attack_chunk_job, jobs,
+                                workers=workers, shared=self._arrays)
+        flat = [entry for report in reports for entry in report]
+        recovered = np.array([entry[0] for entry in flat],
+                             dtype=np.bool_)
+        queries = np.array([entry[1] for entry in flat],
+                           dtype=np.int64)
         return recovered, queries
+
+    def _supports_lockstep(self, enrollment: FleetEnrollment,
+                           attack_factory: AttackFactory,
+                           op: OperatingPoint) -> bool:
+        """Probe whether the factory's drivers speak the stepwise
+        protocol (a throwaway driver build; no oracle queries)."""
+        try:
+            probe = attack_factory(
+                BatchOracle(self._arrays[0], enrollment.keygens[0],
+                            op=op),
+                enrollment.keygens[0], enrollment.helpers[0])
+        except Exception:
+            # Let the real dispatch surface construction errors.
+            return False
+        return hasattr(probe, "steps")

@@ -23,6 +23,7 @@ from repro.grouping.kendall import (
     kendall_encode,
     order_from_frequencies,
     order_from_rank,
+    pair_table,
     table1_rows,
 )
 from repro.grouping.packing import (
@@ -51,6 +52,7 @@ __all__ = [
     "kendall_encode",
     "order_from_frequencies",
     "order_from_rank",
+    "pair_table",
     "table1_rows",
     "pack_group",
     "pack_key",

@@ -23,11 +23,35 @@ precedes ``x`` in the order.
 
 from __future__ import annotations
 
-from itertools import combinations, permutations
+from functools import lru_cache
+from itertools import permutations
 from math import factorial
 from typing import List, Sequence, Tuple
 
 import numpy as np
+
+
+@lru_cache(maxsize=None)
+def pair_table(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached label-pair index tables for a size-``size`` group.
+
+    Returns ``(xs, ys)`` — the first and second members of every
+    unordered label pair, in the lexicographic emission order
+    ``(0,1), (0,2), ..., (g-2, g-1)``.  The arrays are the NumPy-gather
+    equivalent of ``itertools.combinations(range(size), 2)`` and are
+    computed once per group size (they are pure functions of ``size``),
+    so encode/decode and the batched Kendall extraction never rebuild
+    pair lists in Python.  Both arrays are read-only views; copy before
+    mutating.
+    """
+    if size < 0:
+        raise ValueError("group size must be non-negative")
+    grid_x, grid_y = np.triu_indices(size, k=1)
+    xs = grid_x.astype(np.intp)
+    ys = grid_y.astype(np.intp)
+    xs.setflags(write=False)
+    ys.setflags(write=False)
+    return xs, ys
 
 
 def order_from_frequencies(member_freqs: Sequence[float]) -> Tuple[int, ...]:
@@ -55,12 +79,18 @@ def kendall_bit_count(size: int) -> int:
 
 
 def kendall_encode(order: Sequence[int]) -> np.ndarray:
-    """Kendall code of an order: one discordance bit per label pair."""
+    """Kendall code of an order: one discordance bit per label pair.
+
+    Vectorized: the order's rank vector is inverted once and the
+    discordance bits of all pairs come from one gather through the
+    cached :func:`pair_table`.
+    """
     order = _check_order(order)
-    position = {label: rank for rank, label in enumerate(order)}
-    bits = [1 if position[y] < position[x] else 0
-            for x, y in combinations(range(len(order)), 2)]
-    return np.array(bits, dtype=np.uint8)
+    size = len(order)
+    position = np.empty(size, dtype=np.intp)
+    position[list(order)] = np.arange(size, dtype=np.intp)
+    xs, ys = pair_table(size)
+    return (position[ys] < position[xs]).astype(np.uint8)
 
 
 def kendall_decode(bits: np.ndarray, size: int) -> Tuple[int, ...]:
@@ -76,21 +106,19 @@ def kendall_decode(bits: np.ndarray, size: int) -> Tuple[int, ...]:
     if bits.shape != (expected,):
         raise ValueError(
             f"group size {size} needs {expected} Kendall bits")
-    precedes = np.zeros((size, size), dtype=bool)
-    for bit, (x, y) in zip(bits, combinations(range(size), 2)):
-        if bit not in (0, 1):
-            raise ValueError("Kendall bits must be 0/1")
-        if bit:
-            precedes[y, x] = True
-        else:
-            precedes[x, y] = True
-    ranks = precedes.sum(axis=0)  # how many labels precede each label
-    if sorted(ranks) != list(range(size)):
+    if expected and not np.isin(bits, (0, 1)).all():
+        raise ValueError("Kendall bits must be 0/1")
+    xs, ys = pair_table(size)
+    # Each pair has exactly one *preceded* member (x when the bit is
+    # set, else y); a label's rank equals how many labels precede it,
+    # i.e. how many pairs it is preceded in.
+    preceded = np.where(bits.astype(bool), xs, ys)
+    ranks = np.bincount(preceded, minlength=size)
+    if not np.array_equal(np.sort(ranks), np.arange(size)):
         raise ValueError("bit vector is not a valid Kendall codeword")
-    order = [0] * size
-    for label in range(size):
-        order[ranks[label]] = label
-    return tuple(order)
+    order = np.empty(size, dtype=np.intp)
+    order[ranks] = np.arange(size, dtype=np.intp)
+    return tuple(int(label) for label in order)
 
 
 def is_valid_kendall(bits: np.ndarray, size: int) -> bool:

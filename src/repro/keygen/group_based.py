@@ -13,7 +13,6 @@ all of them at once to *reprogram* the device key.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from itertools import combinations
 from typing import List, Tuple
 
 import numpy as np
@@ -27,6 +26,7 @@ from repro.grouping.kendall import (
     kendall_bit_count,
     kendall_encode,
     order_from_frequencies,
+    pair_table,
 )
 from repro.grouping.packing import pack_key
 from repro.keygen.base import (
@@ -109,12 +109,11 @@ def kendall_stream_batch(residuals: np.ndarray,
         order = np.argsort(-values, axis=1, kind="stable")
         # rank[b, label] = position of the label in row b's order.
         rank = np.argsort(order, axis=1, kind="stable")
-        size = len(members)
-        for x, y in combinations(range(size), 2):
-            chunks.append((rank[:, y] < rank[:, x]).astype(np.uint8))
+        xs, ys = pair_table(len(members))
+        chunks.append((rank[:, ys] < rank[:, xs]).astype(np.uint8))
     if not chunks:
         return np.zeros((residuals.shape[0], 0), dtype=np.uint8)
-    return np.stack(chunks, axis=1)
+    return np.concatenate(chunks, axis=1)
 
 
 class GroupBasedKeyGen(KeyGenerator):

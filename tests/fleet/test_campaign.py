@@ -1,0 +1,270 @@
+"""Lock-step campaign engine: bitwise equivalence with the scalar loop.
+
+The contract under test (``docs/attacks.md``): executing one attack
+across many devices in lock-step rounds must reproduce, per device, the
+exact decisions, query counts, comparer outcomes and recovered keys of
+driving that device's attack alone — for every batch composition and
+worker count.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchOracle,
+    DistillerPairingAttack,
+    GroupBasedAttack,
+    HelperDataOracle,
+    SequentialPairingAttack,
+)
+from repro.fleet import (
+    Fleet,
+    GroupAttackFactory,
+    LockstepCampaign,
+    run_campaign,
+    sequential_attack_factory,
+)
+from repro.keygen import (
+    DistillerPairingKeyGen,
+    GroupBasedKeyGen,
+    SequentialPairingKeyGen,
+)
+from repro.puf import FIG6_PARAMS, ROArray, ROArrayParams
+
+# Small geometries keep the scalar reference loops cheap; the engine
+# paths exercised are identical to the full-size arrays'.
+PARAMS = ROArrayParams(rows=4, cols=12)
+
+
+def sequential_factory():
+    return SequentialPairingKeyGen(threshold=300e3)
+
+
+def build_sequential(seed):
+    """One enrolled sequential-pairing device (fresh twin per call)."""
+    array = ROArray(PARAMS, rng=700 + seed)
+    keygen = SequentialPairingKeyGen(threshold=300e3)
+    helper, key = keygen.enroll(array, rng=seed)
+    return array, keygen, helper, key
+
+
+def build_group(seed):
+    """One enrolled group-based device (fresh twin per call)."""
+    array = ROArray(FIG6_PARAMS, rng=800 + seed)
+    keygen = GroupBasedKeyGen(distiller_degree=2,
+                              group_threshold=120e3)
+    helper, key = keygen.enroll(array, rng=seed)
+    return array, keygen, helper, key
+
+
+def build_distiller(seed, mode):
+    """One enrolled distiller + pairing device (fresh twin per call)."""
+    array = ROArray(FIG6_PARAMS, rng=900 + seed)
+    kwargs = dict(k=5) if mode == "masking" else {}
+    keygen = DistillerPairingKeyGen(4, 10, pairing_mode=mode, **kwargs)
+    helper, key = keygen.enroll(array, rng=seed)
+    return array, keygen, helper, key
+
+
+class TestCampaignEquivalence:
+    """run_campaign vs the per-device scalar loop, per attack family."""
+
+    def test_sequential_paired_matches_scalar_loop(self):
+        devices = 5
+        scalar = []
+        for seed in range(devices):
+            array, keygen, helper, _ = build_sequential(seed)
+            scalar.append(SequentialPairingAttack(
+                HelperDataOracle(array, keygen), keygen, helper).run())
+        oracles, attacks, keys = [], [], []
+        for seed in range(devices):
+            array, keygen, helper, key = build_sequential(seed)
+            oracle = BatchOracle(array, keygen)
+            oracles.append(oracle)
+            attacks.append(SequentialPairingAttack(oracle, keygen,
+                                                   helper))
+            keys.append(key)
+        lock = run_campaign(oracles, attacks)
+        for reference, observed, key in zip(scalar, lock, keys):
+            np.testing.assert_array_equal(reference.relations,
+                                          observed.relations)
+            np.testing.assert_array_equal(reference.key, observed.key)
+            np.testing.assert_array_equal(observed.key, key)
+            assert reference.queries == observed.queries
+            # Comparer decisions, failure counts and per-comparison
+            # budgets must match one for one.
+            assert reference.comparisons == observed.comparisons
+
+    def test_sequential_sprt_matches_scalar_loop(self):
+        devices = 4
+        scalar = []
+        for seed in range(devices):
+            array, keygen, helper, _ = build_sequential(seed)
+            scalar.append(SequentialPairingAttack(
+                HelperDataOracle(array, keygen), keygen,
+                helper).run(method="sprt"))
+        lanes = []
+        for seed in range(devices):
+            array, keygen, helper, _ = build_sequential(seed)
+            oracle = BatchOracle(array, keygen)
+            attack = SequentialPairingAttack(oracle, keygen, helper)
+            lanes.append((oracle, attack.steps(method="sprt")))
+        lock = LockstepCampaign(lanes).run()
+        for reference, observed in zip(scalar, lock):
+            np.testing.assert_array_equal(reference.relations,
+                                          observed.relations)
+            np.testing.assert_array_equal(reference.key, observed.key)
+            assert reference.queries == observed.queries
+
+    def test_group_based_matches_scalar_loop(self):
+        devices = 3
+        scalar = []
+        for seed in range(devices):
+            array, keygen, helper, _ = build_group(seed)
+            scalar.append(GroupBasedAttack(
+                HelperDataOracle(array, keygen), keygen, helper, 4,
+                10).run())
+        oracles, attacks = [], []
+        for seed in range(devices):
+            array, keygen, helper, _ = build_group(seed)
+            oracle = BatchOracle(array, keygen)
+            oracles.append(oracle)
+            attacks.append(GroupBasedAttack(oracle, keygen, helper, 4,
+                                            10))
+        lock = run_campaign(oracles, attacks)
+        for reference, observed in zip(scalar, lock):
+            assert reference.orders == observed.orders
+            assert reference.comparisons == observed.comparisons
+            assert reference.queries == observed.queries
+            np.testing.assert_array_equal(reference.key, observed.key)
+            assert reference.confirmed and observed.confirmed
+
+    @pytest.mark.parametrize("mode", ["masking", "neighbor-overlap"])
+    def test_distiller_matches_scalar_loop(self, mode):
+        devices = 2
+        scalar = []
+        for seed in range(devices):
+            array, keygen, helper, _ = build_distiller(seed, mode)
+            scalar.append(DistillerPairingAttack(
+                HelperDataOracle(array, keygen), keygen, helper, 4, 10,
+                max_joint_bits=8).run())
+        oracles, attacks = [], []
+        for seed in range(devices):
+            array, keygen, helper, _ = build_distiller(seed, mode)
+            oracle = BatchOracle(array, keygen)
+            oracles.append(oracle)
+            attacks.append(DistillerPairingAttack(
+                oracle, keygen, helper, 4, 10, max_joint_bits=8))
+        lock = run_campaign(oracles, attacks)
+        for reference, observed in zip(scalar, lock):
+            np.testing.assert_array_equal(reference.key, observed.key)
+            assert reference.queries == observed.queries
+            assert (reference.hypothesis_rounds
+                    == observed.hypothesis_rounds)
+
+    def test_single_device_campaign(self):
+        # batch size 1: the lock-step scheduler degenerates to the
+        # blocked scalar walk and must still match it bitwise.
+        array, keygen, helper, key = build_sequential(11)
+        reference = SequentialPairingAttack(
+            HelperDataOracle(array, keygen), keygen, helper).run()
+        array, keygen, helper, _ = build_sequential(11)
+        oracle = BatchOracle(array, keygen)
+        (observed,) = run_campaign(
+            [oracle],
+            [SequentialPairingAttack(oracle, keygen, helper)])
+        np.testing.assert_array_equal(reference.key, observed.key)
+        np.testing.assert_array_equal(observed.key, key)
+        assert reference.queries == observed.queries
+        assert reference.comparisons == observed.comparisons
+
+    def test_non_stepwise_driver_rejected(self):
+        array, keygen, helper, _ = build_sequential(0)
+        oracle = BatchOracle(array, keygen)
+        with pytest.raises(TypeError):
+            run_campaign([oracle], [object()])
+
+    def test_lane_count_mismatch_rejected(self):
+        array, keygen, helper, _ = build_sequential(0)
+        oracle = BatchOracle(array, keygen)
+        with pytest.raises(ValueError):
+            run_campaign([oracle], [])
+
+
+class TestFleetLockstep:
+    """attack_success: lock-step x batch x workers invariance."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        fleet = Fleet(PARAMS, size=8, seed=31)
+        enrollment = fleet.enroll(sequential_factory, seed=6)
+        return fleet.attack_success(enrollment,
+                                    sequential_attack_factory,
+                                    workers=1, lockstep=False)
+
+    @pytest.mark.parametrize("batch", [1, 3, 8])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_lockstep_invariance(self, reference, batch, workers):
+        fleet = Fleet(PARAMS, size=8, seed=31)
+        enrollment = fleet.enroll(sequential_factory, seed=6)
+        recovered, queries = fleet.attack_success(
+            enrollment, sequential_attack_factory, workers=workers,
+            lockstep=True, batch=batch)
+        np.testing.assert_array_equal(recovered, reference[0])
+        np.testing.assert_array_equal(queries, reference[1])
+        assert recovered.all()
+
+    def test_auto_detection_uses_lockstep(self):
+        # The stepwise drivers are auto-detected; results match the
+        # forced settings either way.
+        fleet = Fleet(PARAMS, size=3, seed=32)
+        enrollment = fleet.enroll(sequential_factory, seed=7)
+        auto = fleet.attack_success(enrollment,
+                                    sequential_attack_factory)
+        fleet = Fleet(PARAMS, size=3, seed=32)
+        enrollment = fleet.enroll(sequential_factory, seed=7)
+        forced = fleet.attack_success(enrollment,
+                                      sequential_attack_factory,
+                                      lockstep=True)
+        np.testing.assert_array_equal(auto[0], forced[0])
+        np.testing.assert_array_equal(auto[1], forced[1])
+
+    def test_legacy_run_only_driver_falls_back(self):
+        # A driver without steps() still works through the scalar path
+        # under auto detection.
+        class RunOnly:
+            def __init__(self, attack):
+                self._attack = attack
+
+            def run(self):
+                return self._attack.run()
+
+        def factory(oracle, keygen, helper):
+            return RunOnly(SequentialPairingAttack(oracle, keygen,
+                                                   helper))
+
+        fleet = Fleet(PARAMS, size=2, seed=33)
+        enrollment = fleet.enroll(sequential_factory, seed=8)
+        recovered, queries = fleet.attack_success(enrollment, factory)
+        assert recovered.all()
+        assert (queries > 0).all()
+
+    def test_group_attack_factory_through_fleet(self):
+        fleet = Fleet(FIG6_PARAMS, size=2, seed=34)
+        enrollment = fleet.enroll(
+            functools.partial(GroupBasedKeyGen, distiller_degree=2,
+                              group_threshold=120e3), seed=9)
+        recovered, queries = fleet.attack_success(
+            enrollment, GroupAttackFactory(4, 10), workers=2,
+            lockstep=True)
+        assert recovered.all()
+        assert (queries > 0).all()
+
+    def test_invalid_batch_rejected(self):
+        fleet = Fleet(PARAMS, size=2, seed=35)
+        enrollment = fleet.enroll(sequential_factory, seed=1)
+        with pytest.raises(ValueError):
+            fleet.attack_success(enrollment,
+                                 sequential_attack_factory, batch=0)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark JSON reports and flag regressions.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json
+        [--threshold 0.20] [--fail-on-regression]
+
+Benchmarks are matched by ``fullname`` and compared on ``stats.mean``.
+A benchmark whose mean grew by more than ``--threshold`` (fractional,
+default 20%) is flagged as a regression; new and vanished benchmarks
+are listed informationally.  The exit code stays 0 — CI treats the
+report as a non-blocking warning — unless ``--fail-on-regression`` is
+passed.
+
+Bench timings on shared CI runners are noisy; the threshold is
+deliberately generous and the tool is a tripwire for order-of-magnitude
+mistakes (a vectorized path silently falling back to a scalar loop),
+not a precision measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """Map benchmark fullname → mean seconds for one report file."""
+    with path.open(encoding="utf-8") as handle:
+        report = json.load(handle)
+    means: Dict[str, float] = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats") or {}
+        mean = stats.get("mean")
+        if name and isinstance(mean, (int, float)) and mean > 0:
+            means[str(name)] = float(mean)
+    return means
+
+
+def compare(baseline: Dict[str, float], current: Dict[str, float],
+            threshold: float) -> Tuple[List[str], List[str]]:
+    """Return ``(report_lines, regression_lines)`` for two runs."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        old = baseline.get(name)
+        new = current.get(name)
+        if old is None:
+            lines.append(f"  NEW       {name}: {new:.3f}s")
+            continue
+        if new is None:
+            lines.append(f"  VANISHED  {name} (was {old:.3f}s)")
+            continue
+        ratio = new / old
+        change = (ratio - 1.0) * 100.0
+        label = "ok"
+        if ratio > 1.0 + threshold:
+            label = "REGRESSION"
+            regressions.append(
+                f"{name}: {old:.3f}s -> {new:.3f}s ({change:+.0f}%)")
+        elif ratio < 1.0 - threshold:
+            label = "improved"
+        lines.append(f"  {label:<11}{name}: {old:.3f}s -> {new:.3f}s "
+                     f"({change:+.0f}%)")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path,
+                        help="bench-report JSON of the reference run")
+    parser.add_argument("current", type=Path,
+                        help="bench-report JSON of this run")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional slowdown that counts as a "
+                             "regression (default 0.20 = 20%%)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit non-zero when regressions are found "
+                             "(default: warn only)")
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    if not baseline:
+        print(f"bench-compare: no benchmarks in {args.baseline}; "
+              "nothing to compare")
+        return 0
+    lines, regressions = compare(baseline, current, args.threshold)
+    print(f"bench-compare: {args.baseline} -> {args.current} "
+          f"(threshold {args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above "
+              f"{args.threshold:.0%}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1 if args.fail_on_regression else 0
+    print("\nno regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
