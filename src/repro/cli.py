@@ -22,7 +22,9 @@ Subcommands
     count.  With ``--attack CONSTRUCTION`` the sweep becomes a
     fleet-wide helper-data attack campaign executed by the lock-step
     engine (``--scalar-loop`` falls back to the per-device reference
-    loop; per-device results are identical either way).
+    loop; ``--fused/--no-fused`` toggles cross-device kernel fusion
+    inside the lock-step rounds; per-device results are identical
+    either way).
 
 Examples::
 
@@ -138,6 +140,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="drive the campaign with the per-device "
                             "scalar loop instead of the lock-step "
                             "engine (identical results, slower)")
+    fleet.add_argument("--fused", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="cross-device completion fusion in "
+                            "lock-step rounds: one ECC kernel call "
+                            "per distinct code across the whole "
+                            "frontier (default: on whenever the "
+                            "lock-step engine runs; identical "
+                            "results either way)")
     return parser
 
 
@@ -280,10 +290,15 @@ def _cmd_fleet_attack(args: argparse.Namespace, fleet: Fleet,
     start = time.perf_counter()
     recovered, queries = fleet.attack_success(
         enrollment, attack_factory, workers=args.workers,
-        lockstep=not args.scalar_loop, batch=args.batch)
+        lockstep=not args.scalar_loop, batch=args.batch,
+        fused=args.fused)
     elapsed = time.perf_counter() - start
-    engine = "scalar per-device loop" if args.scalar_loop \
-        else "lock-step campaign"
+    if args.scalar_loop:
+        engine = "scalar per-device loop"
+    else:
+        fused = args.fused if args.fused is not None else True
+        engine = ("lock-step campaign (fused kernels)" if fused
+                  else "lock-step campaign (per-device kernels)")
     print(f"fleet attack campaign: {args.attack} x {args.devices} "
           f"devices ({rows}x{cols}, seed {args.seed})")
     print(f"  engine              : {engine} "

@@ -50,7 +50,7 @@ from repro.keygen.base import (
     OperatingPoint,
     ReconstructionFailure,
 )
-from repro.keygen.batch import BatchEvaluator
+from repro.keygen.batch import BatchEvaluator, EvalPlan
 from repro.puf.ro_array import ROArray
 
 
@@ -177,19 +177,61 @@ class BatchOracle:
 
     def evaluate_rows(self, helper, rows: np.ndarray,
                       op: Optional[OperatingPoint] = None) -> np.ndarray:
-        """Success booleans of already-taken noise rows under *helper*."""
+        """Success booleans of already-taken noise rows under *helper*.
+
+        A thin driver over the two-phase evaluator protocol:
+        :meth:`plan_rows`, this plan's own kernel, finalize.  The
+        lock-step campaign bypasses this method to fuse the kernel
+        step across devices (:mod:`repro.fleet.campaign`); results are
+        bitwise-identical either way, and identical to the one-shot
+        :meth:`evaluate_rows_oneshot` reference.
+        """
+        return self.plan_rows(helper, rows, op).execute()
+
+    def evaluate_rows_oneshot(self, helper, rows: np.ndarray,
+                              op: Optional[OperatingPoint] = None
+                              ) -> np.ndarray:
+        """Legacy one-shot evaluation (executable equivalence reference).
+
+        Runs the evaluator's monolithic ``outcomes`` path — extraction,
+        dedup and completion in one call, no plan/kernel split.  Kept
+        executable so tests and benches can pin the two-phase driver
+        against it.
+        """
         resolved = op if op is not None else self._op
         freqs = self._base_frequencies(resolved)[None, :] + rows
         evaluator = self._evaluator_for(helper, resolved)
         if evaluator is not None:
             return evaluator.outcomes(freqs)
-        # Generic fallback: row-wise reconstruction for schemes
-        # without a vectorized evaluator.
-        outcomes = np.empty(rows.shape[0], dtype=bool)
-        for i in range(rows.shape[0]):
+        return self._reconstruct_rows(helper, freqs, resolved)
+
+    def plan_rows(self, helper, rows: np.ndarray,
+                  op: Optional[OperatingPoint] = None) -> EvalPlan:
+        """Phase 1: extraction + dedup for already-taken noise rows.
+
+        Returns the helper evaluator's :class:`EvalPlan`, declaring
+        this block's kernel workload (keyed by the shared code/sketch)
+        for the caller to run — alone or fused with other devices' —
+        before :meth:`EvalPlan.finalize`.  Schemes without a
+        vectorized evaluator resolve eagerly through the row-wise
+        reconstruction fallback and return an already-final plan.
+        """
+        resolved = op if op is not None else self._op
+        freqs = self._base_frequencies(resolved)[None, :] + rows
+        evaluator = self._evaluator_for(helper, resolved)
+        if evaluator is not None:
+            return evaluator.plan(freqs)
+        return EvalPlan.resolved(
+            self._reconstruct_rows(helper, freqs, resolved))
+
+    def _reconstruct_rows(self, helper, freqs: np.ndarray,
+                          op: OperatingPoint) -> np.ndarray:
+        """Row-wise reconstruction fallback (no vectorized evaluator)."""
+        outcomes = np.empty(freqs.shape[0], dtype=bool)
+        for i in range(freqs.shape[0]):
             try:
                 self._keygen.reconstruct_from_frequencies(
-                    self._array, freqs[i], helper, resolved)
+                    self._array, freqs[i], helper, op)
             except ReconstructionFailure:
                 outcomes[i] = False
             else:

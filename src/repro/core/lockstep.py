@@ -54,6 +54,7 @@ from typing import (
 import numpy as np
 
 from repro.core.batch_oracle import BatchOracle
+from repro.ecc.kernel import run_kernels
 from repro.core.framework import (
     ComparisonOutcome,
     FailureRateComparer,
@@ -240,10 +241,43 @@ class LaneEngine:
     distinguisher needs and must deliver, for every lane, an outcome
     bitwise-identical to :func:`execute_request` on the same oracle
     stream.
+
+    With ``fused=True`` the engine evaluates its round through the
+    two-phase protocol: one :meth:`~repro.core.batch_oracle.BatchOracle.
+    plan_rows` per (lane, helper) in the legacy evaluation order, then
+    **one fused kernel call per distinct kernel key across the whole
+    frontier** (:func:`repro.ecc.kernel.run_kernels`), then per-plan
+    finalize.  ``fused=False`` keeps the per-device
+    ``evaluate_rows`` path.  Outcomes are bitwise-identical either
+    way — fusion only regroups row-local kernel work.
     """
 
     #: request type handled by the engine
     request_type: type = object
+
+    def __init__(self, fused: bool = False):
+        self.fused = bool(fused)
+
+    def evaluate_many(self, items: Sequence[Tuple[BatchOracle, object,
+                                                  np.ndarray,
+                                                  Optional[OperatingPoint]]]
+                      ) -> List[np.ndarray]:
+        """Evaluate ``(oracle, helper, rows, op)`` items, fused or not.
+
+        Plans are created in item order (matching the per-device
+        evaluation order, so transient streams like the temp-aware
+        sensor are consumed identically), the kernel phase is fused
+        across all items sharing a kernel key, and each item's
+        outcomes come back in order.
+        """
+        if not self.fused:
+            return [oracle.evaluate_rows(helper, rows, op)
+                    for oracle, helper, rows, op in items]
+        plans = [oracle.plan_rows(helper, rows, op)
+                 for oracle, helper, rows, op in items]
+        outputs = run_kernels([plan.workload for plan in plans])
+        return [plan.finalize(out)
+                for plan, out in zip(plans, outputs)]
 
     def step(self, lanes: Sequence[Lane]) -> None:
         """Advance every lane by one round; set ``lane.outcome`` when
@@ -298,14 +332,20 @@ class ComparisonEngine(LaneEngine):
         out_a = np.ones((count, width), dtype=bool)
         out_b = np.ones((count, width), dtype=bool)
         taken: List[np.ndarray] = []
+        items = []
         for i, lane in enumerate(lanes):
             size = int(sizes[i])
             rows = lane.oracle.take_rows(2 * size)
             taken.append(rows)
-            out_a[i, :size] = lane.oracle.evaluate_rows(
-                lane.request.helper_a, rows[0::2], lane.request.op)
-            out_b[i, :size] = lane.oracle.evaluate_rows(
-                lane.request.helper_b, rows[1::2], lane.request.op)
+            items.append((lane.oracle, lane.request.helper_a,
+                          rows[0::2], lane.request.op))
+            items.append((lane.oracle, lane.request.helper_b,
+                          rows[1::2], lane.request.op))
+        results = self.evaluate_many(items)
+        for i in range(count):
+            size = int(sizes[i])
+            out_a[i, :size] = results[2 * i]
+            out_b[i, :size] = results[2 * i + 1]
 
         cum_a = prior_a[:, None] + np.cumsum(~out_a, axis=1)
         cum_b = prior_b[:, None] + np.cumsum(~out_b, axis=1)
@@ -397,12 +437,16 @@ class SPRTEngine(LaneEngine):
 
         outcomes = np.ones((count, width), dtype=bool)
         taken: List[np.ndarray] = []
+        items = []
         for i, lane in enumerate(lanes):
             size = int(sizes[i])
             rows = lane.oracle.take_rows(size)
             taken.append(rows)
-            outcomes[i, :size] = lane.oracle.evaluate_rows(
-                lane.request.helper, rows, lane.request.op)
+            items.append((lane.oracle, lane.request.helper, rows,
+                          lane.request.op))
+        results = self.evaluate_many(items)
+        for i in range(count):
+            outcomes[i, :int(sizes[i])] = results[i]
 
         increments = np.where(outcomes, steps_sf[:, 0:1],
                               steps_sf[:, 1:2])
@@ -455,20 +499,29 @@ class SelectionEngine(LaneEngine):
 
     def step(self, lanes: Sequence[Lane]) -> None:
         """Advance each pending scan by one full-budget hypothesis."""
+        items = []
+        labels_per_lane: List[List[Hashable]] = []
         for lane in lanes:
             request = lane.request
             if not request.helpers:
                 raise ValueError("need at least one hypothesis")
             # lane state: [hypothesis index, queries, rates, best]
-            state = lane.state
-            if state is None:
-                state = lane.state = [0, 0, {}, (math.inf, None)]
-            index, queries, rates, best = state
+            if lane.state is None:
+                lane.state = [0, 0, {}, (math.inf, None)]
             labels = list(request.helpers)
+            labels_per_lane.append(labels)
+            label = labels[lane.state[0]]
+            rows = lane.oracle.take_rows(
+                request.queries_per_hypothesis)
+            items.append((lane.oracle, request.helpers[label], rows,
+                          request.op))
+        results = self.evaluate_many(items)
+        for lane, labels, outcomes in zip(lanes, labels_per_lane,
+                                          results):
+            request = lane.request
+            index, queries, rates, best = lane.state
             label = labels[index]
             budget = request.queries_per_hypothesis
-            outcomes = lane.oracle.query_block(request.helpers[label],
-                                               budget, request.op)
             failures = int(np.count_nonzero(~outcomes))
             queries += budget
             rate = failures / budget
@@ -481,10 +534,7 @@ class SelectionEngine(LaneEngine):
                 lane.outcome = SelectionOutcome(best[1], queries,
                                                 rates)
             else:
-                state[0] = index + 1
-                state[1] = queries
-                state[2] = rates
-                state[3] = best
+                lane.state = [index + 1, queries, rates, best]
 
 
 class QueryBlockEngine(LaneEngine):
@@ -501,19 +551,28 @@ class QueryBlockEngine(LaneEngine):
 
     def step(self, lanes: Sequence[Lane]) -> None:
         """Answer every pending block request in this round."""
+        taken: List[np.ndarray] = []
+        items = []
         for lane in lanes:
-            request = lane.request
-            rows = lane.oracle.take_rows(request.count)
-            outcomes = lane.oracle.evaluate_rows(request.helper, rows,
-                                                 request.op)
-            if request.stop_on_success and outcomes.any():
+            rows = lane.oracle.take_rows(lane.request.count)
+            taken.append(rows)
+            items.append((lane.oracle, lane.request.helper, rows,
+                          lane.request.op))
+        results = self.evaluate_many(items)
+        for lane, rows, outcomes in zip(lanes, taken, results):
+            if lane.request.stop_on_success and outcomes.any():
                 idx = int(np.argmax(outcomes))
                 lane.oracle.untake_rows(rows[idx + 1:])
                 outcomes = outcomes[:idx + 1]
             lane.outcome = outcomes
 
 
-def lane_engines() -> Tuple[LaneEngine, ...]:
-    """Fresh engine set covering every protocol request type."""
-    return (ComparisonEngine(), SPRTEngine(), SelectionEngine(),
-            QueryBlockEngine())
+def lane_engines(fused: bool = False) -> Tuple[LaneEngine, ...]:
+    """Fresh engine set covering every protocol request type.
+
+    *fused* turns on cross-device kernel fusion inside every engine's
+    evaluation step (see :class:`LaneEngine`); per-device outcomes are
+    bitwise-identical either way.
+    """
+    return (ComparisonEngine(fused), SPRTEngine(fused),
+            SelectionEngine(fused), QueryBlockEngine(fused))

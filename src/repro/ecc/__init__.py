@@ -24,6 +24,12 @@ from repro.ecc.gf2m import (
     poly_mul,
     poly_to_bits,
 )
+from repro.ecc.kernel import (
+    KernelStats,
+    KernelWorkload,
+    kernel_stats,
+    run_kernels,
+)
 from repro.ecc.reed_muller import ReedMullerCode
 from repro.ecc.simple import (
     BlockwiseCode,
@@ -53,6 +59,10 @@ __all__ = [
     "poly_mod",
     "poly_mul",
     "poly_to_bits",
+    "KernelStats",
+    "KernelWorkload",
+    "kernel_stats",
+    "run_kernels",
     "ReedMullerCode",
     "BlockwiseCode",
     "HammingCode",

@@ -125,6 +125,20 @@ class BlockCode(abc.ABC):
             ok[rows] = True
         return codewords, ok
 
+    def kernel_key(self) -> "tuple | None":
+        """Structural identity of this code's batch-decode kernel.
+
+        Two codes returning the same (non-``None``) key must be
+        *interchangeable* as decoders: their :meth:`decode_batch`
+        results must be bitwise-identical on any input.  The two-phase
+        evaluator protocol uses the key to fuse the decode workloads of
+        many devices sharing a code geometry into one kernel call
+        (:mod:`repro.ecc.kernel`).  The base implementation returns
+        ``None`` — unknown external codes never fuse — and every
+        shipped code overrides it with its defining parameters.
+        """
+        return None
+
     @property
     def bounded_distance(self) -> bool:
         """Whether the decoder is a bounded-distance decoder.

@@ -106,6 +106,17 @@ class BCHCode(BlockCode):
         """The underlying GF(2^m) instance."""
         return self._field
 
+    def kernel_key(self) -> tuple:
+        """Structural decode-kernel identity: ``(m, t, shorten)``.
+
+        A BCH code is fully determined by its field degree, design
+        capability and shortening (the primitive polynomial is fixed
+        per ``m``), so equal keys imply bitwise-interchangeable
+        decoders — the fusion precondition of
+        :mod:`repro.ecc.kernel`.
+        """
+        return ("bch", self._m, self._t, self._shorten)
+
     @property
     def generator_polynomial(self) -> np.ndarray:
         """Generator polynomial coefficients, LSB (x^0) first."""

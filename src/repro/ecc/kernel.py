@@ -1,0 +1,185 @@
+"""Stateless fused kernels: stack per-device ECC work into one call.
+
+The two-phase evaluator protocol (``docs/evaluators.md``) separates a
+batch evaluation into a *plan* (per-device bit extraction and dedup), a
+*kernel* (the expensive vectorized ECC/decode work), and a *finalize*
+(per-device unwind and key assembly).  This module owns the middle
+phase: a :class:`KernelWorkload` is the plan's declaration of kernel
+work — input rows plus a structural :func:`kernel key <KernelWorkload>`
+identifying the computation — and :func:`run_kernels` executes a round's
+worth of workloads with **one kernel call per distinct key**, stacking
+the rows of every workload that shares a key and splitting the outputs
+back.
+
+Fusion is sound because every participating kernel is *row-local*: the
+output rows of ``BCHCode.decode_batch`` / ``solve_syndromes_batch`` (and
+the other ``decode_batch`` implementations) are functions of the
+corresponding input row alone, so the result of a row cannot depend on
+which other rows shared its call.  Two workloads carry the same key only
+when their kernels are structurally interchangeable (same code
+parameters, same bounds), which makes the fused outputs bitwise-equal to
+running each workload's own kernel separately — the equivalence contract
+pinned in ``tests/ecc/test_kernel.py`` and
+``benchmarks/bench_campaign_fusion.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "KernelWorkload",
+    "KernelStats",
+    "kernel_stats",
+    "run_kernels",
+]
+
+#: A batch kernel: maps an ``(R, width)`` input matrix to one or more
+#: output arrays whose leading dimension is ``R``.
+KernelFn = Callable[[np.ndarray], object]
+
+
+@dataclass
+class KernelWorkload:
+    """One plan's declared share of a round's kernel work.
+
+    Parameters
+    ----------
+    key:
+        Structural identity of the computation (a hashable tuple built
+        from :meth:`~repro.ecc.base.BlockCode.kernel_key` plus any
+        kernel bounds).  Workloads with equal keys are fused into one
+        kernel call; ``None`` marks a kernel without a structural
+        identity, which always runs alone.
+    words:
+        ``(R, width)`` input rows (bit matrix or syndrome matrix,
+        kernel-dependent).  All workloads sharing a key must agree on
+        width and dtype — guaranteed when the key encodes the code
+        geometry.
+    kernel:
+        The stateless batch callable.  Workloads sharing a key must
+        hold interchangeable kernels (bound to structurally identical
+        codes); the fused call uses the first one of the group.
+
+    The dataclass holds only arrays, plain values and picklable kernel
+    objects (bound methods of picklable codes, or the small kernel
+    dataclasses in :mod:`repro.ecc.sketch`), so a workload can cross a
+    process boundary under the fleet engine's copy-on-dispatch rule.
+    """
+
+    key: Optional[Tuple]
+    words: np.ndarray
+    kernel: KernelFn
+
+    @property
+    def rows(self) -> int:
+        """Number of input rows this workload contributes."""
+        return int(self.words.shape[0])
+
+
+@dataclass
+class KernelStats:
+    """Running account of kernel-phase work (calls, rows, seconds).
+
+    ``benchmarks/bench_campaign_fusion.py`` resets the module-level
+    :data:`kernel_stats` instance around a campaign run to measure how
+    much kernel time fusion saves; the counters are otherwise inert
+    bookkeeping (one ``perf_counter`` pair per kernel call).
+    """
+
+    calls: int = 0
+    rows: int = 0
+    seconds: float = field(default=0.0)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.calls = 0
+        self.rows = 0
+        self.seconds = 0.0
+
+
+#: Module-level kernel accounting, shared by every :func:`run_kernels`.
+kernel_stats = KernelStats()
+
+
+def _as_output_tuple(result: object) -> Tuple[np.ndarray, ...]:
+    """Normalise a kernel result to a tuple of row-aligned arrays."""
+    if isinstance(result, tuple):
+        return tuple(np.asarray(part) for part in result)
+    return (np.asarray(result),)
+
+
+def _timed_call(kernel: KernelFn, words: np.ndarray
+                ) -> Tuple[np.ndarray, ...]:
+    """Run one kernel call, accounting it in :data:`kernel_stats`."""
+    start = time.perf_counter()
+    result = _as_output_tuple(kernel(words))
+    kernel_stats.seconds += time.perf_counter() - start
+    kernel_stats.calls += 1
+    kernel_stats.rows += int(words.shape[0])
+    return result
+
+
+def stack_workloads(group: Sequence[KernelWorkload]) -> np.ndarray:
+    """Concatenate the input rows of same-key workloads, in order."""
+    if len(group) == 1:
+        return group[0].words
+    return np.concatenate([workload.words for workload in group],
+                          axis=0)
+
+
+def split_outputs(outputs: Tuple[np.ndarray, ...],
+                  sizes: Sequence[int]) -> List[Tuple[np.ndarray, ...]]:
+    """Split stacked kernel outputs back into per-workload tuples.
+
+    Every output array is split along axis 0 at the cumulative row
+    boundaries of *sizes*; entry ``i`` of the returned list is the
+    output tuple workload ``i`` would have received from its own call.
+    """
+    bounds = np.cumsum(sizes)[:-1]
+    parts = [np.split(array, bounds, axis=0) for array in outputs]
+    return [tuple(part[index] for part in parts)
+            for index in range(len(sizes))]
+
+
+def run_kernels(workloads: Sequence[Optional[KernelWorkload]]
+                ) -> List[Optional[Tuple[np.ndarray, ...]]]:
+    """Execute a round of workloads, fused per distinct kernel key.
+
+    Workloads sharing a key are stacked (:func:`stack_workloads`) and
+    answered by **one** kernel call; keyless (``key is None``) and
+    lone workloads run individually.  ``None`` or empty workloads
+    yield ``None`` outputs.  Returns one output tuple per input
+    workload, in input order — bitwise-identical to calling each
+    workload's own kernel on its own rows, because every participating
+    kernel is row-local (see the module docstring).
+    """
+    outputs: List[Optional[Tuple[np.ndarray, ...]]] = \
+        [None] * len(workloads)
+    groups: Dict[Tuple, List[int]] = {}
+    solo: List[int] = []
+    for index, workload in enumerate(workloads):
+        if workload is None or workload.rows == 0:
+            continue
+        if workload.key is None:
+            solo.append(index)
+        else:
+            groups.setdefault(workload.key, []).append(index)
+    for index in solo:
+        workload = workloads[index]
+        outputs[index] = _timed_call(workload.kernel, workload.words)
+    for indices in groups.values():
+        members = [workloads[i] for i in indices]
+        stacked = stack_workloads(members)
+        fused = _timed_call(members[0].kernel, stacked)
+        if len(members) == 1:
+            outputs[indices[0]] = fused
+            continue
+        pieces = split_outputs(fused, [m.rows for m in members])
+        for slot, index in enumerate(indices):
+            outputs[index] = pieces[slot]
+    return outputs

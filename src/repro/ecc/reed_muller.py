@@ -132,6 +132,10 @@ class ReedMullerCode(BlockCode):
         codewords = (messages @ self._generator % 2).astype(np.uint8)
         return codewords, np.ones(words.shape[0], dtype=bool)
 
+    def kernel_key(self) -> tuple:
+        """Structural decode-kernel identity: the variable count."""
+        return ("reed-muller", self._m)
+
     def extract(self, codeword: np.ndarray) -> np.ndarray:
         """Recover the message by re-decoding (non-systematic code)."""
         codeword = as_bits(codeword, self._n)

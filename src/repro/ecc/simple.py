@@ -61,6 +61,10 @@ class TrivialCode(BlockCode):
         words = as_bit_matrix(received, self._k)
         return words.copy(), np.ones(words.shape[0], dtype=bool)
 
+    def kernel_key(self) -> tuple:
+        """Structural decode-kernel identity: the length alone."""
+        return ("trivial", self._k)
+
 
 class RepetitionCode(BlockCode):
     """``[n, 1]`` repetition code with majority decoding, ``n`` odd.
@@ -113,6 +117,10 @@ class RepetitionCode(BlockCode):
                     > self._n).astype(np.uint8)
         codewords = np.repeat(majority[:, None], self._n, axis=1)
         return codewords, np.ones(words.shape[0], dtype=bool)
+
+    def kernel_key(self) -> tuple:
+        """Structural decode-kernel identity: the repetition count."""
+        return ("repetition", self._n)
 
 
 class HammingCode(BlockCode):
@@ -205,6 +213,10 @@ class HammingCode(BlockCode):
         corrected[flip, syndromes[flip] - 1] ^= 1
         return corrected, np.ones(words.shape[0], dtype=bool)
 
+    def kernel_key(self) -> tuple:
+        """Structural decode-kernel identity: the check-bit count."""
+        return ("hamming", self._r)
+
 
 class BlockwiseCode(BlockCode):
     """Apply an inner block code independently to consecutive blocks.
@@ -296,3 +308,10 @@ class BlockwiseCode(BlockCode):
         codewords = inner_words.reshape(words.shape[0], self.n).copy()
         codewords[~ok] = 0
         return codewords, ok
+
+    def kernel_key(self) -> "tuple | None":
+        """Inner kernel identity extended with the block count."""
+        inner = self._inner.kernel_key()
+        if inner is None:
+            return None
+        return ("blockwise", inner, self._blocks)

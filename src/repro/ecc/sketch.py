@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.ecc.base import (
     as_bits,
 )
 from repro.ecc.bch import BCHCode
+from repro.ecc.kernel import KernelWorkload
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,43 @@ class SketchData:
     def with_payload(self, payload: np.ndarray) -> "SketchData":
         """A new helper-data object with a replaced payload."""
         return SketchData(payload)
+
+
+@dataclass(frozen=True)
+class DecodeKernel:
+    """Picklable stateless wrapper around a code's ``decode_batch``.
+
+    The kernel half of :meth:`CodeOffsetSketch.plan_recover`: workloads
+    built over structurally identical codes carry equal keys and are
+    interchangeable, so the fused executor may answer them all through
+    any one member's kernel.
+    """
+
+    code: BlockCode
+
+    def __call__(self, words: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Decode a stacked ``(R, n)`` word matrix."""
+        return self.code.decode_batch(words)
+
+
+@dataclass(frozen=True)
+class SolveSyndromesKernel:
+    """Picklable wrapper around ``BCHCode.solve_syndromes_batch``.
+
+    The kernel half of :meth:`SyndromeSketch.plan_recover`; the
+    position bound travels with the kernel (and in the workload key)
+    because it is part of the computation's identity.
+    """
+
+    code: BCHCode
+    max_position: int
+
+    def __call__(self, syndromes: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Locate error patterns for a stacked ``(R, 2t)`` batch."""
+        return self.code.solve_syndromes_batch(
+            syndromes, max_position=self.max_position)
 
 
 class SecureSketch(abc.ABC):
@@ -104,6 +142,49 @@ class SecureSketch(abc.ABC):
                 continue
             ok[rows] = True
         return recovered, ok
+
+    # -- two-phase recovery (plan → fused kernel → finish) -------------
+
+    def kernel_key(self) -> "tuple | None":
+        """Structural identity of this sketch's recovery kernel.
+
+        Recovery workloads of sketches with equal (non-``None``) keys
+        may be fused into one kernel call across devices (see
+        :mod:`repro.ecc.kernel` and ``docs/evaluators.md``).  The base
+        implementation returns ``None``: external sketches run
+        un-fused through :meth:`recover_batch`.
+        """
+        return None
+
+    def plan_recover(self, noisy_responses: np.ndarray,
+                     helper: SketchData
+                     ) -> "tuple[Optional[KernelWorkload], object]":
+        """Phase 1 of a recovery: declare kernel work, keep the rest.
+
+        Returns ``(workload, state)``.  The workload (or ``None`` when
+        no kernel work is needed) is handed to
+        :func:`repro.ecc.kernel.run_kernels` — possibly stacked with
+        same-key workloads of other devices — and the opaque *state*
+        plus the kernel outputs reproduce the full result through
+        :meth:`finish_recover`.  The contract:
+        ``finish_recover(state, outputs)`` must be bitwise-identical
+        to ``recover_batch(noisy_responses, helper)``.  The base
+        implementation declares no kernel and completes everything in
+        the finish phase.
+        """
+        batch = as_bit_matrix(noisy_responses, self.response_length)
+        return None, (batch, helper)
+
+    def finish_recover(self, state: object,
+                       outputs: "Optional[tuple]"
+                       ) -> "tuple[np.ndarray, np.ndarray]":
+        """Phase 3 of a recovery: combine kernel outputs with *state*.
+
+        See :meth:`plan_recover`; returns ``(recovered, ok)`` exactly
+        like :meth:`recover_batch`.
+        """
+        batch, helper = state
+        return self.recover_batch(batch, helper)
 
 
 class CodeOffsetSketch(SecureSketch):
@@ -178,6 +259,52 @@ class CodeOffsetSketch(SecureSketch):
         padded[:, :self._length] = batch
         shifted = padded ^ payload[None, :]
         codewords, ok = self._code.decode_batch(shifted)
+        recovered = (payload[None, :] ^ codewords)[:, :self._length]
+        recovered[~ok] = 0
+        return recovered, ok
+
+    def kernel_key(self) -> "tuple | None":
+        """Recovery-kernel identity: the underlying decode kernel.
+
+        The payload XOR happens in the plan/finish phases, so two
+        code-offset sketches fuse whenever their *codes* are
+        structurally identical — even across different response
+        lengths (padding is per-device plan work).
+        """
+        code_key = self._code.kernel_key()
+        if code_key is None:
+            return None
+        return ("code-offset", code_key)
+
+    def plan_recover(self, noisy_responses: np.ndarray,
+                     helper: SketchData
+                     ) -> "tuple[Optional[KernelWorkload], object]":
+        """Declare the decode workload; keep the payload as state.
+
+        The kernel input is the payload-shifted word matrix; the
+        payload itself rides in the state so :meth:`finish_recover`
+        can XOR the decoded codewords back and truncate, matching
+        :meth:`recover_batch` bit for bit.
+        """
+        batch = as_bit_matrix(noisy_responses, self._length)
+        payload = as_bits(helper.payload, self._code.n)
+        padded = np.zeros((batch.shape[0], self._code.n),
+                          dtype=np.uint8)
+        padded[:, :self._length] = batch
+        shifted = padded ^ payload[None, :]
+        workload = KernelWorkload(self.kernel_key(), shifted,
+                                  DecodeKernel(self._code))
+        return workload, payload
+
+    def finish_recover(self, state: object,
+                       outputs: "Optional[tuple]"
+                       ) -> "tuple[np.ndarray, np.ndarray]":
+        """Unwind the payload shift from the fused decode outputs."""
+        payload = state
+        if outputs is None:
+            return (np.zeros((0, self._length), dtype=np.uint8),
+                    np.zeros(0, dtype=bool))
+        codewords, ok = outputs
         recovered = (payload[None, :] ^ codewords)[:, :self._length]
         recovered[~ok] = 0
         return recovered, ok
@@ -297,6 +424,65 @@ class SyndromeSketch(SecureSketch):
         if dirty.size:
             errors, solved = self._code.solve_syndromes_batch(
                 difference[dirty], max_position=self._length)
+            good = dirty[solved]
+            recovered[good] = batch[good] \
+                ^ errors[solved][:, :self._length]
+            ok[good] = True
+        return recovered, ok
+
+    def kernel_key(self) -> "tuple | None":
+        """Recovery-kernel identity: solve kernel plus position bound.
+
+        The response length is part of the key because it bounds where
+        a correction may land (``max_position``); two syndrome
+        sketches fuse only when both the BCH geometry and that bound
+        agree.  A code without a kernel identity opts the sketch out
+        of fusion entirely.
+        """
+        code_key = self._code.kernel_key()
+        if code_key is None:
+            return None
+        return ("syndrome", code_key, self._length)
+
+    def plan_recover(self, noisy_responses: np.ndarray,
+                     helper: SketchData
+                     ) -> "tuple[Optional[KernelWorkload], object]":
+        """Declare the syndrome-solve workload for the dirty rows.
+
+        The syndrome differences are computed per device (they depend
+        on this helper's reference syndromes); only rows with a
+        non-zero difference contribute kernel work, exactly as in
+        :meth:`recover_batch`.  Clean rows resolve in the finish
+        phase without touching the kernel.
+        """
+        batch = as_bit_matrix(noisy_responses, self._length)
+        reference = np.array(self._deserialise(helper.payload),
+                             dtype=np.int64)
+        padded = np.zeros((batch.shape[0], self._code.n),
+                          dtype=np.uint8)
+        padded[:, :self._length] = batch
+        difference = self._code.syndromes_batch(padded) \
+            ^ reference[None, :]
+        clean = ~difference.any(axis=1)
+        dirty = np.flatnonzero(~clean)
+        state = (batch, clean, dirty)
+        if dirty.size == 0:
+            return None, state
+        workload = KernelWorkload(
+            self.kernel_key(), difference[dirty],
+            SolveSyndromesKernel(self._code, self._length))
+        return workload, state
+
+    def finish_recover(self, state: object,
+                       outputs: "Optional[tuple]"
+                       ) -> "tuple[np.ndarray, np.ndarray]":
+        """Scatter solved error patterns back over the dirty rows."""
+        batch, clean, dirty = state
+        recovered = np.zeros_like(batch)
+        recovered[clean] = batch[clean]
+        ok = clean.copy()
+        if dirty.size:
+            errors, solved = outputs
             good = dirty[solved]
             recovered[good] = batch[good] \
                 ^ errors[solved][:, :self._length]

@@ -182,6 +182,7 @@ class _AttackChunkJob:
     attack_factory: AttackFactory
     streams: List[Tuple[np.random.Generator, np.random.Generator]]
     lockstep: bool
+    fused: bool = True
 
 
 def _attack_chunk_job(job: _AttackChunkJob) -> List[Tuple[bool, int]]:
@@ -195,7 +196,7 @@ def _attack_chunk_job(job: _AttackChunkJob) -> List[Tuple[bool, int]]:
         oracles.append(oracle)
         attacks.append(job.attack_factory(oracle, keygen, helper))
     if job.lockstep:
-        results = run_campaign(oracles, attacks)
+        results = run_campaign(oracles, attacks, fused=job.fused)
     else:
         results = [attack.run() for attack in attacks]
     report: List[Tuple[bool, int]] = []
@@ -413,7 +414,8 @@ class Fleet:
                        op: OperatingPoint = OperatingPoint(),
                        workers: Optional[int] = 1,
                        lockstep: Optional[bool] = None,
-                       batch: Optional[int] = None
+                       batch: Optional[int] = None,
+                       fused: Optional[bool] = None
                        ) -> Tuple[np.ndarray, np.ndarray]:
         """Run a full helper-data attack against every device.
 
@@ -441,6 +443,15 @@ class Fleet:
             Defaults to an even split over the resolved worker count,
             i.e. the widest batch the pool allows.  Lock-step within a
             worker composes with processes across chunks.
+        fused:
+            Cross-device completion fusion inside each lock-step
+            round: the frontier's ECC kernel work is grouped by
+            kernel key and run as one call per distinct code
+            (:mod:`repro.ecc.kernel`).  ``None`` (default) turns
+            fusion on exactly when lock-step is active; it has no
+            effect on the scalar loop.  Like *lockstep*, it changes
+            execution grouping only — per-device results stay
+            bitwise-identical.
         """
         count = len(self._arrays)
         streams = self._sweep_streams()
@@ -448,6 +459,8 @@ class Fleet:
         if lockstep is None:
             lockstep = self._supports_lockstep(enrollment,
                                                attack_factory, op)
+        if fused is None:
+            fused = bool(lockstep)
         if batch is None:
             chunks = max(1, min(count,
                                 resolved if lockstep else 4 * resolved))
@@ -465,7 +478,8 @@ class Fleet:
                 [enrollment.helpers[i] for i in indices],
                 [enrollment.keys[i] for i in indices],
                 op, attack_factory,
-                [streams[i] for i in indices], bool(lockstep)))
+                [streams[i] for i in indices], bool(lockstep),
+                bool(fused)))
         reports = run_collected(_attack_chunk_job, jobs,
                                 workers=workers, shared=self._arrays)
         flat = [entry for report in reports for entry in report]

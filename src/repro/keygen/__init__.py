@@ -12,10 +12,14 @@ from repro.keygen.base import (
 )
 from repro.keygen.batch import (
     BatchEvaluator,
+    CallableCompletion,
+    Completion,
     ConstantEvaluator,
+    EvalPlan,
     MaskedBitEvaluator,
     ResponseBitEvaluator,
     RowwiseBitEvaluator,
+    SketchCompletion,
 )
 from repro.keygen.sequential import (
     SequentialKeyHelper,
@@ -53,10 +57,14 @@ __all__ = [
     "fixed_code",
     "key_check_digest",
     "BatchEvaluator",
+    "CallableCompletion",
+    "Completion",
     "ConstantEvaluator",
+    "EvalPlan",
     "MaskedBitEvaluator",
     "ResponseBitEvaluator",
     "RowwiseBitEvaluator",
+    "SketchCompletion",
     "SequentialKeyHelper",
     "SequentialPairingKeyGen",
     "TempAwareKeyGen",

@@ -17,7 +17,6 @@ import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
 from repro.distiller.distiller import DistillerHelper, EntropyDistiller
-from repro.ecc.base import DecodingFailure
 from repro.ecc.sketch import SketchData
 from repro.keygen.base import (
     CodeProvider,
@@ -27,7 +26,11 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
-from repro.keygen.batch import ConstantEvaluator, ResponseBitEvaluator
+from repro.keygen.batch import (
+    ConstantEvaluator,
+    ResponseBitEvaluator,
+    SketchCompletion,
+)
 from repro.pairing.base import Pair, response_bits, response_bits_batch
 from repro.pairing.masking import MaskingHelper, OneOutOfKMasking
 from repro.pairing.neighbor import neighbor_chain_pairs
@@ -190,31 +193,12 @@ class DistillerPairingKeyGen(KeyGenerator):
             return ConstantEvaluator(False)
         distiller = self._distiller
         distiller_helper = helper.distiller
-        sketch_data = helper.sketch
-        key_check = helper.key_check
 
         def extract(freqs: np.ndarray) -> np.ndarray:
             residuals = distiller.residuals_batch(x, y, freqs,
                                                   distiller_helper)
             return response_bits_batch(residuals, pairs)
 
-        def complete(bits: np.ndarray) -> bool:
-            try:
-                recovered = sketch.recover(bits, sketch_data)
-            except (ValueError, DecodingFailure):
-                return False
-            return key_check_digest(recovered) == key_check
-
-        def complete_batch(patterns: np.ndarray) -> np.ndarray:
-            try:
-                recovered, ok = sketch.recover_batch(patterns,
-                                                     sketch_data)
-            except ValueError:
-                # Malformed payload rejects every pattern alike.
-                return np.zeros(patterns.shape[0], dtype=bool)
-            good = np.flatnonzero(ok)
-            ok[good] = [key_check_digest(recovered[i]) == key_check
-                        for i in good]
-            return ok
-
-        return ResponseBitEvaluator(extract, complete, complete_batch)
+        return ResponseBitEvaluator(
+            extract, SketchCompletion(sketch, helper.sketch,
+                                      helper.key_check))

@@ -17,9 +17,9 @@ from typing import Tuple
 import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
-from repro.ecc.base import DecodingFailure
 from repro.ecc.sketch import CodeOffsetSketch
 from repro.fuzzy.extractor import FuzzyExtractor, FuzzyExtractorHelper
+from repro.fuzzy.toeplitz import ToeplitzHash
 from repro.keygen.base import (
     CodeProvider,
     KeyGenerator,
@@ -28,7 +28,11 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
-from repro.keygen.batch import ResponseBitEvaluator
+from repro.keygen.batch import (
+    ConstantEvaluator,
+    ResponseBitEvaluator,
+    SketchCompletion,
+)
 from repro.pairing.base import response_bits, response_bits_batch
 from repro.pairing.neighbor import neighbor_chain_pairs
 from repro.puf.measurement import enroll_frequencies
@@ -46,6 +50,17 @@ class FuzzyKeyHelper:
                        ) -> "FuzzyKeyHelper":
         """Manipulated copy with replaced extractor helper data."""
         return replace(self, extractor=extractor)
+
+
+@dataclass(frozen=True)
+class _ToeplitzAssembler:
+    """Picklable key assembly: recovered response → hashed key bits."""
+
+    hasher: ToeplitzHash
+
+    def __call__(self, recovered: np.ndarray) -> np.ndarray:
+        """Hash a recovered response down to the extracted key."""
+        return self.hasher(recovered)
 
 
 class FuzzyExtractorKeyGen(KeyGenerator):
@@ -109,31 +124,27 @@ class FuzzyExtractorKeyGen(KeyGenerator):
 
     def batch_evaluator(self, array: ROArray, helper: FuzzyKeyHelper,
                         op: OperatingPoint = OperatingPoint()):
-        """Vectorized evaluator: one decode per distinct pattern."""
+        """Vectorized evaluator: one decode per distinct pattern.
+
+        The completion recovers the raw response through the code-offset
+        sketch (the fusable decode kernel) and assembles the key with
+        the helper's Toeplitz hash; a malformed hash seed fails every
+        reconstruction observably, as on the scalar path.
+        """
         pairs = self._pairs
-        extractor = self._extractor
+        sketch = self._extractor.sketch
         extractor_helper = helper.extractor
-        key_check = helper.key_check
+        try:
+            hasher = ToeplitzHash(extractor_helper.hash_seed,
+                                  sketch.response_length,
+                                  extractor_helper.out_bits)
+        except ValueError:
+            return ConstantEvaluator(False)
 
         def extract(freqs: np.ndarray) -> np.ndarray:
             return response_bits_batch(freqs, pairs)
 
-        def complete(response: np.ndarray) -> bool:
-            try:
-                key = extractor.reproduce(response, extractor_helper)
-            except (ValueError, DecodingFailure):
-                return False
-            return key_check_digest(key) == key_check
-
-        def complete_batch(patterns: np.ndarray) -> np.ndarray:
-            try:
-                keys, ok = extractor.reproduce_batch(patterns,
-                                                     extractor_helper)
-            except ValueError:
-                return np.zeros(patterns.shape[0], dtype=bool)
-            good = np.flatnonzero(ok)
-            ok[good] = [key_check_digest(keys[i]) == key_check
-                        for i in good]
-            return ok
-
-        return ResponseBitEvaluator(extract, complete, complete_batch)
+        completion = SketchCompletion(
+            sketch, extractor_helper.sketch, helper.key_check,
+            assemble=_ToeplitzAssembler(hasher))
+        return ResponseBitEvaluator(extract, completion)

@@ -19,7 +19,6 @@ import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
 from repro.distiller.distiller import DistillerHelper, EntropyDistiller
-from repro.ecc.base import DecodingFailure
 from repro.ecc.sketch import SketchData
 from repro.grouping.algorithm import GroupingHelper, GroupingScheme
 from repro.grouping.kendall import (
@@ -37,7 +36,11 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
-from repro.keygen.batch import ConstantEvaluator, ResponseBitEvaluator
+from repro.keygen.batch import (
+    ConstantEvaluator,
+    ResponseBitEvaluator,
+    SketchCompletion,
+)
 from repro.puf.measurement import enroll_frequencies
 from repro.puf.ro_array import ROArray
 
@@ -114,6 +117,22 @@ def kendall_stream_batch(residuals: np.ndarray,
     if not chunks:
         return np.zeros((residuals.shape[0], 0), dtype=np.uint8)
     return np.concatenate(chunks, axis=1)
+
+
+@dataclass(frozen=True)
+class _PackKeyAssembler:
+    """Picklable key assembly: Kendall stream → packed key bits.
+
+    Raises ``ValueError`` when a mis-corrected stream is not a valid
+    Kendall word — an observable reconstruction failure, handled by
+    the completion.
+    """
+
+    sizes: Tuple[int, ...]
+
+    def __call__(self, stream: np.ndarray) -> np.ndarray:
+        """Pack a corrected Kendall stream into key bits."""
+        return pack_key(stream, self.sizes)
 
 
 class GroupBasedKeyGen(KeyGenerator):
@@ -202,37 +221,13 @@ class GroupBasedKeyGen(KeyGenerator):
         x, y = array.x, array.y
         distiller = self._distiller
         distiller_helper = helper.distiller
-        sketch_data = helper.sketch
-        key_check = helper.key_check
-        sizes = grouping.sizes
 
         def extract(freqs: np.ndarray) -> np.ndarray:
             residuals = distiller.residuals_batch(x, y, freqs,
                                                   distiller_helper)
             return kendall_stream_batch(residuals, grouping)
 
-        def complete(stream: np.ndarray) -> bool:
-            try:
-                corrected = sketch.recover(stream, sketch_data)
-                key = pack_key(corrected, sizes)
-            except (ValueError, DecodingFailure):
-                return False
-            return key_check_digest(key) == key_check
-
-        def complete_batch(patterns: np.ndarray) -> np.ndarray:
-            try:
-                corrected, ok = sketch.recover_batch(patterns,
-                                                     sketch_data)
-            except ValueError:
-                return np.zeros(patterns.shape[0], dtype=bool)
-            for i in np.flatnonzero(ok):
-                try:
-                    key = pack_key(corrected[i], sizes)
-                except ValueError:
-                    # Mis-corrected stream is not a valid Kendall word.
-                    ok[i] = False
-                    continue
-                ok[i] = key_check_digest(key) == key_check
-            return ok
-
-        return ResponseBitEvaluator(extract, complete, complete_batch)
+        completion = SketchCompletion(
+            sketch, helper.sketch, helper.key_check,
+            assemble=_PackKeyAssembler(tuple(grouping.sizes)))
+        return ResponseBitEvaluator(extract, completion)

@@ -14,7 +14,6 @@ from typing import Tuple
 import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
-from repro.ecc.base import DecodingFailure
 from repro.ecc.sketch import SketchData
 from repro.keygen.base import (
     CodeProvider,
@@ -24,7 +23,11 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
-from repro.keygen.batch import ConstantEvaluator, ResponseBitEvaluator
+from repro.keygen.batch import (
+    ConstantEvaluator,
+    ResponseBitEvaluator,
+    SketchCompletion,
+)
 from repro.pairing.base import response_bits_batch, validate_pairs
 from repro.pairing.sequential import (
     SequentialPairing,
@@ -103,7 +106,12 @@ class SequentialPairingKeyGen(KeyGenerator):
     def batch_evaluator(self, array: ROArray,
                         helper: SequentialKeyHelper,
                         op: OperatingPoint = OperatingPoint()):
-        """Vectorized evaluator: one decode per distinct pattern."""
+        """Vectorized evaluator: one decode per distinct pattern.
+
+        The completion is a two-phase :class:`SketchCompletion`, so a
+        lock-step campaign can fuse this device's decode workload with
+        every other device sharing the code (``docs/evaluators.md``).
+        """
         pairs = helper.pairing.pairs
         try:
             validate_pairs(pairs, array.n,
@@ -112,24 +120,10 @@ class SequentialPairingKeyGen(KeyGenerator):
             # Rejected pair list: every query fails observably.
             return ConstantEvaluator(False)
         sketch = self.sketch_for(len(pairs))
-        key_check = helper.key_check
-        sketch_data = helper.sketch
 
         def extract(freqs: np.ndarray) -> np.ndarray:
             return response_bits_batch(freqs, pairs)
 
-        def complete(bits: np.ndarray) -> bool:
-            try:
-                recovered = sketch.recover(bits, sketch_data)
-            except DecodingFailure:
-                return False
-            return key_check_digest(recovered) == key_check
-
-        def complete_batch(patterns: np.ndarray) -> np.ndarray:
-            recovered, ok = sketch.recover_batch(patterns, sketch_data)
-            good = np.flatnonzero(ok)
-            ok[good] = [key_check_digest(recovered[i]) == key_check
-                        for i in good]
-            return ok
-
-        return ResponseBitEvaluator(extract, complete, complete_batch)
+        return ResponseBitEvaluator(
+            extract, SketchCompletion(sketch, helper.sketch,
+                                      helper.key_check))

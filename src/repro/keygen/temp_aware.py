@@ -15,7 +15,6 @@ from typing import Tuple
 import numpy as np
 
 from repro._rng import RNGLike, ensure_rng
-from repro.ecc.base import DecodingFailure
 from repro.ecc.sketch import SketchData
 from repro.keygen.base import (
     CodeProvider,
@@ -25,7 +24,11 @@ from repro.keygen.base import (
     bch_provider,
     key_check_digest,
 )
-from repro.keygen.batch import ConstantEvaluator, MaskedBitEvaluator
+from repro.keygen.batch import (
+    ConstantEvaluator,
+    MaskedBitEvaluator,
+    SketchCompletion,
+)
 from repro.pairing.temp_aware import TempAwareCooperative, TempAwareHelper
 from repro.puf.measurement import TemperatureSensor
 from repro.puf.ro_array import ROArray
@@ -138,8 +141,6 @@ class TempAwareKeyGen(KeyGenerator):
             sketch = self.sketch_for(bits)
         except ValueError:
             return ConstantEvaluator(False)
-        sketch_data = helper.sketch
-        key_check = helper.key_check
 
         def extract(freqs: np.ndarray):
             # One sensor read per query, exactly as on the scalar
@@ -149,18 +150,6 @@ class TempAwareKeyGen(KeyGenerator):
                                        rng=sensor_rng)
             return scheme.evaluate_batch(freqs, scheme_helper, sensed)
 
-        def complete(bits_row: np.ndarray) -> bool:
-            try:
-                recovered = sketch.recover(bits_row, sketch_data)
-            except (ValueError, DecodingFailure):
-                return False
-            return key_check_digest(recovered) == key_check
-
-        def complete_batch(patterns: np.ndarray) -> np.ndarray:
-            recovered, ok = sketch.recover_batch(patterns, sketch_data)
-            good = np.flatnonzero(ok)
-            ok[good] = [key_check_digest(recovered[i]) == key_check
-                        for i in good]
-            return ok
-
-        return MaskedBitEvaluator(extract, complete, complete_batch)
+        return MaskedBitEvaluator(
+            extract, SketchCompletion(sketch, helper.sketch,
+                                      helper.key_check))

@@ -223,3 +223,91 @@ class TestTempAwareBatch:
         rate_seq = sequential.failure_rate(helper, 80)
         rate_batch = batched.failure_rate(helper_b, 80)
         assert abs(rate_seq - rate_batch) < 0.25
+
+
+class TestTwoPhaseProtocol:
+    """plan → kernel → finalize vs the one-shot reference path."""
+
+    def drive_paths(self, make_keygen, params=NOISY, manipulate=None,
+                    queries=120):
+        """Twin devices: one-shot reference vs the two-phase driver."""
+        seq_array, batch_array, keygen, h_seq, h_batch, _ = \
+            enroll_twins(make_keygen, params, device_seed=91,
+                         enroll_seed=3)
+        if manipulate is not None:
+            h_seq, h_batch = manipulate(h_seq), manipulate(h_batch)
+        reference = BatchOracle(seq_array, keygen)
+        two_phase = BatchOracle(batch_array, keygen)
+        expected = reference.evaluate_rows_oneshot(
+            h_seq, reference.take_rows(queries))
+        observed = two_phase.evaluate_rows(
+            h_batch, two_phase.take_rows(queries))
+        np.testing.assert_array_equal(expected, observed)
+        return expected
+
+    def test_sequential_scheme(self):
+        def manipulate(helper):
+            return helper.with_pairing(
+                flip_orientations(helper.pairing, [1, 2, 3, 4]))
+
+        self.drive_paths(
+            lambda: SequentialPairingKeyGen(threshold=250e3),
+            manipulate=manipulate)
+
+    def test_group_based_scheme(self):
+        self.drive_paths(
+            lambda: GroupBasedKeyGen(group_threshold=60e3),
+            params=SMALL)
+
+    def test_fuzzy_extractor_scheme(self):
+        self.drive_paths(lambda: FuzzyExtractorKeyGen(8, 16, 64))
+
+    def test_plan_declares_kernel_workload(self):
+        array = ROArray(NOISY, rng=13)
+        keygen = SequentialPairingKeyGen(threshold=250e3)
+        helper, _ = keygen.enroll(array, rng=2)
+        corrupted = helper.with_pairing(
+            flip_orientations(helper.pairing, [1, 2, 3, 4]))
+        oracle = BatchOracle(array, keygen)
+        plan = oracle.plan_rows(corrupted, oracle.take_rows(60))
+        assert plan.pending, "fresh patterns expected on first block"
+        assert plan.workload is not None
+        assert plan.kernel_key is not None
+        outcomes = plan.execute()
+        assert outcomes.shape == (60,)
+        # Finalize is idempotent and the memo now resolves everything.
+        np.testing.assert_array_equal(plan.finalize(None), outcomes)
+        follow_up = oracle.plan_rows(corrupted, oracle.take_rows(1))
+        assert follow_up.workload is None or not follow_up.pending \
+            or follow_up.workload.rows <= 1
+
+    def test_fused_cross_device_matches_per_device(self):
+        # Two devices sharing one code geometry: fusing both kernel
+        # workloads into one call must match each device's own
+        # evaluate_rows bitwise.
+        from repro.ecc import design_bch, run_kernels
+        from repro.keygen import fixed_code
+
+        provider = fixed_code(design_bch(64, 3))
+
+        def build(seed):
+            solo_array, fused_array = twins(NOISY, seed)
+            keygen = SequentialPairingKeyGen(threshold=250e3,
+                                             code_provider=provider)
+            helper, _ = keygen.enroll(solo_array, rng=seed)
+            corrupted = helper.with_pairing(
+                flip_orientations(helper.pairing, [1, 2, 3, 4]))
+            return (BatchOracle(solo_array, keygen),
+                    BatchOracle(fused_array, keygen), corrupted)
+
+        devices = [build(seed) for seed in (31, 32, 33)]
+        expected = [solo.evaluate_rows(helper, solo.take_rows(40))
+                    for solo, _, helper in devices]
+        plans = [fused.plan_rows(helper, fused.take_rows(40))
+                 for _, fused, helper in devices]
+        keys = {plan.kernel_key for plan in plans
+                if plan.kernel_key is not None}
+        assert len(keys) == 1, "shared code must share the kernel key"
+        outputs = run_kernels([plan.workload for plan in plans])
+        for plan, output, want in zip(plans, outputs, expected):
+            np.testing.assert_array_equal(plan.finalize(output), want)

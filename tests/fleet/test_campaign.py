@@ -180,6 +180,37 @@ class TestCampaignEquivalence:
         assert reference.queries == observed.queries
         assert reference.comparisons == observed.comparisons
 
+    @pytest.mark.parametrize("family,build,attack", [
+        ("sequential", build_sequential,
+         lambda oracle, keygen, helper: SequentialPairingAttack(
+             oracle, keygen, helper)),
+        ("group", build_group,
+         lambda oracle, keygen, helper: GroupBasedAttack(
+             oracle, keygen, helper, 4, 10)),
+    ])
+    def test_fused_rounds_match_per_device_rounds(self, family, build,
+                                                  attack):
+        # Cross-device completion fusion is an execution regrouping
+        # only: keys, query bills and comparer outcomes must be
+        # bitwise-identical with and without it.
+        outcomes = {}
+        for fused in (False, True):
+            devices = 3 if family == "sequential" else 2
+            oracles, attacks = [], []
+            for seed in range(devices):
+                array, keygen, helper, _ = build(seed)
+                oracle = BatchOracle(array, keygen)
+                oracles.append(oracle)
+                attacks.append(attack(oracle, keygen, helper))
+            outcomes[fused] = run_campaign(oracles, attacks,
+                                           fused=fused)
+        for reference, observed in zip(outcomes[False],
+                                       outcomes[True]):
+            np.testing.assert_array_equal(reference.key, observed.key)
+            assert reference.queries == observed.queries
+            assert (getattr(reference, "comparisons", None)
+                    == getattr(observed, "comparisons", None))
+
     def test_non_stepwise_driver_rejected(self):
         array, keygen, helper, _ = build_sequential(0)
         oracle = BatchOracle(array, keygen)
@@ -204,14 +235,19 @@ class TestFleetLockstep:
                                     sequential_attack_factory,
                                     workers=1, lockstep=False)
 
+    @pytest.mark.parametrize("fused", [True, False])
     @pytest.mark.parametrize("batch", [1, 3, 8])
     @pytest.mark.parametrize("workers", [1, 2])
-    def test_lockstep_invariance(self, reference, batch, workers):
+    def test_lockstep_invariance(self, reference, batch, workers,
+                                 fused):
+        # The acceptance matrix of the fusion PR: fused and per-device
+        # lock-step rounds must both reproduce the scalar-loop
+        # reference for every batch composition and worker count.
         fleet = Fleet(PARAMS, size=8, seed=31)
         enrollment = fleet.enroll(sequential_factory, seed=6)
         recovered, queries = fleet.attack_success(
             enrollment, sequential_attack_factory, workers=workers,
-            lockstep=True, batch=batch)
+            lockstep=True, batch=batch, fused=fused)
         np.testing.assert_array_equal(recovered, reference[0])
         np.testing.assert_array_equal(queries, reference[1])
         assert recovered.all()

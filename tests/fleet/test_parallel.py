@@ -9,15 +9,16 @@ fleet-parallel smoke job runs this module on its own).
 """
 
 import hashlib
+import pickle
 
 import numpy as np
 import pytest
 
-from repro.core import SequentialPairingAttack
+from repro.core import BatchOracle, SequentialPairingAttack
 from repro.core.injection import flip_orientations
 from repro.fleet import Fleet, chunk_indices, resolve_workers
 from repro.keygen import SequentialPairingKeyGen, TempAwareKeyGen
-from repro.puf import ROArrayParams
+from repro.puf import ROArray, ROArrayParams
 
 PARAMS = ROArrayParams(rows=8, cols=16, sigma_noise=300e3)
 TEMP_PARAMS = ROArrayParams(rows=8, cols=16, temp_slope_sigma=8e3)
@@ -237,6 +238,56 @@ class TestSweepDeterminism:
                  for array in control_fleet]
         for expected, observed in zip(before, after):
             np.testing.assert_array_equal(expected, observed)
+
+
+class TestTwoPhasePickling:
+    """EvalPlan/workload dataclasses must survive a process boundary.
+
+    Fused campaign rounds run inside pool workers; like every fleet
+    dispatch, anything they carry follows the copy-on-dispatch rule —
+    pickling copies state, and the copy must finalize to the same
+    outcomes the original would.
+    """
+
+    def build_plan(self):
+        array = ROArray(PARAMS, rng=61)
+        keygen = SequentialPairingKeyGen(threshold=250e3)
+        helper, key = keygen.enroll(array, rng=3)
+        t = keygen.sketch_for(key.size).code.t
+        corrupted = helper.with_pairing(
+            flip_orientations(helper.pairing, range(1, 2 + t)))
+        oracle = BatchOracle(array, keygen)
+        return oracle.plan_rows(corrupted, oracle.take_rows(50))
+
+    def test_eval_plan_pickle_round_trip(self):
+        plan = self.build_plan()
+        assert plan.workload is not None and plan.pending
+        clone = pickle.loads(pickle.dumps(plan))
+        np.testing.assert_array_equal(clone.workload.words,
+                                      plan.workload.words)
+        assert clone.kernel_key == plan.kernel_key
+        np.testing.assert_array_equal(clone.execute(), plan.execute())
+
+    def test_workload_pickle_round_trip(self):
+        workload = self.build_plan().workload
+        clone = pickle.loads(pickle.dumps(workload))
+        expected = workload.kernel(workload.words)
+        observed = clone.kernel(clone.words)
+        for want, got in zip(expected, observed):
+            np.testing.assert_array_equal(want, got)
+
+    def test_fused_attack_campaign_across_workers(self):
+        # Fused rounds inside each worker chunk: results must stay
+        # bitwise worker-count invariant.
+        outcomes = []
+        for workers in (1, 2):
+            fleet, enrollment = fresh_fleet(size=4, seed=23)
+            outcomes.append(fleet.attack_success(
+                enrollment, attack_factory, workers=workers,
+                lockstep=True, fused=True))
+        np.testing.assert_array_equal(outcomes[0][0], outcomes[1][0])
+        np.testing.assert_array_equal(outcomes[0][1], outcomes[1][1])
+        assert outcomes[0][0].all()
 
 
 class TestPoolPlumbing:

@@ -1,0 +1,103 @@
+"""Row-dedup primitives: edge cases and strategy-crossover equality.
+
+``_dedup`` switches between hashed ``tobytes`` grouping (small blocks)
+and the structured-sort ``np.unique(axis=0)`` path at
+``SMALL_BLOCK = 128`` rows.  Consumers scatter per-pattern results
+back by index, so the two strategies must agree on group *contents*
+(patterns and index partitions) even though their iteration order
+differs — pinned here across the crossover on randomized inputs,
+together with the degenerate shapes (empty input, single row).
+"""
+
+import numpy as np
+import pytest
+
+import repro._dedup as dedup
+from repro._dedup import SMALL_BLOCK, iter_unique_rows, unique_rows
+
+
+def groups_as_dict(matrix, rows=None):
+    """Map pattern bytes -> sorted original indices for one iteration."""
+    out = {}
+    for pattern, indices in iter_unique_rows(matrix, rows):
+        key = pattern.tobytes()
+        assert key not in out, "pattern yielded twice"
+        out[key] = sorted(int(i) for i in indices)
+    return out
+
+
+class TestEdgeCases:
+    def test_empty_matrix(self):
+        matrix = np.zeros((0, 5), dtype=np.uint8)
+        assert list(iter_unique_rows(matrix)) == []
+        distinct, inverse = unique_rows(matrix)
+        assert distinct.shape == (0, 5)
+        assert inverse.shape == (0,)
+
+    def test_empty_row_subset(self):
+        matrix = np.ones((4, 3), dtype=np.uint8)
+        assert list(iter_unique_rows(
+            matrix, np.array([], dtype=np.intp))) == []
+
+    def test_single_row(self):
+        matrix = np.array([[1, 0, 1]], dtype=np.uint8)
+        ((pattern, indices),) = list(iter_unique_rows(matrix))
+        np.testing.assert_array_equal(pattern, matrix[0])
+        np.testing.assert_array_equal(indices, [0])
+        distinct, inverse = unique_rows(matrix)
+        np.testing.assert_array_equal(distinct, matrix)
+        np.testing.assert_array_equal(inverse, [0])
+
+    def test_row_subset_indices_refer_to_original_matrix(self):
+        matrix = np.array([[1, 1], [0, 0], [1, 1], [0, 1]],
+                          dtype=np.uint8)
+        rows = np.array([0, 2, 3])
+        observed = groups_as_dict(matrix, rows)
+        assert observed[matrix[0].tobytes()] == [0, 2]
+        assert observed[matrix[3].tobytes()] == [3]
+        assert matrix[1].tobytes() not in observed
+
+
+class TestStrategyCrossover:
+    """Hashed vs structured-sort grouping around the 128-row switch."""
+
+    @pytest.mark.parametrize("count", [SMALL_BLOCK - 1, SMALL_BLOCK,
+                                       SMALL_BLOCK + 1,
+                                       2 * SMALL_BLOCK])
+    def test_unique_rows_strategies_bitwise_equal(self, count,
+                                                  monkeypatch):
+        rng = np.random.default_rng(1000 + count)
+        # Few distinct patterns, as in real completion workloads.
+        patterns = rng.integers(0, 2, size=(5, 16)).astype(np.uint8)
+        matrix = patterns[rng.integers(0, 5, size=count)]
+
+        monkeypatch.setattr(dedup, "SMALL_BLOCK", matrix.shape[0])
+        hashed_distinct, hashed_inverse = unique_rows(matrix)
+        monkeypatch.setattr(dedup, "SMALL_BLOCK", 0)
+        sorted_distinct, sorted_inverse = unique_rows(matrix)
+
+        # Orders differ (first-occurrence vs lexicographic); the
+        # scatter-back reconstruction must be bitwise-identical.
+        np.testing.assert_array_equal(
+            hashed_distinct[hashed_inverse],
+            sorted_distinct[sorted_inverse])
+        np.testing.assert_array_equal(hashed_distinct[hashed_inverse],
+                                      matrix)
+        assert sorted(d.tobytes() for d in hashed_distinct) \
+            == sorted(d.tobytes() for d in sorted_distinct)
+
+    @pytest.mark.parametrize("count", [SMALL_BLOCK, SMALL_BLOCK + 1])
+    def test_iter_unique_rows_strategies_group_identically(
+            self, count, monkeypatch):
+        rng = np.random.default_rng(2000 + count)
+        patterns = rng.integers(0, 2, size=(7, 9)).astype(np.uint8)
+        matrix = patterns[rng.integers(0, 7, size=count)]
+
+        monkeypatch.setattr(dedup, "SMALL_BLOCK", matrix.shape[0])
+        hashed = groups_as_dict(matrix)
+        monkeypatch.setattr(dedup, "SMALL_BLOCK", 0)
+        structured = groups_as_dict(matrix)
+        assert hashed == structured
+        # Groups partition the row indices exactly once.
+        assert sorted(i for idx in hashed.values() for i in idx) \
+            == list(range(count))

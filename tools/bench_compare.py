@@ -4,14 +4,18 @@
 Usage::
 
     python tools/bench_compare.py BASELINE.json CURRENT.json
-        [--threshold 0.20] [--fail-on-regression]
+        [--threshold 0.20] [--fail-on-regression] [--fail-over PCT]
 
 Benchmarks are matched by ``fullname`` and compared on ``stats.mean``.
 A benchmark whose mean grew by more than ``--threshold`` (fractional,
 default 20%) is flagged as a regression; new and vanished benchmarks
 are listed informationally.  The exit code stays 0 — CI treats the
 report as a non-blocking warning — unless ``--fail-on-regression`` is
-passed.
+passed, or ``--fail-over PCT`` is given and some mean regressed by
+more than *PCT* percent.  ``--fail-over`` additionally emits GitHub
+workflow ``::warning::`` commands for the offending benchmarks, so a
+gross regression annotates the job even when the CI step itself is
+non-blocking (``continue-on-error``).
 
 Bench timings on shared CI runners are noisy; the threshold is
 deliberately generous and the tool is a tripwire for order-of-magnitude
@@ -43,10 +47,14 @@ def load_means(path: Path) -> Dict[str, float]:
 
 
 def compare(baseline: Dict[str, float], current: Dict[str, float],
-            threshold: float) -> Tuple[List[str], List[str]]:
-    """Return ``(report_lines, regression_lines)`` for two runs."""
+            threshold: float
+            ) -> Tuple[List[str], List[Tuple[str, float, float, float]]]:
+    """Return ``(report_lines, regressions)`` for two runs.
+
+    Each regression is ``(name, old_mean, new_mean, change_pct)``.
+    """
     lines: List[str] = []
-    regressions: List[str] = []
+    regressions: List[Tuple[str, float, float, float]] = []
     for name in sorted(set(baseline) | set(current)):
         old = baseline.get(name)
         new = current.get(name)
@@ -61,8 +69,7 @@ def compare(baseline: Dict[str, float], current: Dict[str, float],
         label = "ok"
         if ratio > 1.0 + threshold:
             label = "REGRESSION"
-            regressions.append(
-                f"{name}: {old:.3f}s -> {new:.3f}s ({change:+.0f}%)")
+            regressions.append((name, old, new, change))
         elif ratio < 1.0 - threshold:
             label = "improved"
         lines.append(f"  {label:<11}{name}: {old:.3f}s -> {new:.3f}s "
@@ -83,9 +90,16 @@ def main(argv=None) -> int:
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="exit non-zero when regressions are found "
                              "(default: warn only)")
+    parser.add_argument("--fail-over", type=float, default=None,
+                        metavar="PCT",
+                        help="exit non-zero and emit GitHub ::warning:: "
+                             "annotations when some mean regressed by "
+                             "more than PCT percent (e.g. 50)")
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
+    if args.fail_over is not None and args.fail_over <= 0:
+        parser.error("--fail-over must be positive")
 
     baseline = load_means(args.baseline)
     current = load_means(args.current)
@@ -98,14 +112,25 @@ def main(argv=None) -> int:
           f"(threshold {args.threshold:.0%})")
     for line in lines:
         print(line)
-    if regressions:
-        print(f"\n{len(regressions)} regression(s) above "
-              f"{args.threshold:.0%}:")
-        for line in regressions:
-            print(f"  {line}")
-        return 1 if args.fail_on_regression else 0
-    print("\nno regressions above threshold")
-    return 0
+    if not regressions:
+        print("\nno regressions above threshold")
+        return 0
+    print(f"\n{len(regressions)} regression(s) above "
+          f"{args.threshold:.0%}:")
+    for name, old, new, change in regressions:
+        print(f"  {name}: {old:.3f}s -> {new:.3f}s ({change:+.0f}%)")
+    failed = bool(args.fail_on_regression)
+    if args.fail_over is not None:
+        gross = [entry for entry in regressions
+                 if entry[3] > args.fail_over]
+        for name, old, new, change in gross:
+            # GitHub workflow command: annotates the job even when the
+            # step itself is non-blocking (continue-on-error).
+            print(f"::warning title=Benchmark regression::{name} mean "
+                  f"{old:.3f}s -> {new:.3f}s ({change:+.0f}%, over "
+                  f"the {args.fail_over:.0f}% tripwire)")
+        failed = failed or bool(gross)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
