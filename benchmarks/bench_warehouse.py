@@ -1,0 +1,80 @@
+"""E20: the attack × scheme × countermeasure warehouse matrix.
+
+PR 6 turned the repo's scattered attack demos into a results
+warehouse (``docs/warehouse.md``): every keygen scheme crossed with
+every attack family and countermeasure knob, executed at fleet scale
+through the lock-step/fused campaign engine, condensed into one
+append-only record per cell.  This bench runs the quick matrix the CI
+smoke job runs and reports it as a paper-style table — Fig. 6's three
+constructions plus the §VI-A/§VI-B pairing families, with the
+hardened rows showing countermeasures defeating their attacks.
+
+Asserted before any timing is reported:
+
+* the matrix is **seed-reproducible** — a second same-seed run
+  produces bitwise-identical record identities (the warehouse's core
+  contract);
+* every baseline cell recovers every device's key and every hardened
+  runnable cell recovers none (the paper's security claims).
+"""
+
+import numpy as np
+
+from _report import record, table
+
+from repro.warehouse import (
+    canonical_json,
+    quick_matrix,
+    record_identity,
+    run_matrix,
+)
+
+SEED = 0
+DEVICES = 4
+QUICK_DEVICES = 2
+
+
+def run_quick_matrix(devices=DEVICES):
+    """Two same-seed runs of the quick matrix (for the repro gate)."""
+    cells = [cell for cell in quick_matrix() if cell.runnable]
+    first = run_matrix(cells, "quick", SEED, devices, "bench")
+    second = run_matrix(cells, "quick", SEED, devices, "bench")
+    return first, second
+
+
+def test_warehouse_matrix(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    first, second = benchmark.pedantic(
+        run_quick_matrix, args=(devices,), rounds=1, iterations=1)
+
+    # Reproducibility gate before any reporting: both same-seed runs
+    # must agree bitwise on every record identity.
+    for left, right in zip(first, second):
+        assert canonical_json(record_identity(left)) == \
+            canonical_json(record_identity(right)), \
+            f"cell {left['cell']} is not seed-reproducible"
+
+    rows = []
+    for cell_record in first:
+        assert cell_record["status"] == "ok", \
+            f"{cell_record['cell']}: {cell_record['reason']}"
+        security = cell_record["security"]
+        expected = (0 if cell_record["countermeasure"] == "hardened"
+                    else devices)
+        assert security["recovered"] == expected, \
+            (f"{cell_record['cell']}: {security['recovered']}/"
+             f"{devices} recovered, expected {expected}")
+        rows.append((cell_record["cell"],
+                     f"{security['recovered']}/{devices}",
+                     security["queries_total"],
+                     f"{cell_record['perf']['attack_seconds']:.3f}",
+                     cell_record["engine"]))
+    record(f"E20 — warehouse quick matrix ({devices} devices/cell, "
+           f"seed {SEED}, identities bitwise-reproducible)",
+           table(("cell", "recovered", "queries", "attack (s)",
+                  "engine"), rows))
+
+    mean_queries = float(np.mean([r[2] for r in rows]))
+    record("E20 — matrix summary",
+           [f"runnable cells : {len(rows)}",
+            f"mean query bill: {mean_queries:.0f}"])

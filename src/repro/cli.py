@@ -25,6 +25,14 @@ Subcommands
     loop; ``--fused/--no-fused`` toggles cross-device kernel fusion
     inside the lock-step rounds; per-device results are identical
     either way).
+``warehouse``
+    The attack × scheme × countermeasure results warehouse:
+    ``run`` executes the (quick or full) matrix at fleet scale and
+    appends one record per cell to an append-only JSONL store,
+    ``verify`` asserts seed-reproducibility of re-recorded keys,
+    ``diff`` compares two stored commits cell by cell, and
+    ``trajectory`` renders the longitudinal ``BENCH_*.json`` history
+    (see ``docs/warehouse.md``).
 
 Examples::
 
@@ -35,6 +43,9 @@ Examples::
     python -m repro.cli analyze --devices 8
     python -m repro.cli fleet --devices 32 --trials 500 --workers 4
     python -m repro.cli fleet --devices 16 --attack sequential
+    python -m repro.cli warehouse run --quick --summary \
+        BENCH_warehouse.json
+    python -m repro.cli warehouse diff HEAD~1 HEAD
 """
 
 from __future__ import annotations
@@ -148,6 +159,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "frontier (default: on whenever the "
                             "lock-step engine runs; identical "
                             "results either way)")
+
+    from repro.warehouse.cli import add_warehouse_parser
+    add_warehouse_parser(sub)
     return parser
 
 
@@ -363,6 +377,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_analyze(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "warehouse":
+        from repro.warehouse.cli import run_warehouse
+        return run_warehouse(args)
     raise AssertionError("unreachable")
 
 

@@ -15,6 +15,8 @@ from repro.fleet.campaign import (
     DistillerAttackFactory,
     GroupAttackFactory,
     LockstepCampaign,
+    SequentialAttackFactory,
+    TempAwareAttackFactory,
     run_campaign,
     sequential_attack_factory,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "GroupAttackFactory",
     "KeyGenFactory",
     "LockstepCampaign",
+    "SequentialAttackFactory",
+    "TempAwareAttackFactory",
     "run_campaign",
     "sequential_attack_factory",
     "SharedResultBuffer",

@@ -32,6 +32,7 @@ from repro.core.distiller_attack import DistillerPairingAttack
 from repro.core.group_attack import GroupBasedAttack
 from repro.core.lockstep import AttackSteps, Lane, lane_engines
 from repro.core.sequential_attack import SequentialPairingAttack
+from repro.core.temp_aware_attack import TempAwareAttack
 
 
 class LockstepCampaign:
@@ -149,6 +150,62 @@ def sequential_attack_factory(oracle, keygen, helper
                               ) -> SequentialPairingAttack:
     """Build a §VI-A sequential-pairing attack driver for one device."""
     return SequentialPairingAttack(oracle, keygen, helper)
+
+
+@dataclass
+class _BoundSequentialAttack:
+    """A sequential attack with the distinguisher pre-selected.
+
+    ``SequentialPairingAttack`` takes its *method* as a ``run()`` /
+    ``steps()`` argument, but the campaign engine and the fleet drive
+    attacks through the no-argument protocol.  This wrapper binds the
+    method once so SPRT (and explicit paired) campaigns compose with
+    ``run_campaign`` and ``Fleet.attack_success`` unchanged.
+    """
+
+    attack: SequentialPairingAttack
+    method: str
+
+    def steps(self):
+        """Stepwise protocol with the bound distinguisher."""
+        return self.attack.steps(self.method)
+
+    def run(self):
+        """Scalar reference drive with the bound distinguisher."""
+        return self.attack.run(self.method)
+
+
+@dataclass(frozen=True)
+class SequentialAttackFactory:
+    """Picklable §VI-A attack factory with a bound distinguisher.
+
+    ``method`` is ``"paired"`` (adaptive reference/test comparison —
+    also the entry point of the ML-decoder calibration variant, which
+    the attack selects automatically from the enrolled code) or
+    ``"sprt"`` (Wald's sequential test).
+    """
+
+    method: str = "paired"
+
+    def __call__(self, oracle, keygen, helper) -> _BoundSequentialAttack:
+        """Build the attack driver for one enrolled device."""
+        return _BoundSequentialAttack(
+            SequentialPairingAttack(oracle, keygen, helper), self.method)
+
+
+@dataclass(frozen=True)
+class TempAwareAttackFactory:
+    """Picklable §VI-B temperature-aware attack factory.
+
+    The temperature-aware attack does not expose the stepwise
+    protocol, so fleets fall back to the per-device scalar loop for
+    it; the factory exists so warehouse/fleet call sites treat every
+    attack family uniformly.
+    """
+
+    def __call__(self, oracle, keygen, helper) -> TempAwareAttack:
+        """Build the attack driver for one enrolled device."""
+        return TempAwareAttack(oracle, keygen, helper)
 
 
 @dataclass(frozen=True)

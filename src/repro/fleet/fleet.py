@@ -489,6 +489,46 @@ class Fleet:
                            dtype=np.int64)
         return recovered, queries
 
+    def attack_results(self, enrollment: FleetEnrollment,
+                       attack_factory: AttackFactory,
+                       op: OperatingPoint = OperatingPoint(),
+                       lockstep: Optional[bool] = None,
+                       fused: Optional[bool] = None) -> List[object]:
+        """Run a full attack per device; return the raw result objects.
+
+        Single-process companion to :meth:`attack_success` for callers
+        that need every attack's complete result — relations, comparer
+        decisions, recovered keys — rather than the summary mask (the
+        results warehouse fingerprints per-device decisions from
+        these).  It follows the same sweep-stream discipline (one
+        ``(noise, transient)`` substream pair per device, derived
+        before any execution), and drives the whole population as one
+        lock-step chunk, so a device's result is bitwise-identical to
+        what the matching :meth:`attack_success` call observes.
+
+        *lockstep* / *fused* mean what they mean on
+        :meth:`attack_success`; ``None`` auto-detects the stepwise
+        protocol and fuses exactly when lock-stepping.
+        """
+        streams = self._sweep_streams()
+        if lockstep is None:
+            lockstep = self._supports_lockstep(enrollment,
+                                               attack_factory, op)
+        if fused is None:
+            fused = bool(lockstep)
+        oracles: List[BatchOracle] = []
+        attacks: List[object] = []
+        for array, keygen, helper, (stream, transient) in zip(
+                self._arrays, enrollment.keygens, enrollment.helpers,
+                streams):
+            keygen.reseed_transient_streams(transient)
+            oracle = BatchOracle(array, keygen, op=op, rng=stream)
+            oracles.append(oracle)
+            attacks.append(attack_factory(oracle, keygen, helper))
+        if lockstep:
+            return run_campaign(oracles, attacks, fused=bool(fused))
+        return [attack.run() for attack in attacks]
+
     def _supports_lockstep(self, enrollment: FleetEnrollment,
                            attack_factory: AttackFactory,
                            op: OperatingPoint) -> bool:

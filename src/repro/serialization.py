@@ -321,3 +321,57 @@ def load_masking(blob: bytes) -> MaskingHelper:
     selected = tuple(reader.u16() for _ in range(count))
     reader.finish()
     return MaskingHelper(k, selected)
+
+
+# ----------------------------------------------------------------------
+# type/tag dispatch
+
+#: ``(tag, helper type, dump, load)`` rows — the single source of truth
+#: for which helper bundles have a specified storage format.
+_CODECS = (
+    (TAG_SEQUENTIAL, SequentialKeyHelper, dump_sequential,
+     load_sequential),
+    (TAG_GROUP_BASED, GroupBasedKeyHelper, dump_group_based,
+     load_group_based),
+    (TAG_TEMP_AWARE, TempAwareKeyHelper, dump_temp_aware,
+     load_temp_aware),
+    (TAG_MASKING, MaskingHelper, dump_masking, load_masking),
+)
+
+
+def supports_helper(helper: object) -> bool:
+    """Whether :func:`dump_helper` has a format for *helper*'s type."""
+    return any(isinstance(helper, cls) for _, cls, _, _ in _CODECS)
+
+
+def dump_helper(helper: object) -> bytes:
+    """Serialise any supported helper bundle (dispatch on type).
+
+    The results warehouse uses this to fingerprint fleet enrollments
+    through the *specified* byte format rather than in-memory object
+    identity, so a fingerprint is stable across process boundaries
+    and library refactors.  Raises :class:`FormatError` for helper
+    types without a registered format (callers can probe with
+    :func:`supports_helper`).
+    """
+    for _, cls, dump, _ in _CODECS:
+        if isinstance(helper, cls):
+            return dump(helper)
+    raise FormatError(
+        f"no storage format registered for {type(helper).__name__}")
+
+
+def load_helper(blob: bytes) -> object:
+    """Parse any supported helper bundle (dispatch on the tag byte).
+
+    The container is validated by the per-type strict parser; this
+    wrapper only routes on the payload tag, rejecting unknown tags and
+    blobs too short to carry the container header.
+    """
+    if len(blob) < 10 or blob[:4] != MAGIC:
+        raise FormatError("blob is not a ROHD helper-data container")
+    tag = blob[5]
+    for known, _, _, load in _CODECS:
+        if known == tag:
+            return load(blob)
+    raise FormatError(f"unknown payload tag {tag}")

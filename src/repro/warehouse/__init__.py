@@ -1,0 +1,87 @@
+"""Attack × scheme × countermeasure results warehouse.
+
+Runs the full matrix — all five keygen schemes × the
+sequential/SPRT/ML/group/distiller/temp-aware attack families × the
+``bench_countermeasures.py`` validation knobs — at fleet scale through
+the lock-step/fused campaign engine, and persists one record per cell
+into an append-only JSON-lines store keyed by ``(commit, config_hash,
+schema_version)``.  Records carry security outcomes (key-recovery
+mask, query bills, comparer-decision fingerprints) alongside
+wall/kernel timings; identities are bitwise-reproducible from the
+configuration seed, so any drift between commits is a behavioural
+change of the code, not noise.
+
+``repro warehouse run|verify|diff|trajectory`` is the CLI surface;
+repo-root ``BENCH_*.json`` files hold the committed longitudinal
+summary consumed by ``tools/bench_compare.py --trajectory``.  See
+``docs/warehouse.md``.
+"""
+
+from repro.warehouse.diff import MatrixDiff, diff_matrices
+from repro.warehouse.matrix import (
+    ATTACKS,
+    COUNTERMEASURES,
+    SCHEMES,
+    MatrixCell,
+    full_matrix,
+    quick_matrix,
+    select_cells,
+)
+from repro.warehouse.runner import matrix_config, run_cell, run_matrix
+from repro.warehouse.store import (
+    SCHEMA_VERSION,
+    StoreFormatError,
+    WarehouseStore,
+    canonical_json,
+    config_hash,
+    enrollment_fingerprint,
+    fingerprint_bits,
+    record_identity,
+    record_key,
+    sha256_hex,
+)
+from repro.warehouse.summary import (
+    SUMMARY_SCHEMA_VERSION,
+    SummaryFormatError,
+    append_entry,
+    build_entry,
+    load_summary,
+)
+from repro.warehouse.trajectory import (
+    Drift,
+    TrajectoryReport,
+    build_report,
+)
+
+__all__ = [
+    "ATTACKS",
+    "COUNTERMEASURES",
+    "SCHEMES",
+    "SCHEMA_VERSION",
+    "SUMMARY_SCHEMA_VERSION",
+    "Drift",
+    "MatrixCell",
+    "MatrixDiff",
+    "StoreFormatError",
+    "SummaryFormatError",
+    "TrajectoryReport",
+    "WarehouseStore",
+    "append_entry",
+    "build_entry",
+    "build_report",
+    "canonical_json",
+    "config_hash",
+    "diff_matrices",
+    "enrollment_fingerprint",
+    "fingerprint_bits",
+    "full_matrix",
+    "load_summary",
+    "matrix_config",
+    "quick_matrix",
+    "record_identity",
+    "record_key",
+    "run_cell",
+    "run_matrix",
+    "select_cells",
+    "sha256_hex",
+]

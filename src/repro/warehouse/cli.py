@@ -1,0 +1,266 @@
+"""``repro warehouse`` subcommand handlers.
+
+Wires the warehouse subsystem into the top-level CLI::
+
+    repro warehouse run [--quick] [--store PATH] [--summary PATH]
+    repro warehouse verify --store PATH
+    repro warehouse diff BASE CURRENT --store PATH
+    repro warehouse trajectory [BENCH_*.json ...]
+
+Kept separate from :mod:`repro.cli` so the argument surface and the
+handlers live next to the subsystem they drive; the top-level parser
+only delegates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+from pathlib import Path
+from typing import List, Optional
+
+from repro.warehouse.diff import diff_matrices
+from repro.warehouse.matrix import (
+    full_matrix,
+    quick_matrix,
+    select_cells,
+)
+from repro.warehouse.runner import run_matrix
+from repro.warehouse.store import (
+    WarehouseStore,
+    canonical_json,
+    record_identity,
+)
+from repro.warehouse.summary import append_entry, build_entry
+from repro.warehouse.trajectory import build_report
+
+#: Default store location, relative to the invocation directory.
+DEFAULT_STORE = "warehouse/results.jsonl"
+
+
+def detect_commit() -> str:
+    """This run's commit: ``$GITHUB_SHA``, ``git rev-parse``, or
+    ``"unknown"`` outside both."""
+    commit = os.environ.get("GITHUB_SHA", "").strip()
+    if commit:
+        return commit
+    try:
+        probe = subprocess.run(["git", "rev-parse", "HEAD"],
+                               capture_output=True, text=True,
+                               check=True, timeout=10)
+        return probe.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def add_warehouse_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``warehouse`` subcommand tree on *sub*."""
+    warehouse = sub.add_parser(
+        "warehouse",
+        help="attack x scheme x countermeasure results warehouse")
+    wsub = warehouse.add_subparsers(dest="warehouse_command",
+                                    required=True)
+
+    run = wsub.add_parser(
+        "run", help="execute the matrix and append records")
+    run.add_argument("--quick", action="store_true",
+                     help="reduced matrix (CI smoke profile)")
+    run.add_argument("--devices", type=int, default=None,
+                     help="fleet size per runnable cell "
+                          "(default: 2 quick / 4 full)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--store", default=DEFAULT_STORE,
+                     help=f"JSONL store path (default "
+                          f"{DEFAULT_STORE})")
+    run.add_argument("--commit", default=None,
+                     help="record key commit (default: $GITHUB_SHA "
+                          "or git rev-parse HEAD)")
+    run.add_argument("--summary", default=None, metavar="PATH",
+                     help="append this run's entry to a repo-root "
+                          "BENCH_*.json trajectory file")
+    run.add_argument("--cells", default=None, metavar="PATTERN",
+                     help="fnmatch filter on cell ids, e.g. "
+                          "'group-based/*'")
+    run.add_argument("--check-reproducible", action="store_true",
+                     help="run the matrix twice and fail unless "
+                          "record identities match bitwise")
+
+    verify = wsub.add_parser(
+        "verify", help="assert same-key records agree bitwise")
+    verify.add_argument("--store", default=DEFAULT_STORE)
+
+    diff = wsub.add_parser(
+        "diff", help="compare two commits' matrices cell by cell")
+    diff.add_argument("base", help="baseline commit (prefixes ok)")
+    diff.add_argument("current", help="commit under test")
+    diff.add_argument("--store", default=DEFAULT_STORE)
+    diff.add_argument("--config", default=None,
+                      help="restrict to one configuration hash")
+    diff.add_argument("--threshold", type=float, default=0.20,
+                      help="fractional timing movement to report "
+                           "(default 0.20)")
+    diff.add_argument("--fail-on-security-drift",
+                      action="store_true",
+                      help="exit non-zero when security outcomes "
+                           "moved")
+
+    trajectory = wsub.add_parser(
+        "trajectory",
+        help="render the longitudinal BENCH_*.json history")
+    trajectory.add_argument("files", nargs="*",
+                            help="summary files (default: "
+                                 "./BENCH_*.json)")
+    trajectory.add_argument("--threshold", type=float, default=0.20,
+                            help="fractional perf drift to flag "
+                                 "(default 0.20)")
+
+
+def run_warehouse(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``warehouse`` invocation; exit code."""
+    handler = {
+        "run": _cmd_run,
+        "verify": _cmd_verify,
+        "diff": _cmd_diff,
+        "trajectory": _cmd_trajectory,
+    }[args.warehouse_command]
+    return handler(args)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    profile = "quick" if args.quick else "full"
+    cells = select_cells(quick_matrix() if args.quick
+                         else full_matrix(), args.cells)
+    if not cells:
+        print(f"warehouse run: no cells match {args.cells!r}")
+        return 2
+    devices = args.devices if args.devices is not None \
+        else (2 if args.quick else 4)
+    commit = args.commit if args.commit is not None \
+        else detect_commit()
+    print(f"warehouse run: profile={profile} seed={args.seed} "
+          f"devices={devices} commit={commit[:12]} "
+          f"({len(cells)} cells)")
+    records = run_matrix(cells, profile, args.seed, devices, commit,
+                         progress=print)
+    if args.check_reproducible:
+        replay = run_matrix(cells, profile, args.seed, devices,
+                            commit)
+        drifted = [
+            str(first["cell"])
+            for first, second in zip(records, replay)
+            if canonical_json(record_identity(first))
+            != canonical_json(record_identity(second))]
+        if drifted:
+            print(f"warehouse run: NOT REPRODUCIBLE - "
+                  f"{len(drifted)} cell(s) drifted between two "
+                  f"same-seed runs: {', '.join(drifted)}")
+            return 1
+        print("warehouse run: reproducibility check ok "
+              "(two same-seed runs, identical record identities)")
+    store = WarehouseStore(args.store)
+    appended = store.append(records)
+    by_status = {status: sum(1 for r in records
+                             if r["status"] == status)
+                 for status in ("ok", "n/a", "error")}
+    print(f"appended {appended} records to {store.path} "
+          f"(config {records[0]['config_hash']}, "
+          f"{by_status['ok']} ok / {by_status['n/a']} n/a / "
+          f"{by_status['error']} error)")
+    for record in records:
+        if record["status"] == "error":
+            print(f"  ERROR {record['cell']}: {record['reason']}")
+    if args.summary:
+        entry = build_entry(records, commit, profile)
+        payload = append_entry(args.summary, entry)
+        print(f"summary entry #{payload['history'][-1]['sequence']} "
+              f"appended to {args.summary}")
+    return 1 if by_status["error"] else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    store = WarehouseStore(args.store)
+    if not store.path.exists():
+        print(f"warehouse verify: no store at {store.path}")
+        return 2
+    problems = store.verify_reproducible()
+    if problems:
+        for problem in problems:
+            print(f"  {problem}")
+        print(f"warehouse verify: {len(problems)} key(s) with "
+              f"non-reproducible records")
+        return 1
+    print(f"warehouse verify: ok - every re-recorded key in "
+          f"{store.path} is bitwise-reproducible")
+    return 0
+
+
+def _resolve_commit(store: WarehouseStore,
+                    ref: str) -> Optional[str]:
+    commits = store.commits()
+    if ref in commits:
+        return ref
+    matches = [commit for commit in commits
+               if commit.startswith(ref)]
+    if len(matches) == 1:
+        return matches[0]
+    print(f"warehouse diff: commit {ref!r} "
+          f"{'is ambiguous' if matches else 'not in the store'} "
+          f"(stored: {', '.join(c[:12] for c in commits) or 'none'})")
+    return None
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    store = WarehouseStore(args.store)
+    if not store.path.exists():
+        print(f"warehouse diff: no store at {store.path}")
+        return 2
+    base_commit = _resolve_commit(store, args.base)
+    current_commit = _resolve_commit(store, args.current)
+    if base_commit is None or current_commit is None:
+        return 2
+    base = store.matrix(base_commit, args.config)
+    current = store.matrix(current_commit, args.config)
+    result = diff_matrices(base, current,
+                           timing_threshold=args.threshold)
+    print(f"warehouse diff: {base_commit[:12]} -> "
+          f"{current_commit[:12]} ({result.cells} cells)")
+    if result.lines:
+        for line in result.lines:
+            print(line)
+    else:
+        print("  matrices identical")
+    print(f"{result.security_changes} security change(s), "
+          f"{result.perf_changes} perf change(s)")
+    if args.fail_on_security_drift and result.changed:
+        return 1
+    return 0
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    files: List[Path]
+    if args.files:
+        files = [Path(name) for name in args.files]
+    else:
+        files = sorted(Path.cwd().glob("BENCH_*.json"))
+    missing = [path for path in files if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"warehouse trajectory: no such file: {path}")
+        return 2
+    if not files:
+        print("warehouse trajectory: no BENCH_*.json summaries "
+              "found")
+        return 1
+    report = build_report(files, threshold=args.threshold)
+    for line in report.lines:
+        print(line)
+    if report.drifts:
+        print(f"\n{len(report.perf_drifts)} perf drift(s), "
+              f"{len(report.security_drifts)} security drift(s) on "
+              f"the newest entry:")
+        for drift in report.drifts:
+            print(f"  {drift.describe()}")
+    else:
+        print("\nno drift on the newest entry")
+    return 0

@@ -1,0 +1,316 @@
+"""Execute matrix cells at fleet scale and produce warehouse records.
+
+Each runnable cell manufactures a seeded device fleet, enrolls its
+scheme, and drives its attack family across the whole population
+through the existing engines — the lock-step/fused campaign scheduler
+for every stepwise attack, the per-device scalar loop for the
+temperature-aware family — then condenses the outcome into one record:
+per-device key-recovery mask and query bills, a comparer-decisions
+fingerprint, an enrollment fingerprint through the specified storage
+format, and wall/kernel timings.
+
+Determinism contract: the record *identity* (everything except the
+``perf``/``meta`` layers) is a pure function of ``(cell, seed,
+devices)``.  Cell RNG roots derive from the cell identifier — not its
+position in the matrix — so adding cells to the registry never
+perturbs existing cells, and the per-device substream discipline of
+:mod:`repro.fleet.parallel` does the rest.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ecc import BlockwiseCode, ReedMullerCode
+from repro.ecc.kernel import kernel_stats
+from repro.fleet import (
+    DistillerAttackFactory,
+    Fleet,
+    GroupAttackFactory,
+    SequentialAttackFactory,
+    TempAwareAttackFactory,
+)
+from repro.keygen import (
+    DistillerPairingKeyGen,
+    GroupBasedKeyGen,
+    HardenedGroupBasedKeyGen,
+    HardenedTempAwareKeyGen,
+    SequentialPairingKeyGen,
+    TempAwareKeyGen,
+)
+from repro.puf import ROArrayParams
+from repro.warehouse.matrix import MatrixCell
+from repro.warehouse.store import (
+    SCHEMA_VERSION,
+    config_hash,
+    enrollment_fingerprint,
+    fingerprint_bits,
+    sha256_hex,
+)
+
+
+@dataclass(frozen=True)
+class _ReedMullerProvider:
+    """Picklable provider of blockwise Reed–Muller codes (ML-decoded).
+
+    First-order RM decoding never fails — it is the matrix's
+    maximum-likelihood column: the §VI-A bounded-distance calculus
+    does not apply and the attack switches to its online-calibration
+    variant automatically.
+    """
+
+    m: int = 5
+
+    def __call__(self, bits: int) -> BlockwiseCode:
+        """Smallest blockwise RM(1, m) covering *bits* data bits."""
+        inner = ReedMullerCode(self.m)
+        blocks = max(1, -(-bits // inner.k))
+        if blocks == 1:
+            return inner
+        return BlockwiseCode(inner, blocks)
+
+
+def _keygen_factory(cell: MatrixCell) -> Callable[[], object]:
+    """Picklable keygen factory for one runnable cell."""
+    if cell.scheme == "sequential":
+        provider = (_ReedMullerProvider(5) if cell.variant == "rm5"
+                    else None)
+        return functools.partial(SequentialPairingKeyGen,
+                                 threshold=300e3,
+                                 code_provider=provider)
+    if cell.scheme == "group-based":
+        if cell.countermeasure == "hardened":
+            return functools.partial(
+                HardenedGroupBasedKeyGen, rows=cell.rows,
+                cols=cell.cols, max_polynomial_span=20e6,
+                group_threshold=120e3)
+        return functools.partial(GroupBasedKeyGen,
+                                 group_threshold=120e3)
+    if cell.scheme == "temp-aware":
+        cls = (HardenedTempAwareKeyGen
+               if cell.countermeasure == "hardened"
+               else TempAwareKeyGen)
+        return functools.partial(cls, t_min=-10, t_max=80,
+                                 threshold=150e3)
+    if cell.scheme == "distiller":
+        return functools.partial(DistillerPairingKeyGen, cell.rows,
+                                 cell.cols,
+                                 pairing_mode=cell.variant, k=5)
+    raise ValueError(f"no keygen factory for scheme {cell.scheme!r}")
+
+
+def _attack_factory(cell: MatrixCell) -> Callable:
+    """Picklable attack factory for one runnable cell."""
+    if cell.attack in ("sequential", "ml"):
+        return SequentialAttackFactory("paired")
+    if cell.attack == "sprt":
+        return SequentialAttackFactory("sprt")
+    if cell.attack == "group":
+        return GroupAttackFactory(cell.rows, cell.cols)
+    if cell.attack == "distiller":
+        return DistillerAttackFactory(cell.rows, cell.cols)
+    if cell.attack == "temp-aware":
+        return TempAwareAttackFactory()
+    raise ValueError(f"no attack factory for family {cell.attack!r}")
+
+
+def _check_key(result: object, key: np.ndarray,
+               helper: object) -> bool:
+    """Key-carrying families: the recovered key must match enrolled."""
+    recovered = getattr(result, "key", None)
+    return recovered is not None and bool(
+        np.array_equal(recovered, key))
+
+
+def _check_temp_aware(result: object, key: np.ndarray,
+                      helper: object) -> bool:
+    """§VI-B recovers relations of the cooperating-pair bits only."""
+    n_good = len(helper.scheme.good_indices)
+    truth = key[n_good:]
+    if truth.size == 0 or result.resolved_fraction != 1.0:
+        return False
+    return bool(np.array_equal(result.coop_relations,
+                               truth ^ truth[0]))
+
+
+def _recovery_check(cell: MatrixCell) -> Callable:
+    """Per-family predicate deciding whether an attack recovered."""
+    if cell.attack == "temp-aware":
+        return _check_temp_aware
+    return _check_key
+
+
+def _device_payload(result: object, recovered: bool
+                    ) -> Dict[str, object]:
+    """Deterministic per-device outcome features (for fingerprints)."""
+    comparisons = getattr(result, "comparisons", ())
+    if isinstance(comparisons, (list, tuple)):
+        decisions = [outcome.decision for outcome in comparisons]
+        comparison_count = len(comparisons)
+    else:
+        # group-based results expose a comparison *count*, not the
+        # individual comparer outcomes
+        decisions = []
+        comparison_count = int(comparisons)
+    payload: Dict[str, object] = {
+        "recovered": bool(recovered),
+        "queries": int(getattr(result, "queries", 0)),
+        "decisions": decisions,
+        "comparison_count": comparison_count,
+    }
+    key = getattr(result, "key", None)
+    if key is not None:
+        payload["key"] = fingerprint_bits([key])
+    for attr in ("relations", "coop_relations"):
+        value = getattr(result, attr, None)
+        if value is not None:
+            payload[attr] = [int(v) for v in
+                             np.asarray(value).ravel()]
+    good_bits = getattr(result, "good_bits", None)
+    if good_bits is not None:
+        payload["good_bits"] = {str(index): int(bit)
+                                for index, bit in good_bits.items()}
+    return payload
+
+
+def _timestamp() -> str:
+    """UTC creation timestamp (provenance only, never identity)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def matrix_config(cells: Sequence[MatrixCell], profile: str,
+                  seed: int, devices: int) -> Dict[str, object]:
+    """The configuration dict whose hash keys a run's records."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile,
+        "seed": int(seed),
+        "devices": int(devices),
+        "cells": [cell.cell_id for cell in cells],
+    }
+
+
+def run_cell(cell: MatrixCell, devices: int, seed: int, commit: str,
+             cfg_hash: str, profile: str) -> Dict[str, object]:
+    """Execute one cell and return its warehouse record."""
+    record: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "commit": str(commit),
+        "config_hash": str(cfg_hash),
+        "cell": cell.cell_id,
+        "scheme": cell.scheme,
+        "attack": cell.attack,
+        "countermeasure": cell.countermeasure,
+        "variant": cell.variant,
+        "config": {"seed": int(seed), "devices": int(devices),
+                   "rows": cell.rows, "cols": cell.cols,
+                   "profile": profile},
+        "meta": {"created": _timestamp()},
+    }
+    if not cell.runnable:
+        record.update(status="n/a", reason=cell.reason, engine=None,
+                      security=None, perf=None)
+        return record
+    try:
+        body = _run_runnable(cell, devices, seed)
+    except Exception as error:  # defensive: record, don't abort runs
+        record.update(status="error",
+                      reason=f"{type(error).__name__}: {error}",
+                      engine=None, security=None, perf=None)
+        return record
+    record.update(status="ok", reason="", **body)
+    return record
+
+
+def _run_runnable(cell: MatrixCell, devices: int,
+                  seed: int) -> Dict[str, object]:
+    """The fleet-scale body of :func:`run_cell` for runnable cells."""
+    root = np.random.default_rng(
+        np.random.SeedSequence(cell.seed_material(seed)))
+    manufacture_rng, enroll_rng = root.spawn(2)
+    if cell.temp_slope_sigma > 0:
+        params = ROArrayParams(rows=cell.rows, cols=cell.cols,
+                               temp_slope_sigma=cell.temp_slope_sigma)
+    else:
+        params = ROArrayParams(rows=cell.rows, cols=cell.cols)
+    fleet = Fleet(params, size=devices, seed=manufacture_rng)
+
+    start = time.perf_counter()
+    enrollment = fleet.enroll(_keygen_factory(cell), seed=enroll_rng)
+    enroll_seconds = time.perf_counter() - start
+
+    lockstep = cell.attack != "temp-aware"
+    kernel_before = (kernel_stats.calls, kernel_stats.rows,
+                     kernel_stats.seconds)
+    start = time.perf_counter()
+    results = fleet.attack_results(enrollment, _attack_factory(cell),
+                                   lockstep=lockstep)
+    attack_seconds = time.perf_counter() - start
+    kernel_calls = kernel_stats.calls - kernel_before[0]
+    kernel_rows = kernel_stats.rows - kernel_before[1]
+    kernel_seconds = kernel_stats.seconds - kernel_before[2]
+
+    check = _recovery_check(cell)
+    payloads: List[Dict[str, object]] = []
+    for result, key, helper in zip(results, enrollment.keys,
+                                   enrollment.helpers):
+        payloads.append(_device_payload(
+            result, check(result, key, helper)))
+    recovered = sum(1 for p in payloads if p["recovered"])
+    queries = [int(p["queries"]) for p in payloads]
+    security = {
+        "devices": int(devices),
+        "recovered": int(recovered),
+        "recovery_rate": recovered / devices,
+        "recovered_mask": [bool(p["recovered"]) for p in payloads],
+        "queries": queries,
+        "queries_total": int(sum(queries)),
+        "queries_mean": sum(queries) / devices,
+        "decisions_fingerprint": sha256_hex(
+            [p["decisions"] for p in payloads]),
+        "outcome_fingerprint": sha256_hex(payloads),
+        "enrollment_fingerprint": enrollment_fingerprint(
+            enrollment.helpers, enrollment.keys),
+    }
+    perf = {
+        "enroll_seconds": enroll_seconds,
+        "attack_seconds": attack_seconds,
+        "kernel_seconds": kernel_seconds,
+        "kernel_calls": int(kernel_calls),
+        "kernel_rows": int(kernel_rows),
+    }
+    engine = "lockstep-fused" if lockstep else "scalar"
+    return {"engine": engine, "security": security, "perf": perf}
+
+
+def run_matrix(cells: Sequence[MatrixCell], profile: str, seed: int,
+               devices: int, commit: str,
+               progress: Optional[Callable[[str], None]] = None
+               ) -> List[Dict[str, object]]:
+    """Execute a matrix; returns one record per cell, in cell order.
+
+    Every record of the run shares the same ``(commit, config_hash,
+    schema_version)`` key prefix; *progress* (if given) receives one
+    line per completed cell for live CLI output.
+    """
+    cfg_hash = config_hash(matrix_config(cells, profile, seed,
+                                         devices))
+    records: List[Dict[str, object]] = []
+    for cell in cells:
+        record = run_cell(cell, devices, seed, commit, cfg_hash,
+                          profile)
+        records.append(record)
+        if progress is not None and record["status"] == "ok":
+            security = record["security"]
+            progress(
+                f"  {cell.cell_id}: {security['recovered']}/"
+                f"{security['devices']} recovered, "
+                f"{security['queries_total']} queries, "
+                f"{record['perf']['attack_seconds']:.2f}s")
+    return records

@@ -1,0 +1,239 @@
+"""Append-only JSON-lines store of attack-matrix cell records.
+
+One warehouse record captures one *cell* of the attack × scheme ×
+countermeasure matrix for one configuration at one commit.  Records
+are keyed by ``(commit, config_hash, schema_version)`` plus the cell
+identifier, and split into three layers:
+
+* the **identity** — cell coordinates, configuration and security
+  outcomes (key-recovery mask, query bills, fingerprints).  Identity
+  is a pure function of the configuration seed: running the same
+  matrix twice at the same commit must produce byte-identical
+  identities (:func:`record_identity` strips the rest, and
+  :meth:`WarehouseStore.verify_reproducible` enforces it in CI);
+* ``perf`` — wall/kernel timings, inherently noisy, never part of
+  identity;
+* ``meta`` — provenance (creation timestamp), never part of identity.
+
+The store itself is a strict, append-only ``.jsonl`` file: one record
+per line, nothing ever rewritten, so commit-over-commit history
+accumulates naturally and ``repro warehouse diff`` can compare any two
+stored commits cell by cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serialization import dump_helper, supports_helper
+
+#: Version of the record layout.  Bump on any change to the identity
+#: fields — records of different schema versions never compare equal.
+SCHEMA_VERSION = 1
+
+
+class StoreFormatError(ValueError):
+    """A warehouse store line violates the record format."""
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON encoding (sorted keys, compact separators).
+
+    The canonical form is what gets hashed, so two semantically equal
+    payloads produced by different dict insertion orders hash equal.
+    """
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=True)
+
+
+def sha256_hex(data: object) -> str:
+    """SHA-256 hex digest of *data* (bytes, or canonical JSON)."""
+    if not isinstance(data, (bytes, bytearray)):
+        data = canonical_json(data).encode("ascii")
+    return hashlib.sha256(bytes(data)).hexdigest()
+
+
+def config_hash(config: Dict[str, object]) -> str:
+    """Stable hash of a matrix configuration dict.
+
+    Key order does not matter; values must be JSON-serialisable.
+    Records produced from configurations with different hashes are
+    never compared against each other.
+    """
+    return sha256_hex(config)[:16]
+
+
+def fingerprint_bits(arrays: Iterable[np.ndarray]) -> str:
+    """SHA-256 over a sequence of bit vectors (length-prefixed).
+
+    The length prefix keeps the encoding injective: two devices'
+    concatenated keys cannot collide with a different split of the
+    same bit stream.
+    """
+    digest = hashlib.sha256()
+    for bits in arrays:
+        bits = np.asarray(bits, dtype=np.uint8)
+        digest.update(int(bits.size).to_bytes(4, "little"))
+        digest.update(np.packbits(bits).tobytes())
+    return digest.hexdigest()
+
+
+def enrollment_fingerprint(helpers: Iterable[object],
+                           keys: Iterable[np.ndarray]) -> str:
+    """Fingerprint a fleet enrollment.
+
+    Helpers with a specified binary storage format (see
+    :mod:`repro.serialization`) contribute their serialised bytes —
+    the stable, refactor-proof identity of the enrollment; helper
+    types without a format fall back to the enrolled key bits.
+    """
+    digest = hashlib.sha256()
+    for helper, key in zip(helpers, keys):
+        if supports_helper(helper):
+            blob = dump_helper(helper)
+            digest.update(b"H")
+            digest.update(len(blob).to_bytes(4, "little"))
+            digest.update(blob)
+        else:
+            digest.update(b"K")
+            digest.update(
+                bytes.fromhex(fingerprint_bits([key])))
+    return digest.hexdigest()
+
+
+def record_key(record: Dict[str, object]) -> Tuple[str, str, int, str]:
+    """The store key of a record: commit, config hash, schema, cell."""
+    try:
+        return (str(record["commit"]), str(record["config_hash"]),
+                int(record["schema_version"]), str(record["cell"]))
+    except KeyError as missing:
+        raise StoreFormatError(
+            f"record misses key field {missing}") from None
+
+
+def record_identity(record: Dict[str, object]) -> Dict[str, object]:
+    """The reproducible part of a record.
+
+    Strips ``perf`` (timings are noisy) and ``meta`` (timestamps are
+    provenance); everything that remains is a pure function of the
+    configuration, so two runs of the same matrix at the same commit
+    must agree on it byte for byte.
+    """
+    return {field: value for field, value in record.items()
+            if field not in ("perf", "meta")}
+
+
+class WarehouseStore:
+    """Append-only JSON-lines store of warehouse records.
+
+    Parameters
+    ----------
+    path:
+        The ``.jsonl`` store file.  Created (with parents) on first
+        append; reads of a missing store yield no records.
+    """
+
+    def __init__(self, path) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """Location of the store file."""
+        return self._path
+
+    def append(self, records: Iterable[Dict[str, object]]) -> int:
+        """Append records to the store; returns how many were written.
+
+        Strictly append-only: existing lines are never rewritten, so
+        re-running a matrix at the same commit adds a second batch of
+        (identical-identity) records rather than replacing the first.
+        """
+        records = list(records)
+        for record in records:
+            record_key(record)  # validate before touching the file
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._path.open("a", encoding="ascii") as handle:
+            for record in records:
+                handle.write(canonical_json(record) + "\n")
+        return len(records)
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """All records in append order (strict parse)."""
+        if not self._path.exists():
+            return
+        with self._path.open(encoding="ascii") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise StoreFormatError(
+                        f"{self._path}:{lineno}: not valid JSON "
+                        f"({error})") from None
+                if not isinstance(record, dict):
+                    raise StoreFormatError(
+                        f"{self._path}:{lineno}: record is not an "
+                        f"object")
+                record_key(record)
+                yield record
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return self.records()
+
+    def commits(self) -> List[str]:
+        """Distinct commits in first-seen order."""
+        seen: List[str] = []
+        for record in self.records():
+            commit = str(record["commit"])
+            if commit not in seen:
+                seen.append(commit)
+        return seen
+
+    def matrix(self, commit: str,
+               config: Optional[str] = None
+               ) -> Dict[str, Dict[str, object]]:
+        """Latest record per cell for one commit.
+
+        *config* filters on the configuration hash; without it, cells
+        of every configuration stored for the commit are returned
+        (later appends win per cell).
+        """
+        cells: Dict[str, Dict[str, object]] = {}
+        for record in self.records():
+            if str(record["commit"]) != commit:
+                continue
+            if config is not None \
+                    and str(record["config_hash"]) != config:
+                continue
+            cells[str(record["cell"])] = record
+        return cells
+
+    def verify_reproducible(self) -> List[str]:
+        """Check that same-key records carry identical identities.
+
+        Returns one human-readable problem line per store key whose
+        records disagree — the seed-reproducibility gate CI runs after
+        appending the same matrix twice.  An empty list means every
+        re-run reproduced its predecessor bitwise.
+        """
+        problems: List[str] = []
+        seen: Dict[Tuple[str, str, int, str], str] = {}
+        for record in self.records():
+            key = record_key(record)
+            identity = canonical_json(record_identity(record))
+            if key not in seen:
+                seen[key] = identity
+            elif seen[key] != identity:
+                commit, config, schema, cell = key
+                problems.append(
+                    f"cell {cell} @ {commit[:12]} (config {config}, "
+                    f"schema v{schema}): identity drifted between "
+                    f"appends")
+        return problems

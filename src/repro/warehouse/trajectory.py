@@ -1,0 +1,148 @@
+"""Render longitudinal perf/security trajectories from summary files.
+
+Consumes the repo-root ``BENCH_*.json`` histories (see
+:mod:`repro.warehouse.summary`) and turns them into commit-over-commit
+trajectories: one line per benchmark showing every recorded mean in
+sequence order, plus drift detection on the newest step — a perf
+drift when the latest mean moved by more than the threshold against
+its predecessor, a security drift whenever a recovery rate, mean
+query bill or outcome fingerprint changed at all (security outcomes
+are deterministic, so *any* movement is signal, not noise).
+
+Both ``repro warehouse trajectory`` and ``tools/bench_compare.py
+--trajectory`` print the same report object, so the CLI and the CI
+tripwire cannot disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.warehouse.summary import load_summary
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One flagged movement on the newest trajectory step."""
+
+    label: str
+    name: str
+    kind: str
+    old: str
+    new: str
+    change_pct: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and annotations."""
+        change = (f" ({self.change_pct:+.0f}%)"
+                  if self.change_pct == self.change_pct else "")
+        return (f"[{self.label}] {self.name} {self.kind}: "
+                f"{self.old} -> {self.new}{change}")
+
+
+@dataclass
+class TrajectoryReport:
+    """Rendered trajectory lines plus the drifts found on the tip."""
+
+    lines: List[str] = field(default_factory=list)
+    perf_drifts: List[Drift] = field(default_factory=list)
+    security_drifts: List[Drift] = field(default_factory=list)
+    entries: int = 0
+
+    @property
+    def drifts(self) -> List[Drift]:
+        """All flagged movements, perf first."""
+        return self.perf_drifts + self.security_drifts
+
+
+def _ordered_history(payload: Dict[str, object]
+                     ) -> List[Dict[str, object]]:
+    history = list(payload["history"])
+    history.sort(key=lambda entry: int(entry.get("sequence", 0)))
+    return history
+
+
+def _entry_tag(entry: Dict[str, object]) -> str:
+    sequence = entry.get("sequence", "?")
+    commit = str(entry.get("commit", ""))[:7] or "?"
+    return f"#{sequence}@{commit}"
+
+
+def _series(history: Sequence[Dict[str, object]], section: str,
+            name: str, metric: str) -> List[Tuple[str, object]]:
+    """(entry tag, value) pairs of one metric across the history."""
+    points = []
+    for entry in history:
+        table = entry.get(section) or {}
+        row = table.get(name)
+        if isinstance(row, dict) and metric in row:
+            points.append((_entry_tag(entry), row[metric]))
+    return points
+
+
+def _names(history: Sequence[Dict[str, object]],
+           section: str) -> List[str]:
+    """Union of row names across the history, first-seen order."""
+    names: List[str] = []
+    for entry in history:
+        for name in (entry.get(section) or {}):
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def build_report(paths: Sequence[object],
+                 threshold: float = 0.20) -> TrajectoryReport:
+    """Build the trajectory report over one or more summary files.
+
+    *threshold* is the fractional perf movement (newest vs previous
+    mean) that counts as drift; security metrics flag on any change.
+    """
+    report = TrajectoryReport()
+    for path in paths:
+        payload = load_summary(path)
+        label = str(payload.get("label", path))
+        history = _ordered_history(payload)
+        report.entries += len(history)
+        report.lines.append(
+            f"{label}: {len(history)} entr"
+            f"{'y' if len(history) == 1 else 'ies'} "
+            f"({', '.join(_entry_tag(e) for e in history)})")
+        for name in _names(history, "benchmarks"):
+            points = _series(history, "benchmarks", name, "mean")
+            rendered = " -> ".join(f"{float(v):.3f}s"
+                                   for _, v in points)
+            report.lines.append(f"  perf {name}: {rendered}")
+            if len(points) >= 2:
+                (_, old), (_, new) = points[-2], points[-1]
+                old, new = float(old), float(new)
+                if old > 0 and new / old > 1.0 + threshold:
+                    report.perf_drifts.append(Drift(
+                        label, name, "mean", f"{old:.3f}s",
+                        f"{new:.3f}s", (new / old - 1.0) * 100.0))
+        for name in _names(history, "security"):
+            for metric in ("recovery_rate", "queries_mean",
+                           "outcome_fingerprint"):
+                points = _series(history, "security", name, metric)
+                if metric == "recovery_rate" and points:
+                    rendered = " -> ".join(f"{float(v):.2f}"
+                                           for _, v in points)
+                    report.lines.append(
+                        f"  security {name} recovery: {rendered}")
+                if len(points) < 2:
+                    continue
+                (_, old), (_, new) = points[-2], points[-1]
+                if old == new:
+                    continue
+                if isinstance(old, (int, float)) \
+                        and isinstance(new, (int, float)) and old:
+                    change = (float(new) / float(old) - 1.0) * 100.0
+                else:
+                    change = float("nan")
+                shown = ((f"{old:.3g}", f"{new:.3g}")
+                         if isinstance(old, (int, float))
+                         else (str(old)[:12], str(new)[:12]))
+                report.security_drifts.append(Drift(
+                    label, name, metric, shown[0], shown[1], change))
+    return report

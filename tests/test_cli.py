@@ -91,3 +91,67 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestWarehouse:
+    CELL = "distiller[masking]/distiller/baseline"
+
+    def run_quick(self, store, commit, seed=0, extra=()):
+        return main(["warehouse", "run", "--quick", "--cells",
+                     self.CELL, "--store", str(store), "--commit",
+                     commit, "--seed", str(seed), *extra])
+
+    def test_run_appends_and_reports(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        assert self.run_quick(store, "c1") == 0
+        out = capsys.readouterr().out
+        assert "appended 1 records" in out
+        assert "1 ok / 0 n/a / 0 error" in out
+        assert store.exists()
+
+    def test_check_reproducible_passes(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        assert self.run_quick(store, "c1",
+                              extra=["--check-reproducible"]) == 0
+        assert "reproducibility check ok" in capsys.readouterr().out
+
+    def test_verify_and_diff(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        assert self.run_quick(store, "c1") == 0
+        assert self.run_quick(store, "c2") == 0
+        capsys.readouterr()
+
+        assert main(["warehouse", "verify", "--store",
+                     str(store)]) == 0
+        assert "bitwise-reproducible" in capsys.readouterr().out
+
+        assert main(["warehouse", "diff", "c1", "c2", "--store",
+                     str(store), "--fail-on-security-drift"]) == 0
+        assert "0 security change(s)" in capsys.readouterr().out
+
+    def test_diff_unknown_commit(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        assert self.run_quick(store, "c1") == 0
+        capsys.readouterr()
+        assert main(["warehouse", "diff", "c1", "nope", "--store",
+                     str(store)]) == 2
+        assert "not in the store" in capsys.readouterr().out
+
+    def test_summary_and_trajectory(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        summary = tmp_path / "BENCH_smoke.json"
+        assert self.run_quick(store, "c1",
+                              extra=["--summary", str(summary)]) == 0
+        assert self.run_quick(store, "c2",
+                              extra=["--summary", str(summary)]) == 0
+        capsys.readouterr()
+        assert main(["warehouse", "trajectory", str(summary)]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: 2 entries" in out
+        assert "no drift on the newest entry" in out
+
+    def test_no_matching_cells(self, tmp_path, capsys):
+        assert main(["warehouse", "run", "--quick", "--cells",
+                     "no-such/*", "--store",
+                     str(tmp_path / "s.jsonl"), "--commit", "c1"]) == 2
+        assert "no cells match" in capsys.readouterr().out

@@ -1,0 +1,206 @@
+"""Tests for ``tools/bench_compare.py`` (pairwise + trajectory)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent.parent / "tools"
+
+
+def load_tool(name):
+    """Import a tools/ script as a module (the dir is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        name, TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_compare = load_tool("bench_compare")
+
+
+def write_report(path, means):
+    payload = {"benchmarks": [
+        {"fullname": name, "stats": {"mean": mean}}
+        for name, mean in means.items()]}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def write_summary(path, label, entries):
+    """entries: list of (sequence, commit, benchmarks, security)."""
+    history = [{"sequence": seq, "commit": commit,
+                "date": "2026-08-07", "config_hash": "h",
+                "profile": "quick", "benchmarks": benchmarks,
+                "security": security}
+               for seq, commit, benchmarks, security in entries]
+    path.write_text(json.dumps({"schema_version": 1, "label": label,
+                                "history": history}))
+    return path
+
+
+class TestLoadReport:
+    def test_loads_means(self, tmp_path):
+        path = write_report(tmp_path / "r.json", {"a": 0.5, "b": 1.0})
+        means, dropped = bench_compare.load_report(path)
+        assert means == {"a": 0.5, "b": 1.0}
+        assert dropped == 0
+
+    def test_counts_missing_and_zero_means(self, tmp_path, capsys):
+        payload = {"benchmarks": [
+            {"fullname": "ok", "stats": {"mean": 0.5}},
+            {"fullname": "zero", "stats": {"mean": 0}},
+            {"fullname": "missing", "stats": {}},
+            {"fullname": "bogus", "stats": {"mean": "fast"}},
+            {"stats": {"mean": 0.5}},
+        ]}
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(payload))
+        means, dropped = bench_compare.load_report(path)
+        assert means == {"ok": 0.5}
+        assert dropped == 4
+        err = capsys.readouterr().err
+        assert "skipped 4 benchmark(s)" in err
+        assert "'zero'" in err
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            bench_compare.load_report(path)
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="not a benchmark"):
+            bench_compare.load_report(path)
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            bench_compare.load_report(tmp_path / "absent.json")
+
+
+class TestCompare:
+    def test_flags_regression(self):
+        lines, regressions = bench_compare.compare(
+            {"a": 1.0}, {"a": 1.5}, threshold=0.20)
+        assert len(regressions) == 1
+        name, old, new, change = regressions[0]
+        assert (name, old, new) == ("a", 1.0, 1.5)
+        assert change == pytest.approx(50.0)
+
+    def test_new_and_vanished(self):
+        lines, regressions = bench_compare.compare(
+            {"gone": 1.0}, {"fresh": 1.0}, threshold=0.20)
+        assert regressions == []
+        assert any("NEW" in line for line in lines)
+        assert any("VANISHED" in line for line in lines)
+
+
+class TestMainPairwise:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        base = write_report(tmp_path / "base.json", {"a": 1.0})
+        cur = write_report(tmp_path / "cur.json", {"a": 1.05})
+        assert bench_compare.main([str(base), str(cur)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_warn_only_by_default(self, tmp_path):
+        base = write_report(tmp_path / "base.json", {"a": 1.0})
+        cur = write_report(tmp_path / "cur.json", {"a": 2.0})
+        assert bench_compare.main([str(base), str(cur)]) == 0
+
+    def test_fail_on_regression(self, tmp_path):
+        base = write_report(tmp_path / "base.json", {"a": 1.0})
+        cur = write_report(tmp_path / "cur.json", {"a": 2.0})
+        assert bench_compare.main(
+            [str(base), str(cur), "--fail-on-regression"]) == 1
+
+    def test_fail_over_tripwire_and_annotation(self, tmp_path,
+                                               capsys):
+        base = write_report(tmp_path / "base.json", {"a": 1.0})
+        cur = write_report(tmp_path / "cur.json", {"a": 2.0})
+        assert bench_compare.main(
+            [str(base), str(cur), "--fail-over", "50"]) == 1
+        assert "::warning" in capsys.readouterr().out
+
+    def test_fail_over_under_tripwire(self, tmp_path):
+        base = write_report(tmp_path / "base.json", {"a": 1.0})
+        cur = write_report(tmp_path / "cur.json", {"a": 1.3})
+        assert bench_compare.main(
+            [str(base), str(cur), "--fail-over", "50"]) == 0
+
+    def test_malformed_report_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        good = write_report(tmp_path / "good.json", {"a": 1.0})
+        assert bench_compare.main([str(bad), str(good)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_requires_two_reports(self, tmp_path):
+        solo = write_report(tmp_path / "solo.json", {"a": 1.0})
+        with pytest.raises(SystemExit):
+            bench_compare.main([str(solo)])
+
+
+class TestMainTrajectory:
+    def test_renders_history(self, tmp_path, capsys):
+        path = write_summary(
+            tmp_path / "BENCH_x.json", "x",
+            [(1, "aaa", {"cell": {"mean": 0.10}},
+              {"cell": {"recovery_rate": 1.0, "queries_mean": 10.0,
+                        "outcome_fingerprint": "f1"}}),
+             (2, "bbb", {"cell": {"mean": 0.11}},
+              {"cell": {"recovery_rate": 1.0, "queries_mean": 10.0,
+                        "outcome_fingerprint": "f1"}})])
+        assert bench_compare.main(["--trajectory", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0.100s -> 0.110s" in out
+        assert "no drift" in out
+
+    def test_perf_drift_annotates(self, tmp_path, capsys):
+        path = write_summary(
+            tmp_path / "BENCH_x.json", "x",
+            [(1, "aaa", {"cell": {"mean": 0.10}}, {}),
+             (2, "bbb", {"cell": {"mean": 0.30}}, {})])
+        assert bench_compare.main(["--trajectory", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "::warning title=Benchmark drift::" in out
+
+    def test_perf_drift_fail_over(self, tmp_path):
+        path = write_summary(
+            tmp_path / "BENCH_x.json", "x",
+            [(1, "aaa", {"cell": {"mean": 0.10}}, {}),
+             (2, "bbb", {"cell": {"mean": 0.30}}, {})])
+        assert bench_compare.main(
+            ["--trajectory", str(path), "--fail-over", "50"]) == 1
+
+    def test_security_drift_annotates(self, tmp_path, capsys):
+        path = write_summary(
+            tmp_path / "BENCH_x.json", "x",
+            [(1, "aaa", {},
+              {"cell": {"recovery_rate": 1.0, "queries_mean": 10.0,
+                        "outcome_fingerprint": "f1"}}),
+             (2, "bbb", {},
+              {"cell": {"recovery_rate": 0.5, "queries_mean": 10.0,
+                        "outcome_fingerprint": "f2"}})])
+        assert bench_compare.main(["--trajectory", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "::warning title=Security drift::" in out
+
+    def test_malformed_summary_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{broken")
+        assert bench_compare.main(["--trajectory", str(path)]) == 2
+        assert "malformed summary" in capsys.readouterr().err
+
+    def test_missing_file_exit_two(self, tmp_path):
+        assert bench_compare.main(
+            ["--trajectory", str(tmp_path / "absent.json")]) == 2
+
+    def test_no_files_found_is_benign(self, tmp_path, monkeypatch,
+                                      capsys):
+        monkeypatch.chdir(tmp_path)
+        assert bench_compare.main(["--trajectory"]) == 0
+        assert "nothing to render" in capsys.readouterr().out

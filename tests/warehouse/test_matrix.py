@@ -1,0 +1,82 @@
+"""Tests for the attack × scheme × countermeasure matrix registry."""
+
+from repro.warehouse import (
+    ATTACKS,
+    COUNTERMEASURES,
+    SCHEMES,
+    full_matrix,
+    quick_matrix,
+    select_cells,
+)
+
+
+class TestFullMatrix:
+    def test_covers_the_whole_cross_product(self):
+        cells = full_matrix()
+        coordinates = {(c.scheme, c.attack, c.countermeasure)
+                       for c in cells}
+        assert coordinates == {(s, a, cm) for s in SCHEMES
+                               for a in ATTACKS
+                               for cm in COUNTERMEASURES}
+
+    def test_every_cell_is_classified(self):
+        for cell in full_matrix():
+            if cell.runnable:
+                assert cell.rows > 0 and cell.cols > 0
+                assert cell.reason == ""
+            else:
+                assert cell.reason
+
+    def test_cell_ids_unique(self):
+        ids = [cell.cell_id for cell in full_matrix()]
+        assert len(ids) == len(set(ids))
+
+    def test_variant_in_cell_id(self):
+        ids = {cell.cell_id for cell in full_matrix()}
+        assert "distiller[masking]/distiller/baseline" in ids
+        assert "sequential[rm5]/ml/baseline" in ids
+
+    def test_runnable_count(self):
+        runnable = [c for c in full_matrix() if c.runnable]
+        assert len(runnable) == 10
+
+
+class TestQuickMatrix:
+    def test_subset_of_full(self):
+        full_ids = {c.cell_id for c in full_matrix()}
+        assert {c.cell_id for c in quick_matrix()} <= full_ids
+
+    def test_keeps_all_inapplicable_cells(self):
+        full_na = [c for c in full_matrix() if not c.runnable]
+        quick_na = [c for c in quick_matrix() if not c.runnable]
+        assert len(quick_na) == len(full_na)
+
+    def test_only_quick_runnables(self):
+        for cell in quick_matrix():
+            if cell.runnable:
+                assert cell.quick
+
+
+class TestSeedMaterial:
+    def test_position_independent(self):
+        # Seed material derives from the cell id, never the index.
+        cells = full_matrix()
+        by_id = {c.cell_id: c.seed_material(7) for c in cells}
+        for cell in reversed(cells):
+            assert by_id[cell.cell_id] == cell.seed_material(7)
+
+    def test_distinct_across_cells_and_seeds(self):
+        cells = full_matrix()
+        materials = {tuple(c.seed_material(0)) for c in cells}
+        assert len(materials) == len(cells)
+        assert cells[0].seed_material(0) != cells[0].seed_material(1)
+
+
+class TestSelectCells:
+    def test_pattern_filters(self):
+        chosen = select_cells(full_matrix(), "group-based/*")
+        assert chosen
+        assert all(c.scheme == "group-based" for c in chosen)
+
+    def test_none_selects_all(self):
+        assert len(select_cells(full_matrix())) == len(full_matrix())

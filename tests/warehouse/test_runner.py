@@ -1,0 +1,141 @@
+"""End-to-end tests for the matrix runner, summaries and diffs.
+
+Runnable-cell tests stick to the cheapest cells (the masking
+distiller, the 4×10 group construction) so the suite stays fast while
+still exercising the fleet-scale path, the reproducibility contract
+and the record schema.
+"""
+
+import pytest
+
+from repro.warehouse import (
+    SCHEMA_VERSION,
+    build_entry,
+    canonical_json,
+    config_hash,
+    diff_matrices,
+    full_matrix,
+    matrix_config,
+    record_identity,
+    run_cell,
+    run_matrix,
+    select_cells,
+)
+
+DISTILLER = "distiller[masking]/distiller/baseline"
+
+
+def cell_by_id(cell_id):
+    matches = select_cells(full_matrix(), cell_id)
+    assert len(matches) == 1
+    return matches[0]
+
+
+@pytest.fixture(scope="module")
+def distiller_records():
+    """Two same-seed runs of the cheapest runnable cell."""
+    cells = [cell_by_id(DISTILLER)]
+    first = run_matrix(cells, "quick", seed=0, devices=2,
+                       commit="testcommit")
+    second = run_matrix(cells, "quick", seed=0, devices=2,
+                        commit="testcommit")
+    return first[0], second[0]
+
+
+class TestRecordSchema:
+    def test_ok_record_shape(self, distiller_records):
+        record, _ = distiller_records
+        assert record["status"] == "ok"
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["cell"] == DISTILLER
+        assert record["engine"] == "lockstep-fused"
+        security = record["security"]
+        assert security["devices"] == 2
+        assert security["recovered"] == 2
+        assert security["recovery_rate"] == 1.0
+        assert len(security["recovered_mask"]) == 2
+        assert len(security["outcome_fingerprint"]) == 64
+        assert len(security["enrollment_fingerprint"]) == 64
+        assert record["perf"]["attack_seconds"] > 0
+
+    def test_na_record_carries_reason(self):
+        cell = cell_by_id("fuzzy-extractor/sequential/baseline")
+        record = run_cell(cell, devices=2, seed=0, commit="c",
+                          cfg_hash="h", profile="quick")
+        assert record["status"] == "n/a"
+        assert "fuzzy-extractor" in record["reason"]
+        assert record["security"] is None
+
+    def test_record_is_json_serialisable(self, distiller_records):
+        record, _ = distiller_records
+        canonical_json(record)  # raises on non-JSON types
+
+
+class TestReproducibility:
+    def test_same_seed_identical_identity(self, distiller_records):
+        first, second = distiller_records
+        assert canonical_json(record_identity(first)) == \
+            canonical_json(record_identity(second))
+
+    def test_different_seed_moves_the_outcome(self):
+        cell = cell_by_id(DISTILLER)
+        base = run_cell(cell, 2, 0, "c", "h", "quick")
+        moved = run_cell(cell, 2, 1, "c", "h", "quick")
+        assert base["security"]["outcome_fingerprint"] != \
+            moved["security"]["outcome_fingerprint"]
+
+    def test_config_hash_covers_cells_and_seed(self):
+        cells = [cell_by_id(DISTILLER)]
+        base = config_hash(matrix_config(cells, "quick", 0, 2))
+        assert base == config_hash(matrix_config(cells, "quick", 0, 2))
+        assert base != config_hash(matrix_config(cells, "quick", 1, 2))
+        assert base != config_hash(matrix_config(cells, "quick", 0, 4))
+
+
+class TestHardenedCell:
+    def test_group_hardening_defeats_the_attack(self):
+        cell = cell_by_id("group-based/group/hardened")
+        record = run_cell(cell, 2, 0, "c", "h", "quick")
+        assert record["status"] == "ok"
+        assert record["security"]["recovered"] == 0
+
+    def test_group_baseline_recovers(self):
+        cell = cell_by_id("group-based/group/baseline")
+        record = run_cell(cell, 2, 0, "c", "h", "quick")
+        assert record["status"] == "ok"
+        assert record["security"]["recovery_rate"] == 1.0
+
+
+class TestSummaryAndDiff:
+    def test_build_entry_mirrors_ok_cells(self, distiller_records):
+        record, _ = distiller_records
+        entry = build_entry([record], "testcommit", "quick")
+        assert DISTILLER in entry["benchmarks"]
+        assert entry["benchmarks"][DISTILLER]["mean"] == \
+            record["perf"]["attack_seconds"]
+        assert entry["security"][DISTILLER]["recovery_rate"] == 1.0
+
+    def test_diff_identical_matrices(self, distiller_records):
+        record, replay = distiller_records
+        result = diff_matrices({DISTILLER: record},
+                               {DISTILLER: replay},
+                               timing_threshold=10.0)
+        assert result.security_changes == 0
+        assert not result.changed
+
+    def test_diff_flags_security_movement(self, distiller_records):
+        record, _ = distiller_records
+        import copy
+
+        moved = copy.deepcopy(record)
+        moved["security"]["recovery_rate"] = 0.0
+        moved["security"]["outcome_fingerprint"] = "0" * 64
+        result = diff_matrices({DISTILLER: record},
+                               {DISTILLER: moved})
+        assert result.changed
+        assert result.security_changes == 1
+
+    def test_diff_reports_coverage_changes(self, distiller_records):
+        record, _ = distiller_records
+        result = diff_matrices({}, {DISTILLER: record})
+        assert any("ADDED" in line for line in result.lines)

@@ -1,0 +1,150 @@
+"""Tests for the append-only warehouse store and its hashing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.warehouse import (
+    SCHEMA_VERSION,
+    StoreFormatError,
+    WarehouseStore,
+    canonical_json,
+    config_hash,
+    fingerprint_bits,
+    record_identity,
+    record_key,
+)
+
+
+def make_record(commit="c1", cell="a/b/baseline", cfg="deadbeef",
+                status="ok", attack_seconds=0.5):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "commit": commit,
+        "config_hash": cfg,
+        "cell": cell,
+        "scheme": "a",
+        "attack": "b",
+        "countermeasure": "baseline",
+        "variant": "",
+        "config": {"seed": 0, "devices": 2, "rows": 4, "cols": 10,
+                   "profile": "quick"},
+        "status": status,
+        "reason": "",
+        "engine": "lockstep-fused",
+        "security": {"recovered": 2, "recovery_rate": 1.0},
+        "perf": {"attack_seconds": attack_seconds},
+        "meta": {"created": "2026-01-01T00:00:00+00:00"},
+    }
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == \
+            canonical_json({"a": 2, "b": 1})
+
+    def test_compact(self):
+        assert " " not in canonical_json({"a": [1, 2]})
+
+
+class TestConfigHash:
+    def test_stable_and_short(self):
+        cfg = {"seed": 0, "cells": ["x", "y"]}
+        assert config_hash(cfg) == config_hash(dict(cfg))
+        assert len(config_hash(cfg)) == 16
+
+    def test_sensitive_to_content(self):
+        assert config_hash({"seed": 0}) != config_hash({"seed": 1})
+
+
+class TestFingerprintBits:
+    def test_deterministic(self):
+        arrays = [np.array([1, 0, 1], dtype=np.uint8)]
+        assert fingerprint_bits(arrays) == fingerprint_bits(arrays)
+
+    def test_length_prefix_disambiguates(self):
+        # [1,0] + [1] vs [1] + [0,1]: same concatenation, different
+        # segmentation must fingerprint differently.
+        a = [np.array([1, 0], dtype=np.uint8),
+             np.array([1], dtype=np.uint8)]
+        b = [np.array([1], dtype=np.uint8),
+             np.array([0, 1], dtype=np.uint8)]
+        assert fingerprint_bits(a) != fingerprint_bits(b)
+
+
+class TestRecordKeyIdentity:
+    def test_key_fields(self):
+        record = make_record()
+        assert record_key(record) == ("c1", "deadbeef",
+                                      SCHEMA_VERSION, "a/b/baseline")
+
+    def test_identity_excludes_perf_and_meta(self):
+        fast = make_record(attack_seconds=0.1)
+        slow = make_record(attack_seconds=9.9)
+        slow["meta"]["created"] = "2030-12-31T23:59:59+00:00"
+        assert record_identity(fast) == record_identity(slow)
+
+    def test_identity_keeps_security(self):
+        base = make_record()
+        moved = make_record()
+        moved["security"] = {"recovered": 0, "recovery_rate": 0.0}
+        assert record_identity(base) != record_identity(moved)
+
+
+class TestWarehouseStore:
+    def test_append_and_read_back(self, tmp_path):
+        store = WarehouseStore(tmp_path / "results.jsonl")
+        records = [make_record(cell="a/b/baseline"),
+                   make_record(cell="a/b/hardened")]
+        assert store.append(records) == 2
+        read = store.records()
+        assert [r["cell"] for r in read] == ["a/b/baseline",
+                                             "a/b/hardened"]
+
+    def test_append_only(self, tmp_path):
+        store = WarehouseStore(tmp_path / "results.jsonl")
+        store.append([make_record(commit="c1")])
+        store.append([make_record(commit="c2")])
+        assert store.commits() == ["c1", "c2"]
+        assert len(list(store.records())) == 2
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        store = WarehouseStore(tmp_path / "results.jsonl")
+        store.append([make_record()])
+        line = store.path.read_text().strip()
+        assert line == canonical_json(json.loads(line))
+
+    def test_matrix_latest_record_wins(self, tmp_path):
+        store = WarehouseStore(tmp_path / "results.jsonl")
+        first = make_record(status="error")
+        second = make_record(status="ok")
+        store.append([first])
+        store.append([second])
+        matrix = store.matrix("c1")
+        assert matrix["a/b/baseline"]["status"] == "ok"
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(StoreFormatError):
+            list(WarehouseStore(path).records())
+
+    def test_rejects_incomplete_record(self, tmp_path):
+        store = WarehouseStore(tmp_path / "results.jsonl")
+        with pytest.raises(StoreFormatError):
+            store.append([{"commit": "c1"}])
+
+    def test_verify_reproducible_flags_identity_drift(self, tmp_path):
+        store = WarehouseStore(tmp_path / "results.jsonl")
+        store.append([make_record()])
+        drifted = make_record()
+        drifted["security"] = {"recovered": 0, "recovery_rate": 0.0}
+        store.append([drifted])
+        assert store.verify_reproducible()
+
+    def test_verify_reproducible_ok_on_timing_noise(self, tmp_path):
+        store = WarehouseStore(tmp_path / "results.jsonl")
+        store.append([make_record(attack_seconds=0.1)])
+        store.append([make_record(attack_seconds=0.9)])
+        assert store.verify_reproducible() == []

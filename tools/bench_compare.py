@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Diff two pytest-benchmark JSON reports and flag regressions.
+"""Diff pytest-benchmark reports and flag regressions or drift.
 
-Usage::
+Pairwise mode (default)::
 
     python tools/bench_compare.py BASELINE.json CURRENT.json
         [--threshold 0.20] [--fail-on-regression] [--fail-over PCT]
@@ -16,6 +16,26 @@ more than *PCT* percent.  ``--fail-over`` additionally emits GitHub
 workflow ``::warning::`` commands for the offending benchmarks, so a
 gross regression annotates the job even when the CI step itself is
 non-blocking (``continue-on-error``).
+
+Trajectory mode::
+
+    python tools/bench_compare.py --trajectory [BENCH_*.json ...]
+        [--threshold 0.20] [--fail-over PCT]
+
+Consumes the repo-root ``BENCH_*.json`` longitudinal summaries written
+by ``repro warehouse run --summary`` (an append-only ``history`` array,
+one entry per landed commit) and prints the commit-over-commit
+trajectory of every benchmark and security outcome.  Drift on the
+newest entry — a mean moving past the threshold, or *any* change in a
+deterministic security outcome — is annotated with ``::warning::``
+commands; ``--fail-over`` turns perf drift beyond PCT percent into a
+non-zero exit.  With no files given, ``BENCH_*.json`` in the current
+directory is globbed.
+
+Malformed input is a loud, distinct failure: unreadable or non-JSON
+report files exit 2 with a clear message, and benchmarks lacking a
+usable ``stats.mean`` are warned about and counted instead of being
+dropped silently.
 
 Bench timings on shared CI runners are noisy; the threshold is
 deliberately generous and the tool is a tripwire for order-of-magnitude
@@ -32,18 +52,64 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 
+def load_report(path: Path) -> Tuple[Dict[str, float], int]:
+    """Load one pytest-benchmark report.
+
+    Returns ``(means, dropped)``: benchmark fullname → mean seconds,
+    plus the count of benchmark entries that had to be skipped for a
+    missing, non-numeric or non-positive ``stats.mean`` (each skip is
+    warned about individually).  Raises :class:`ValueError` when the
+    file is unreadable, not JSON, or not shaped like a report.
+    """
+    try:
+        with path.open(encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as error:
+        raise ValueError(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path} is not valid JSON: {error}") \
+            from error
+    if not isinstance(report, dict):
+        raise ValueError(f"{path} is not a benchmark report "
+                         f"(top level is {type(report).__name__}, "
+                         f"expected object)")
+    benchmarks = report.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        raise ValueError(f"{path}: 'benchmarks' is not a list")
+    means: Dict[str, float] = {}
+    dropped = 0
+    for index, bench in enumerate(benchmarks):
+        if not isinstance(bench, dict):
+            dropped += 1
+            print(f"bench-compare: WARNING {path} benchmarks[{index}] "
+                  f"is not an object; skipped", file=sys.stderr)
+            continue
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats")
+        mean = stats.get("mean") if isinstance(stats, dict) else None
+        if not name:
+            dropped += 1
+            print(f"bench-compare: WARNING {path} benchmarks[{index}] "
+                  f"has no name; skipped", file=sys.stderr)
+            continue
+        if not isinstance(mean, (int, float)) \
+                or isinstance(mean, bool) or mean <= 0:
+            dropped += 1
+            print(f"bench-compare: WARNING {path} benchmark "
+                  f"{name!r} has no usable stats.mean "
+                  f"(got {mean!r}); skipped", file=sys.stderr)
+            continue
+        means[str(name)] = float(mean)
+    if dropped:
+        print(f"bench-compare: WARNING {path}: skipped {dropped} "
+              f"benchmark(s) with missing or zero stats.mean",
+              file=sys.stderr)
+    return means, dropped
+
+
 def load_means(path: Path) -> Dict[str, float]:
     """Map benchmark fullname → mean seconds for one report file."""
-    with path.open(encoding="utf-8") as handle:
-        report = json.load(handle)
-    means: Dict[str, float] = {}
-    for bench in report.get("benchmarks", []):
-        name = bench.get("fullname") or bench.get("name")
-        stats = bench.get("stats") or {}
-        mean = stats.get("mean")
-        if name and isinstance(mean, (int, float)) and mean > 0:
-            means[str(name)] = float(mean)
-    return means
+    return load_report(path)[0]
 
 
 def compare(baseline: Dict[str, float], current: Dict[str, float],
@@ -77,13 +143,79 @@ def compare(baseline: Dict[str, float], current: Dict[str, float],
     return lines, regressions
 
 
+def _build_trajectory_report(paths: List[Path], threshold: float):
+    """Import the warehouse trajectory engine and build the report.
+
+    The tool runs both installed (``pip install -e .``) and straight
+    from a checkout; the fallback puts ``src/`` on ``sys.path`` so CI
+    does not need the package installed to render the trajectory.
+    """
+    try:
+        from repro.warehouse.trajectory import build_report
+    except ImportError:
+        src = Path(__file__).resolve().parent.parent / "src"
+        if not (src / "repro").is_dir():
+            raise
+        sys.path.insert(0, str(src))
+        from repro.warehouse.trajectory import build_report
+    return build_report(paths, threshold=threshold)
+
+
+def run_trajectory(paths: List[Path], threshold: float,
+                   fail_over: float = None) -> int:
+    """Trajectory mode body: render histories, annotate drift."""
+    if not paths:
+        paths = sorted(Path.cwd().glob("BENCH_*.json"))
+    if not paths:
+        print("bench-compare: no BENCH_*.json summaries found; "
+              "nothing to render")
+        return 0
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"bench-compare: no such file: {path}",
+                  file=sys.stderr)
+        return 2
+    try:
+        report = _build_trajectory_report(paths, threshold)
+    except Exception as error:
+        print(f"bench-compare: malformed summary: {error}",
+              file=sys.stderr)
+        return 2
+    print(f"bench-compare: trajectory over "
+          f"{', '.join(str(p) for p in paths)} "
+          f"(threshold {threshold:.0%})")
+    for line in report.lines:
+        print(line)
+    if not report.drifts:
+        print("\nno drift on the newest entry")
+        return 0
+    print(f"\n{len(report.perf_drifts)} perf drift(s), "
+          f"{len(report.security_drifts)} security drift(s) on the "
+          f"newest entry:")
+    for drift in report.drifts:
+        print(f"  {drift.describe()}")
+        kind = ("Security drift" if drift in report.security_drifts
+                else "Benchmark drift")
+        print(f"::warning title={kind}::{drift.describe()}")
+    if fail_over is not None:
+        gross = [drift for drift in report.perf_drifts
+                 if drift.change_pct > fail_over]
+        if gross:
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path,
-                        help="bench-report JSON of the reference run")
-    parser.add_argument("current", type=Path,
-                        help="bench-report JSON of this run")
+    parser.add_argument("reports", type=Path, nargs="*",
+                        help="pairwise mode: BASELINE.json "
+                             "CURRENT.json; trajectory mode: "
+                             "BENCH_*.json summaries (default: glob)")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="render longitudinal BENCH_*.json "
+                             "histories instead of a pairwise diff")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="fractional slowdown that counts as a "
                              "regression (default 0.20 = 20%%)")
@@ -101,17 +233,33 @@ def main(argv=None) -> int:
     if args.fail_over is not None and args.fail_over <= 0:
         parser.error("--fail-over must be positive")
 
-    baseline = load_means(args.baseline)
-    current = load_means(args.current)
+    if args.trajectory:
+        return run_trajectory(list(args.reports), args.threshold,
+                              args.fail_over)
+
+    if len(args.reports) != 2:
+        parser.error("pairwise mode takes exactly two report files "
+                     "(BASELINE.json CURRENT.json)")
+    try:
+        baseline, dropped_base = load_report(args.reports[0])
+        current, dropped_cur = load_report(args.reports[1])
+    except ValueError as error:
+        print(f"bench-compare: {error}", file=sys.stderr)
+        return 2
     if not baseline:
-        print(f"bench-compare: no benchmarks in {args.baseline}; "
-              "nothing to compare")
+        print(f"bench-compare: no usable benchmarks in "
+              f"{args.reports[0]} ({dropped_base} skipped); "
+              f"nothing to compare")
         return 0
     lines, regressions = compare(baseline, current, args.threshold)
-    print(f"bench-compare: {args.baseline} -> {args.current} "
+    print(f"bench-compare: {args.reports[0]} -> {args.reports[1]} "
           f"(threshold {args.threshold:.0%})")
     for line in lines:
         print(line)
+    if dropped_base or dropped_cur:
+        print(f"\n{dropped_base + dropped_cur} benchmark(s) skipped "
+              f"for missing or zero stats.mean "
+              f"({dropped_base} baseline, {dropped_cur} current)")
     if not regressions:
         print("\nno regressions above threshold")
         return 0

@@ -31,9 +31,9 @@ SKIP_FILES = {"PAPERS.md", "SNIPPETS.md"}
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
-def iter_markdown_files():
-    """All tracked markdown files in the repository."""
-    for path in sorted(ROOT.rglob("*.md")):
+def iter_markdown_files(root: Path = ROOT):
+    """All tracked markdown files under *root* (default: the repo)."""
+    for path in sorted(root.rglob("*.md")):
         if any(part in SKIP_DIRS for part in path.parts):
             continue
         if path.name in SKIP_FILES:
@@ -41,10 +41,10 @@ def iter_markdown_files():
         yield path
 
 
-def check_links() -> list:
-    """Return one error string per broken relative link."""
+def check_links(root: Path = ROOT) -> list:
+    """Return one error string per broken relative link under *root*."""
     errors = []
-    for path in iter_markdown_files():
+    for path in iter_markdown_files(root):
         for lineno, line in enumerate(
                 path.read_text(encoding="utf-8").splitlines(), 1):
             for target in LINK_PATTERN.findall(line):
@@ -53,13 +53,13 @@ def check_links() -> list:
                     continue
                 resolved = (path.parent
                             / target.split("#", 1)[0]).resolve()
-                if not resolved.is_relative_to(ROOT):
+                if not resolved.is_relative_to(root):
                     # Escapes the repository: a forge-relative URL
                     # (e.g. the CI badge), not a repo file reference.
                     continue
                 if not resolved.exists():
                     errors.append(
-                        f"{path.relative_to(ROOT)}:{lineno}: broken "
+                        f"{path.relative_to(root)}:{lineno}: broken "
                         f"link -> {target}")
     return errors
 
@@ -104,16 +104,18 @@ def _exported_names(tree: ast.Module):
     return []
 
 
-def check_export_docstrings() -> list:
+def check_export_docstrings(root: Path = ROOT,
+                            source_root: Path = SOURCE_ROOT) -> list:
     """Return one error per undocumented module or ``__all__`` export.
 
     Exports are resolved through the import graph: a name re-exported
     by a package ``__init__`` is looked up in the module that defines
-    it.
+    it.  *root* anchors the reported relative paths; *source_root* is
+    the package tree to scan (both default to this repository).
     """
     errors = []
     trees = {}
-    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+    for path in sorted(source_root.rglob("*.py")):
         trees[path] = ast.parse(path.read_text(encoding="utf-8"))
     # Definition sites across the package, for re-export resolution.
     defined = {}
@@ -122,7 +124,7 @@ def check_export_docstrings() -> list:
             if documented is not None:
                 defined.setdefault(name, documented)
     for path, tree in trees.items():
-        relative = path.relative_to(ROOT)
+        relative = path.relative_to(root)
         if not path.name.startswith("_") or path.name == "__init__.py":
             if ast.get_docstring(tree) is None:
                 errors.append(f"{relative}: missing module docstring")
