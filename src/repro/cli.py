@@ -33,6 +33,13 @@ Subcommands
     ``diff`` compares two stored commits cell by cell, and
     ``trajectory`` renders the longitudinal ``BENCH_*.json`` history
     (see ``docs/warehouse.md``).
+``scenario``
+    The environment & lifecycle scenario engine: ``run`` executes one
+    scenario cell (scheme × trajectory family) ad hoc, ``corpus
+    generate`` re-derives the seeded conformance corpus under
+    ``tests/conformance/corpus/``, and ``conformance`` re-runs the
+    committed corpus and asserts every cell lands in its pass-band
+    (see ``docs/scenarios.md``).
 
 Examples::
 
@@ -46,6 +53,9 @@ Examples::
     python -m repro.cli warehouse run --quick --summary \
         BENCH_warehouse.json
     python -m repro.cli warehouse diff HEAD~1 HEAD
+    python -m repro.cli scenario run --scheme sequential --family ramp
+    python -m repro.cli scenario conformance --quick \
+        --check-reproducible
 """
 
 from __future__ import annotations
@@ -162,6 +172,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     from repro.warehouse.cli import add_warehouse_parser
     add_warehouse_parser(sub)
+
+    from repro.scenario.cli import add_scenario_parser
+    add_scenario_parser(sub)
     return parser
 
 
@@ -380,6 +393,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "warehouse":
         from repro.warehouse.cli import run_warehouse
         return run_warehouse(args)
+    if args.command == "scenario":
+        from repro.scenario.cli import run_scenario
+        return run_scenario(args)
     raise AssertionError("unreachable")
 
 

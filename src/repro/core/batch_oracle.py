@@ -64,6 +64,19 @@ class BatchOracle:
     rng:
         Noise source override; defaults to the device's internal noise
         stream (matching scalar queries on the same device object).
+    trajectory:
+        Optional built
+        :class:`~repro.scenario.trajectory.EnvironmentTrajectory`.
+        When set, queries issued *without* an explicit operating
+        point are measured at the ambient the trajectory resolves
+        for their absolute query index; queries with an explicit
+        ``op`` model an attacker-controlled chamber and override the
+        ambient — but the trajectory's lifecycle state (aging drift)
+        still applies, since the device has aged regardless of who
+        sets the chamber temperature.  Rows are tagged with their
+        draw index internally, so speculation, slicing and unwinding
+        by the lock-step engines leave trajectory resolution
+        bitwise-deterministic.
 
     Noise rows are drawn exactly on demand — one vectorized draw per
     block request — so there is no lookahead knob: how callers block
@@ -73,13 +86,19 @@ class BatchOracle:
 
     def __init__(self, array: ROArray, keygen: KeyGenerator,
                  op: OperatingPoint = OperatingPoint(),
-                 rng: RNGLike = None):
+                 rng: RNGLike = None, trajectory=None):
         self._array = array
         self._keygen = keygen
         self._op = op
         self._rng = None if rng is None else ensure_rng(rng)
         self._queries = 0
-        self._buffer = np.empty((0, array.n))
+        self._trajectory = trajectory
+        # With a trajectory, each noise row carries one extra tag
+        # column: the absolute index of its draw, which survives any
+        # slicing/unwinding a consumer performs.
+        width = array.n + (1 if trajectory is not None else 0)
+        self._buffer = np.empty((0, width))
+        self._cursor = 0
         # Noise-free frequency vector per operating point.
         self._base: Dict[Tuple[Optional[float], Optional[float]],
                          np.ndarray] = {}
@@ -111,6 +130,11 @@ class BatchOracle:
     def keygen(self) -> KeyGenerator:
         """The device model evaluating reconstruction attempts."""
         return self._keygen
+
+    @property
+    def trajectory(self):
+        """The oracle's environment trajectory, if any."""
+        return self._trajectory
 
     def reset_query_count(self) -> None:
         """Zero the query counter; buffered noise rows are kept."""
@@ -153,8 +177,15 @@ class BatchOracle:
             raise ValueError("need at least one query")
         buffered = self._buffer.shape[0]
         if buffered < count:
-            drawn = self._array.measurement_noise(count - buffered,
+            fresh = count - buffered
+            drawn = self._array.measurement_noise(fresh,
                                                   rng=self._rng)
+            if self._trajectory is not None:
+                tags = np.arange(self._cursor, self._cursor + fresh,
+                                 dtype=float)
+                drawn = np.concatenate([drawn, tags[:, None]],
+                                       axis=1)
+            self._cursor += fresh
             self._buffer = (drawn if buffered == 0
                             else np.concatenate([self._buffer, drawn]))
         rows, self._buffer = (self._buffer[:count],
@@ -199,6 +230,13 @@ class BatchOracle:
         against it.
         """
         resolved = op if op is not None else self._op
+        if self._trajectory is not None:
+            freqs, env = self._trajectory_frequencies(rows, op)
+            evaluator = self._evaluator_for(helper, resolved)
+            if evaluator is not None:
+                return evaluator.outcomes_env(freqs, env)
+            return self._reconstruct_rows_env(helper, freqs, env,
+                                              resolved)
         freqs = self._base_frequencies(resolved)[None, :] + rows
         evaluator = self._evaluator_for(helper, resolved)
         if evaluator is not None:
@@ -217,6 +255,13 @@ class BatchOracle:
         reconstruction fallback and return an already-final plan.
         """
         resolved = op if op is not None else self._op
+        if self._trajectory is not None:
+            freqs, env = self._trajectory_frequencies(rows, op)
+            evaluator = self._evaluator_for(helper, resolved)
+            if evaluator is not None:
+                return evaluator.plan_env(freqs, env)
+            return EvalPlan.resolved(self._reconstruct_rows_env(
+                helper, freqs, env, resolved))
         freqs = self._base_frequencies(resolved)[None, :] + rows
         evaluator = self._evaluator_for(helper, resolved)
         if evaluator is not None:
@@ -238,8 +283,49 @@ class BatchOracle:
                 outcomes[i] = True
         return outcomes
 
+    def _reconstruct_rows_env(self, helper, freqs: np.ndarray, env,
+                              op: OperatingPoint) -> np.ndarray:
+        """Row-wise fallback with per-row ambient operating points."""
+        if env is None:
+            return self._reconstruct_rows(helper, freqs, op)
+        outcomes = np.empty(freqs.shape[0], dtype=bool)
+        for i in range(freqs.shape[0]):
+            row_op = OperatingPoint(float(env.temperatures[i]),
+                                    float(env.voltages[i]))
+            try:
+                self._keygen.reconstruct_from_frequencies(
+                    self._array, freqs[i], helper, row_op)
+            except ReconstructionFailure:
+                outcomes[i] = False
+            else:
+                outcomes[i] = True
+        return outcomes
+
     # ------------------------------------------------------------------
     # internals
+
+    def _trajectory_frequencies(self, rows: np.ndarray,
+                                op: Optional[OperatingPoint]):
+        """``(freqs, env)`` for tagged rows under the trajectory.
+
+        An explicit *op* (attacker chamber) overrides the ambient —
+        ``env`` comes back ``None`` and the scalar base-frequency
+        path is used — but the aged per-oscillator offsets apply in
+        both cases: aging is device state, not ambient state.
+        """
+        noise = rows[:, :-1]
+        indices = rows[:, -1].astype(np.int64)
+        if op is not None:
+            base = self._base_frequencies(op)[None, :]
+            env = None
+        else:
+            env = self._trajectory.sample(indices)
+            base = self._array.true_frequencies_batch(
+                env.temperatures, env.voltages)
+        shift = self._trajectory.oscillator_shift(self._array.n)
+        if shift is not None:
+            base = base + shift[None, :]
+        return base + noise, env
 
     def _base_frequencies(self, op: OperatingPoint) -> np.ndarray:
         key = (op.temperature, op.voltage)

@@ -146,13 +146,16 @@ class _FailureRateJob:
     chunk: int
     stream: np.random.Generator
     transient: np.random.Generator
+    #: Built per-device environment trajectory (or ``None``).
+    trajectory: Optional[object] = None
 
 
 def _failure_rate_job(job: _FailureRateJob) -> Tuple[float]:
     """Estimate one device's failure rate over ``job.trials``."""
     job.keygen.reseed_transient_streams(job.transient)
     oracle = BatchOracle(job.array, job.keygen, op=job.op,
-                         rng=job.stream)
+                         rng=job.stream,
+                         trajectory=job.trajectory)
     failures = 0
     remaining = job.trials
     while remaining > 0:
@@ -183,16 +186,22 @@ class _AttackChunkJob:
     streams: List[Tuple[np.random.Generator, np.random.Generator]]
     lockstep: bool
     fused: bool = True
+    #: Built per-device environment trajectories (or ``None``).
+    trajectories: Optional[List[object]] = None
 
 
 def _attack_chunk_job(job: _AttackChunkJob) -> List[Tuple[bool, int]]:
     """Run one chunk's attacks; ``(recovered, queries)`` per device."""
     oracles: List[BatchOracle] = []
     attacks: List[object] = []
-    for array, keygen, helper, (stream, transient) in zip(
-            job.arrays, job.keygens, job.helpers, job.streams):
+    trajectories = (job.trajectories if job.trajectories is not None
+                    else [None] * len(job.arrays))
+    for array, keygen, helper, (stream, transient), trajectory in zip(
+            job.arrays, job.keygens, job.helpers, job.streams,
+            trajectories):
         keygen.reseed_transient_streams(transient)
-        oracle = BatchOracle(array, keygen, op=job.op, rng=stream)
+        oracle = BatchOracle(array, keygen, op=job.op, rng=stream,
+                             trajectory=trajectory)
         oracles.append(oracle)
         attacks.append(job.attack_factory(oracle, keygen, helper))
     if job.lockstep:
@@ -289,6 +298,21 @@ class Fleet:
         streams = self._root.spawn(2 * len(self._arrays))
         return list(zip(streams[0::2], streams[1::2]))
 
+    def _build_trajectories(self, spec) -> Optional[List[object]]:
+        """Per-device built trajectories, in fleet order.
+
+        *spec* is a
+        :class:`~repro.scenario.trajectory.TrajectorySpec` (or
+        ``None``).  Building happens in the parent before any
+        dispatch, and each device's streams derive from ``(spec
+        seed, device index)`` alone, so trajectory-driven sweeps
+        keep the fleet's worker-count/chunk-size invariance.
+        """
+        if spec is None:
+            return None
+        return [spec.build(self._params, index)
+                for index in range(len(self._arrays))]
+
     # ------------------------------------------------------------------
     # enrollment
 
@@ -334,7 +358,8 @@ class Fleet:
                       op: Optional[OperatingPoint] = None,
                       helpers: Optional[Sequence[object]] = None,
                       chunk: int = 1024,
-                      workers: Optional[int] = 1) -> np.ndarray:
+                      workers: Optional[int] = 1,
+                      trajectory=None) -> np.ndarray:
         """Per-device key-regeneration failure rate over *trials*.
 
         Parameters
@@ -348,6 +373,13 @@ class Fleet:
         workers:
             Process-pool width; ``None``/``0`` uses every CPU.  The
             returned rates are bitwise-identical for every value.
+        trajectory:
+            Optional
+            :class:`~repro.scenario.trajectory.TrajectorySpec`.  Each
+            device runs its trials under its own built trajectory
+            (ambient resolved per query index); the ambient overrides
+            *op* for trajectory-driven queries.  Results stay
+            bitwise-identical for every worker count and chunk size.
 
         Returns
         -------
@@ -363,11 +395,15 @@ class Fleet:
         if len(helpers) != len(self._arrays):
             raise ValueError("one helper per device required")
         resolved = op if op is not None else OperatingPoint()
+        trajectories = self._build_trajectories(trajectory)
         jobs = [_FailureRateJob(array, keygen, helper, resolved,
-                                trials, chunk, stream, transient)
-                for array, keygen, helper, (stream, transient) in zip(
+                                trials, chunk, stream, transient,
+                                None if trajectories is None
+                                else trajectories[index])
+                for index, (array, keygen, helper,
+                            (stream, transient)) in enumerate(zip(
                     self._arrays, enrollment.keygens, helpers,
-                    self._sweep_streams())]
+                    self._sweep_streams()))]
         (rates,) = run_scattered(_failure_rate_job, jobs,
                                  (np.float64,), workers=workers,
                                  shared=self._arrays)
@@ -415,7 +451,8 @@ class Fleet:
                        workers: Optional[int] = 1,
                        lockstep: Optional[bool] = None,
                        batch: Optional[int] = None,
-                       fused: Optional[bool] = None
+                       fused: Optional[bool] = None,
+                       trajectory=None
                        ) -> Tuple[np.ndarray, np.ndarray]:
         """Run a full helper-data attack against every device.
 
@@ -452,9 +489,19 @@ class Fleet:
             effect on the scalar loop.  Like *lockstep*, it changes
             execution grouping only — per-device results stay
             bitwise-identical.
+        trajectory:
+            Optional
+            :class:`~repro.scenario.trajectory.TrajectorySpec`: the
+            attacked devices live under per-device environment
+            trajectories (built parent-side, in fleet order).
+            Attack queries without an explicit operating point see
+            the trajectory ambient; explicitly-set points (attacker
+            chamber control, e.g. the temp-aware attack) override
+            it, aging drift excepted.
         """
         count = len(self._arrays)
         streams = self._sweep_streams()
+        trajectories = self._build_trajectories(trajectory)
         resolved = resolve_workers(workers)
         if lockstep is None:
             lockstep = self._supports_lockstep(enrollment,
@@ -479,7 +526,9 @@ class Fleet:
                 [enrollment.keys[i] for i in indices],
                 op, attack_factory,
                 [streams[i] for i in indices], bool(lockstep),
-                bool(fused)))
+                bool(fused),
+                None if trajectories is None
+                else [trajectories[i] for i in indices]))
         reports = run_collected(_attack_chunk_job, jobs,
                                 workers=workers, shared=self._arrays)
         flat = [entry for report in reports for entry in report]
@@ -493,7 +542,8 @@ class Fleet:
                        attack_factory: AttackFactory,
                        op: OperatingPoint = OperatingPoint(),
                        lockstep: Optional[bool] = None,
-                       fused: Optional[bool] = None) -> List[object]:
+                       fused: Optional[bool] = None,
+                       trajectory=None) -> List[object]:
         """Run a full attack per device; return the raw result objects.
 
         Single-process companion to :meth:`attack_success` for callers
@@ -506,11 +556,14 @@ class Fleet:
         lock-step chunk, so a device's result is bitwise-identical to
         what the matching :meth:`attack_success` call observes.
 
-        *lockstep* / *fused* mean what they mean on
+        *lockstep* / *fused* / *trajectory* mean what they mean on
         :meth:`attack_success`; ``None`` auto-detects the stepwise
         protocol and fuses exactly when lock-stepping.
         """
         streams = self._sweep_streams()
+        trajectories = self._build_trajectories(trajectory)
+        if trajectories is None:
+            trajectories = [None] * len(self._arrays)
         if lockstep is None:
             lockstep = self._supports_lockstep(enrollment,
                                                attack_factory, op)
@@ -518,11 +571,12 @@ class Fleet:
             fused = bool(lockstep)
         oracles: List[BatchOracle] = []
         attacks: List[object] = []
-        for array, keygen, helper, (stream, transient) in zip(
+        for array, keygen, helper, (stream, transient), built in zip(
                 self._arrays, enrollment.keygens, enrollment.helpers,
-                streams):
+                streams, trajectories):
             keygen.reseed_transient_streams(transient)
-            oracle = BatchOracle(array, keygen, op=op, rng=stream)
+            oracle = BatchOracle(array, keygen, op=op, rng=stream,
+                                 trajectory=built)
             oracles.append(oracle)
             attacks.append(attack_factory(oracle, keygen, helper))
         if lockstep:

@@ -53,6 +53,10 @@ ExtractionFn = Callable[[np.ndarray], np.ndarray]
 #: Masked extraction: (B, n) batch -> ((B, bits) matrix, (B,) validity).
 MaskedExtractionFn = Callable[[np.ndarray],
                               Tuple[np.ndarray, np.ndarray]]
+#: Environment-aware masked extraction: ((B, n) batch, per-row
+#: ambient sample) -> ((B, bits) matrix, (B,) validity).
+EnvExtractionFn = Callable[[np.ndarray, object],
+                           Tuple[np.ndarray, np.ndarray]]
 
 
 # ----------------------------------------------------------------------
@@ -344,6 +348,24 @@ class BatchEvaluator(abc.ABC):
         """Phase 1: extract/dedup now, defer kernel work when able."""
         return EvalPlan.resolved(self.outcomes(freqs))
 
+    def outcomes_env(self, freqs: np.ndarray, env) -> np.ndarray:
+        """Environment-aware one-shot entry point.
+
+        *env* is the per-row ambient
+        :class:`~repro.scenario.trajectory.EnvironmentSample` of a
+        trajectory-driven block (or ``None`` when an explicit
+        operating point overrode the ambient).  The base
+        implementation ignores it: for every construction except the
+        temperature-aware one the response bits are a function of
+        the measured frequencies alone — the ambient already acted
+        through them.
+        """
+        return self.outcomes(freqs)
+
+    def plan_env(self, freqs: np.ndarray, env) -> EvalPlan:
+        """Two-phase twin of :meth:`outcomes_env` (same contract)."""
+        return self.plan(freqs)
+
 
 class ConstantEvaluator(BatchEvaluator):
     """Helper data whose outcome is measurement-independent.
@@ -453,26 +475,61 @@ class MaskedBitEvaluator(BatchEvaluator):
     refusal, which depends on each row's sensed temperature) carry
     ``valid = False`` and fail without ever reaching the completion
     stage.  Valid rows are completed once per distinct bit pattern.
+
+    *extract_env*, when supplied, is the environment-aware variant
+    used for trajectory-driven blocks: it additionally receives the
+    per-row ambient sample, for schemes whose extraction consults
+    the environment beyond the measured frequencies (the
+    temperature-aware sensor read).  Both extractors must consume
+    any shared transient streams identically per row.
     """
 
     def __init__(self, extract: MaskedExtractionFn, completion,
-                 complete_batch: Optional[BatchCompletionFn] = None):
+                 complete_batch: Optional[BatchCompletionFn] = None,
+                 extract_env: Optional[EnvExtractionFn] = None):
         self._extract = extract
+        self._extract_env = extract_env
         self._memo = _CompletionMemo(
             _ensure_completion(completion, complete_batch))
 
     def outcomes(self, freqs: np.ndarray) -> np.ndarray:
         """One-shot reference: success booleans for a ``(B, n)`` batch."""
         bits, valid = self._extract(np.asarray(freqs, dtype=float))
+        return self._complete_outcomes(bits, valid)
+
+    def plan(self, freqs: np.ndarray) -> EvalPlan:
+        """Phase 1: extract and dedup the valid rows only."""
+        bits, valid = self._extract(np.asarray(freqs, dtype=float))
+        return self._complete_plan(bits, valid)
+
+    def outcomes_env(self, freqs: np.ndarray, env) -> np.ndarray:
+        """One-shot entry with per-row ambient environments."""
+        if env is None or self._extract_env is None:
+            return self.outcomes(freqs)
+        bits, valid = self._extract_env(
+            np.asarray(freqs, dtype=float), env)
+        return self._complete_outcomes(bits, valid)
+
+    def plan_env(self, freqs: np.ndarray, env) -> EvalPlan:
+        """Two-phase entry with per-row ambient environments."""
+        if env is None or self._extract_env is None:
+            return self.plan(freqs)
+        bits, valid = self._extract_env(
+            np.asarray(freqs, dtype=float), env)
+        return self._complete_plan(bits, valid)
+
+    def _complete_outcomes(self, bits: np.ndarray,
+                           valid: np.ndarray) -> np.ndarray:
+        """Memoized completion of the valid rows (one-shot path)."""
         out = np.zeros(bits.shape[0], dtype=bool)
         rows = np.flatnonzero(np.asarray(valid, dtype=bool))
         if rows.size:
             self._memo.fill(bits, out, rows)
         return out
 
-    def plan(self, freqs: np.ndarray) -> EvalPlan:
-        """Phase 1: extract and dedup the valid rows only."""
-        bits, valid = self._extract(np.asarray(freqs, dtype=float))
+    def _complete_plan(self, bits: np.ndarray,
+                       valid: np.ndarray) -> EvalPlan:
+        """Dedup the valid rows into a plan (two-phase path)."""
         rows = np.flatnonzero(np.asarray(valid, dtype=bool))
         if rows.size == 0:
             return EvalPlan.resolved(

@@ -150,6 +150,16 @@ class TempAwareKeyGen(KeyGenerator):
                                        rng=sensor_rng)
             return scheme.evaluate_batch(freqs, scheme_helper, sensed)
 
+        def extract_env(freqs: np.ndarray, env):
+            # Trajectory-driven blocks: the ambient varies per query,
+            # so the sensor reads each row's own temperature — same
+            # stream, same per-query consumption as the scalar path.
+            sensed = sensor.read_batch(env.temperatures,
+                                       freqs.shape[0],
+                                       rng=sensor_rng)
+            return scheme.evaluate_batch(freqs, scheme_helper, sensed)
+
         return MaskedBitEvaluator(
             extract, SketchCompletion(sketch, helper.sketch,
-                                      helper.key_check))
+                                      helper.key_check),
+            extract_env=extract_env)

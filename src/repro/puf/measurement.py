@@ -73,6 +73,18 @@ class FrequencyCounter:
         return self.counts(array.measure_frequencies_batch(
             samples, temperature, voltage, rng=rng))
 
+    def measure_trajectory(self, array: ROArray, trajectory,
+                           samples: int, start: int = 0,
+                           rng: RNGLike = None) -> np.ndarray:
+        """*samples* quantised measurements along a trajectory.
+
+        Sample ``i`` is taken at the ambient the built
+        :class:`~repro.scenario.trajectory.EnvironmentTrajectory`
+        resolves for absolute query index ``start + i``.
+        """
+        return self.counts(array.measure_frequencies_trajectory(
+            trajectory, samples, start=start, rng=rng))
+
 
 def compare_counts(count_a: int, count_b: int,
                    tie_value: int = 1) -> int:
@@ -133,9 +145,15 @@ class TemperatureSensor:
         gen = ensure_rng(rng)
         return true_temperature + self.bias + gen.normal(scale=self.sigma)
 
-    def read_batch(self, true_temperature: float, count: int,
+    def read_batch(self, true_temperature, count: int,
                    rng: RNGLike = None) -> np.ndarray:
-        """*count* independent sensor read-outs (°C), one per query."""
+        """*count* independent sensor read-outs (°C), one per query.
+
+        *true_temperature* is a scalar ambient or a ``(count,)``
+        vector of per-query ambients (trajectory-driven blocks); the
+        noise stream is consumed identically either way, so constant
+        trajectories stay bitwise-equal to the scalar path.
+        """
         if count < 1:
             raise ValueError("need at least one sensor read")
         gen = ensure_rng(rng)

@@ -143,6 +143,30 @@ class ROArray:
         base = base * (1.0 + p.voltage_coeff * (voltage - p.v_nominal))
         return base - self._slopes * (temperature - p.temp_nominal)
 
+    def true_frequencies_batch(self, temperatures: np.ndarray,
+                               voltages: np.ndarray) -> np.ndarray:
+        """Noise-free frequencies at per-measurement operating points.
+
+        *temperatures* and *voltages* are equal-length ``(B,)``
+        vectors; returns the ``(B, n)`` noise-free frequency matrix.
+        The operation order matches :meth:`true_frequencies` exactly
+        (voltage scaling multiplies *before* the temperature slope
+        subtracts), so a constant vector reproduces the scalar path
+        bitwise — the equivalence the trajectory engine pins in
+        ``tests/scenario/``.
+        """
+        p = self._params
+        temps = np.asarray(temperatures, dtype=float).ravel()
+        volts = np.asarray(voltages, dtype=float).ravel()
+        if temps.shape != volts.shape:
+            raise ValueError("temperature and voltage vectors must "
+                             "have equal length")
+        base = p.f_nominal + self._systematic(self._x, self._y) \
+            + self._process
+        scale = 1.0 + p.voltage_coeff * (volts - p.v_nominal)
+        return base[None, :] * scale[:, None] \
+            - self._slopes[None, :] * (temps - p.temp_nominal)[:, None]
+
     def measurement_noise(self, count: Optional[int] = None,
                           rng: RNGLike = None) -> np.ndarray:
         """Measurement-noise draws from the device's noise stream (Hz).
@@ -187,6 +211,32 @@ class ROArray:
             raise ValueError("need at least one measurement")
         return (self.true_frequencies(temperature, voltage)[None, :]
                 + self.measurement_noise(count, rng=rng))
+
+    def measure_frequencies_trajectory(self, trajectory, count: int,
+                                       start: int = 0,
+                                       rng: RNGLike = None
+                                       ) -> np.ndarray:
+        """*count* noisy measurements under an environment trajectory.
+
+        *trajectory* is a built
+        :class:`~repro.scenario.trajectory.EnvironmentTrajectory`;
+        measurement ``i`` of the returned ``(count, n)`` matrix is
+        taken at the ambient the trajectory resolves for absolute
+        query index ``start + i``, on top of any aged per-oscillator
+        offsets.  Noise consumption is identical to
+        :meth:`measure_frequencies_batch`, so trajectory and scalar
+        measurements interleave on the same stream without drift.
+        """
+        if count < 1:
+            raise ValueError("need at least one measurement")
+        indices = np.arange(int(start), int(start) + int(count))
+        env = trajectory.sample(indices)
+        base = self.true_frequencies_batch(env.temperatures,
+                                           env.voltages)
+        shift = trajectory.oscillator_shift(self.n)
+        if shift is not None:
+            base = base + shift[None, :]
+        return base + self.measurement_noise(count, rng=rng)
 
     def frequency_map(self, temperature: Optional[float] = None,
                       voltage: Optional[float] = None) -> np.ndarray:

@@ -1,0 +1,31 @@
+"""Environment & lifecycle scenario engine (ROADMAP item 4).
+
+``trajectory`` defines the seeded per-device environment
+trajectories threaded through the oracle and fleet layers; it is
+imported eagerly.  ``corpus`` and ``conformance`` (the seeded
+conformance corpus and its checker) sit *above* the fleet layer and
+are intentionally not re-exported here: importing them from this
+package's namespace would create an import cycle with
+:mod:`repro.fleet`, which consumes trajectory specs.  Import them as
+submodules (``repro.scenario.corpus`` / ``.conformance``).
+"""
+
+from repro.scenario.trajectory import (
+    AgingDrift,
+    EnvironmentSample,
+    EnvironmentTrajectory,
+    TemperatureCycle,
+    TemperatureRamp,
+    TrajectorySpec,
+    VoltageNoise,
+)
+
+__all__ = [
+    "AgingDrift",
+    "EnvironmentSample",
+    "EnvironmentTrajectory",
+    "TemperatureCycle",
+    "TemperatureRamp",
+    "TrajectorySpec",
+    "VoltageNoise",
+]

@@ -1,0 +1,200 @@
+"""``repro scenario`` subcommand handlers.
+
+Wires the environment & lifecycle scenario engine into the top-level
+CLI::
+
+    repro scenario run --scheme S --family F [--perturbation P] ...
+    repro scenario corpus generate [--out DIR] [--seed N] [--quick]
+    repro scenario conformance [--corpus DIR] [--quick]
+                               [--check-reproducible]
+                               [--store PATH] [--summary PATH]
+                               [--report PATH]
+
+Kept separate from :mod:`repro.cli` so the argument surface and the
+handlers live next to the subsystem they drive; the top-level parser
+only delegates (same split as :mod:`repro.warehouse.cli`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.scenario.conformance import (
+    DEFAULT_CORPUS_DIR,
+    CorpusFormatError,
+    run_conformance,
+    summary_entry,
+    warehouse_records,
+)
+from repro.scenario.corpus import (
+    FAMILIES,
+    PERTURBATIONS,
+    SCHEMES,
+    ScenarioCase,
+    build_corpus,
+    expected_bands,
+    full_corpus,
+    quick_corpus,
+    run_case,
+)
+from repro.warehouse.cli import detect_commit
+from repro.warehouse.store import WarehouseStore
+from repro.warehouse.summary import append_entry
+
+
+def add_scenario_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``scenario`` subcommand tree on *sub*."""
+    scenario = sub.add_parser(
+        "scenario",
+        help="environment & lifecycle scenario engine")
+    ssub = scenario.add_subparsers(dest="scenario_command",
+                                   required=True)
+
+    run = ssub.add_parser(
+        "run", help="run one scenario cell and print its metrics")
+    run.add_argument("--scheme", required=True, choices=SCHEMES)
+    run.add_argument("--family", required=True, choices=FAMILIES,
+                     help="trajectory family")
+    run.add_argument("--perturbation", default="base",
+                     choices=sorted(PERTURBATIONS))
+    run.add_argument("--kind", default="failure",
+                     choices=("failure", "attack"),
+                     help="failure-rate campaign or full attack")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--devices", type=int, default=2)
+    run.add_argument("--trials", type=int, default=64,
+                     help="reconstruction attempts per device "
+                          "(failure cells)")
+
+    corpus = ssub.add_parser(
+        "corpus", help="conformance corpus management")
+    csub = corpus.add_subparsers(dest="corpus_command",
+                                 required=True)
+    generate = csub.add_parser(
+        "generate",
+        help="run seeded baselines and write corpus files")
+    generate.add_argument("--out", default=DEFAULT_CORPUS_DIR,
+                          metavar="DIR",
+                          help=f"output directory (default "
+                               f"{DEFAULT_CORPUS_DIR})")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--quick", action="store_true",
+                          help="only the quick (CI smoke) slice")
+
+    conformance = ssub.add_parser(
+        "conformance",
+        help="re-run the committed corpus and assert in-band")
+    conformance.add_argument("--corpus", default=DEFAULT_CORPUS_DIR,
+                             metavar="DIR",
+                             help=f"corpus directory (default "
+                                  f"{DEFAULT_CORPUS_DIR})")
+    conformance.add_argument("--quick", action="store_true",
+                             help="only cells marked quick "
+                                  "(CI smoke profile)")
+    conformance.add_argument("--check-reproducible",
+                             action="store_true",
+                             help="run every cell twice and fail "
+                                  "unless identity fingerprints "
+                                  "match bitwise")
+    conformance.add_argument("--store", default=None, metavar="PATH",
+                             help="append warehouse records to this "
+                                  "JSONL store")
+    conformance.add_argument("--summary", default=None,
+                             metavar="PATH",
+                             help="append this run's entry to a "
+                                  "BENCH_*.json trajectory file")
+    conformance.add_argument("--report", default=None, metavar="PATH",
+                             help="write the full JSON report "
+                                  "(CI artifact)")
+    conformance.add_argument("--commit", default=None,
+                             help="record key commit (default: "
+                                  "$GITHUB_SHA or git rev-parse "
+                                  "HEAD)")
+
+
+def run_scenario(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``scenario`` invocation; exit code."""
+    handler = {
+        "run": _cmd_run,
+        "corpus": _cmd_corpus,
+        "conformance": _cmd_conformance,
+    }[args.scenario_command]
+    return handler(args)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    case = ScenarioCase(scheme=args.scheme, family=args.family,
+                        perturbation=args.perturbation,
+                        kind=args.kind, devices=args.devices,
+                        trials=args.trials,
+                        noise_scale=PERTURBATIONS[args.perturbation])
+    print(f"scenario run: {case.case_id} seed={args.seed} "
+          f"devices={case.devices}")
+    result = run_case(case, args.seed)
+    for name, value in sorted(result.observed.items()):
+        print(f"  {name} = {value:.6g}")
+    bands = expected_bands(case, result.observed)
+    for name, (low, high) in sorted(bands.items()):
+        print(f"  band {name} = [{low:.4g}, {high:.4g}]")
+    print(f"  fingerprint {result.fingerprint} "
+          f"({result.seconds:.2f}s)")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    cases = quick_corpus() if args.quick else full_corpus()
+    print(f"corpus generate: {len(cases)} cells, seed={args.seed} "
+          f"-> {args.out}")
+    payloads = build_corpus(cases, args.seed, progress=print)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for scheme, payload in sorted(payloads.items()):
+        path = out / f"{scheme}.json"
+        path.write_text(json.dumps(payload, indent=1,
+                                   sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"  wrote {path} ({len(payload['cases'])} cells)")
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    try:
+        report = run_conformance(
+            args.corpus, quick=args.quick,
+            check_reproducible=args.check_reproducible,
+            progress=print)
+    except CorpusFormatError as error:
+        print(f"scenario conformance: {error}")
+        return 2
+    profile = "quick" if args.quick else "full"
+    print(f"scenario conformance: profile={profile} "
+          f"seed={report.seed} ({len(report.checks)} cells)")
+    commit = args.commit if args.commit is not None \
+        else detect_commit()
+    records = warehouse_records(report, commit, args.quick)
+    if args.store and records:
+        store = WarehouseStore(args.store)
+        appended = store.append(records)
+        print(f"appended {appended} records to {store.path} "
+              f"(config {records[0]['config_hash']})")
+    if args.summary and records:
+        entry = summary_entry(records, commit, args.quick)
+        payload = append_entry(args.summary, entry)
+        print(f"summary entry #{payload['history'][-1]['sequence']} "
+              f"appended to {args.summary}")
+    if args.report:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.to_payload(), indent=1)
+                        + "\n", encoding="utf-8")
+        print(f"report written to {path}")
+    if not report.ok:
+        print(f"scenario conformance: {len(report.failures)} "
+              f"cell(s) out of band or not reproducible")
+        return 1
+    print("scenario conformance: ok - every cell in its pass-band"
+          + (" and bitwise-reproducible"
+             if args.check_reproducible else ""))
+    return 0

@@ -1,0 +1,331 @@
+"""Conformance checker: re-run corpus cells, assert in-band results.
+
+The committed corpus (``tests/conformance/corpus/*.json``) turns the
+scenario engine into an executable regression oracle: every cell
+re-runs its seeded campaign and must land inside its committed
+failure-rate / key-recovery pass-band.  Two further gates harden the
+suite:
+
+* **Reproducibility** — ``--check-reproducible`` runs every checked
+  cell twice and requires bitwise-identical identity fingerprints
+  *within the run* (never against the committed baseline, so benign
+  refactors that legitimately re-order stream consumption remain
+  shippable; the committed fingerprint is informational).
+* **Warehouse wiring** — conformance runs condense into warehouse
+  records and a ``BENCH_scenarios.json`` summary entry, so the
+  longitudinal trajectory (``tools/bench_compare.py --trajectory``)
+  tracks scenario envelopes commit over commit alongside the attack
+  matrix.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.scenario.corpus import (
+    CORPUS_SCHEMA_VERSION,
+    CaseResult,
+    ScenarioCase,
+    run_case,
+)
+from repro.warehouse.store import SCHEMA_VERSION, config_hash
+
+#: Default location of the committed corpus, relative to the repo
+#: root.
+DEFAULT_CORPUS_DIR = "tests/conformance/corpus"
+
+
+class CorpusFormatError(ValueError):
+    """A corpus file violates the expected layout."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One committed cell: configuration + expected envelope."""
+
+    case: ScenarioCase
+    bands: Dict[str, List[float]]
+    baseline: Dict[str, object]
+
+
+def load_corpus(directory) -> Tuple[int, List[CorpusEntry]]:
+    """Parse every ``*.json`` corpus file under *directory*.
+
+    Returns ``(seed, entries)``; all files must agree on the seed
+    and schema version (one corpus is one seeded world).
+    """
+    directory = Path(directory)
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        raise CorpusFormatError(
+            f"no corpus files under {directory}")
+    seed: Optional[int] = None
+    entries: List[CorpusEntry] = []
+    for path in paths:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise CorpusFormatError(
+                f"{path}: not valid JSON ({error})") from None
+        if not isinstance(payload, dict):
+            raise CorpusFormatError(f"{path}: not an object")
+        version = payload.get("schema_version")
+        if version != CORPUS_SCHEMA_VERSION:
+            raise CorpusFormatError(
+                f"{path}: schema v{version!r}, expected "
+                f"v{CORPUS_SCHEMA_VERSION}")
+        file_seed = int(payload.get("seed", 0))
+        if seed is None:
+            seed = file_seed
+        elif seed != file_seed:
+            raise CorpusFormatError(
+                f"{path}: seed {file_seed} disagrees with {seed}")
+        for position, item in enumerate(payload.get("cases", [])):
+            try:
+                case = ScenarioCase.from_dict(item["case"])
+                expected = item["expected"]
+                bands = {name: [float(low), float(high)]
+                         for name, (low, high)
+                         in expected["bands"].items()}
+                baseline = dict(expected["baseline"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise CorpusFormatError(
+                    f"{path}: cases[{position}] malformed "
+                    f"({error})") from None
+            entries.append(CorpusEntry(case, bands, baseline))
+    return int(seed), entries
+
+
+@dataclass(frozen=True)
+class CaseCheck:
+    """Verdict of re-running one committed cell."""
+
+    entry: CorpusEntry
+    result: CaseResult
+    violations: Tuple[str, ...]
+    #: Second-run fingerprint under ``--check-reproducible``
+    #: (``None`` when the replay was skipped).
+    replay_fingerprint: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """In-band and (when replayed) bitwise-reproducible."""
+        return not self.violations and self.reproducible
+
+    @property
+    def reproducible(self) -> bool:
+        """Whether the replay (if any) reproduced the identity."""
+        return (self.replay_fingerprint is None
+                or self.replay_fingerprint
+                == self.result.fingerprint)
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregate verdict of one conformance run."""
+
+    seed: int
+    checks: List[CaseCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every cell in-band and reproducible."""
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> List[CaseCheck]:
+        """The cells that missed their band or drifted on replay."""
+        return [check for check in self.checks if not check.ok]
+
+    def lines(self) -> List[str]:
+        """Human-readable per-cell report lines."""
+        out: List[str] = []
+        for check in self.checks:
+            case = check.entry.case
+            shown = ", ".join(f"{name}={value:.3g}"
+                              for name, value
+                              in check.result.observed.items())
+            status = "ok" if check.ok else "FAIL"
+            out.append(f"  {status:<5}{case.case_id}: {shown} "
+                       f"({check.result.seconds:.2f}s)")
+            for violation in check.violations:
+                out.append(f"        out-of-band: {violation}")
+            if not check.reproducible:
+                out.append("        NOT REPRODUCIBLE: identity "
+                           "fingerprint drifted between two "
+                           "same-seed runs")
+        return out
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable report (the CI artifact)."""
+        return {
+            "schema_version": CORPUS_SCHEMA_VERSION,
+            "seed": int(self.seed),
+            "ok": bool(self.ok),
+            "cells": [
+                {
+                    "case": check.entry.case.to_dict(),
+                    "observed": check.result.observed,
+                    "bands": check.entry.bands,
+                    "violations": list(check.violations),
+                    "fingerprint": check.result.fingerprint,
+                    "reproducible": bool(check.reproducible),
+                    "seconds": check.result.seconds,
+                    "ok": bool(check.ok),
+                }
+                for check in self.checks
+            ],
+        }
+
+
+def band_violations(entry: CorpusEntry,
+                    observed: Dict[str, float]) -> List[str]:
+    """Which observed metrics fall outside their committed band."""
+    violations: List[str] = []
+    for name, (low, high) in sorted(entry.bands.items()):
+        value = observed.get(name)
+        if value is None:
+            violations.append(f"{name} missing from observation")
+        elif not (low <= value <= high):
+            violations.append(
+                f"{name}={value:.4g} outside [{low:.4g}, "
+                f"{high:.4g}]")
+    return violations
+
+
+def check_entry(entry: CorpusEntry, seed: int,
+                check_reproducible: bool = False) -> CaseCheck:
+    """Re-run one committed cell and compare against its envelope."""
+    result = run_case(entry.case, seed)
+    replay = (run_case(entry.case, seed).fingerprint
+              if check_reproducible else None)
+    return CaseCheck(entry, result,
+                     tuple(band_violations(entry, result.observed)),
+                     replay)
+
+
+def run_conformance(directory, quick: bool = False,
+                    check_reproducible: bool = False,
+                    progress: Optional[Callable[[str], None]] = None
+                    ) -> ConformanceReport:
+    """Check (the quick slice of) the committed corpus."""
+    seed, entries = load_corpus(directory)
+    if quick:
+        entries = [entry for entry in entries if entry.case.quick]
+    report = ConformanceReport(seed)
+    for entry in entries:
+        check = check_entry(entry, seed, check_reproducible)
+        report.checks.append(check)
+        if progress is not None:
+            for line in ConformanceReport(
+                    seed, [check]).lines():
+                progress(line)
+    return report
+
+
+def _timestamp() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def conformance_config(report: ConformanceReport,
+                       quick: bool) -> Dict[str, object]:
+    """The configuration dict whose hash keys the run's records."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "corpus_schema": CORPUS_SCHEMA_VERSION,
+        "profile": "quick" if quick else "full",
+        "seed": int(report.seed),
+        "cells": [check.entry.case.case_id
+                  for check in report.checks],
+    }
+
+
+def warehouse_records(report: ConformanceReport, commit: str,
+                      quick: bool) -> List[Dict[str, object]]:
+    """Condense a conformance run into warehouse store records.
+
+    Cells are namespaced ``scenario/<case id>`` so they live beside
+    the attack-matrix cells without colliding; the security layer
+    reuses the summary vocabulary (``recovery_rate`` is the
+    key-regeneration success rate for failure cells) so the
+    longitudinal trajectory renders scenario envelopes unchanged.
+    """
+    cfg = config_hash(conformance_config(report, quick))
+    records: List[Dict[str, object]] = []
+    for check in report.checks:
+        case = check.entry.case
+        observed = check.result.observed
+        if case.kind == "failure":
+            recovery = 1.0 - float(observed["failure_rate_mean"])
+            queries_mean = float(case.trials)
+        else:
+            recovery = float(observed["recovery_rate"])
+            queries_mean = float(observed["queries_mean"])
+        records.append({
+            "schema_version": SCHEMA_VERSION,
+            "commit": str(commit),
+            "config_hash": cfg,
+            "cell": f"scenario/{case.case_id}",
+            "scheme": case.scheme,
+            "attack": case.kind,
+            "countermeasure": "none",
+            "variant": case.family,
+            "status": "ok" if check.ok else "out-of-band",
+            "reason": "; ".join(check.violations),
+            "engine": "trajectory",
+            "config": dict(case.to_dict(), seed=int(report.seed)),
+            "security": {
+                "devices": int(case.devices),
+                "recovery_rate": recovery,
+                "queries_mean": queries_mean,
+                "observed": dict(observed),
+                "outcome_fingerprint": check.result.fingerprint,
+            },
+            "perf": {
+                "attack_seconds": float(check.result.seconds),
+                "kernel_seconds": 0.0,
+                "kernel_calls": 0,
+            },
+            "meta": {"created": _timestamp()},
+        })
+    return records
+
+
+def summary_entry(records: List[Dict[str, object]], commit: str,
+                  quick: bool) -> Dict[str, object]:
+    """A ``BENCH_scenarios.json`` history entry for this run.
+
+    Mirrors :func:`repro.warehouse.summary.build_entry`'s shape
+    (benchmark means + security outcomes per cell) but keeps
+    out-of-band cells visible — an envelope miss *is* the signal the
+    trajectory should carry.
+    """
+    benchmarks: Dict[str, object] = {}
+    security: Dict[str, object] = {}
+    cfg = records[0]["config_hash"] if records else ""
+    for record in records:
+        cell = str(record["cell"])
+        benchmarks[cell] = {
+            "mean": float(record["perf"]["attack_seconds"]),
+            "kernel_seconds": 0.0,
+            "kernel_calls": 0,
+        }
+        outcome = record["security"]
+        security[cell] = {
+            "recovery_rate": float(outcome["recovery_rate"]),
+            "queries_mean": float(outcome["queries_mean"]),
+            "outcome_fingerprint": str(
+                outcome["outcome_fingerprint"]),
+        }
+    return {
+        "commit": str(commit),
+        "date": datetime.now(timezone.utc).date().isoformat(),
+        "config_hash": str(cfg),
+        "profile": "quick" if quick else "full",
+        "benchmarks": benchmarks,
+        "security": security,
+    }

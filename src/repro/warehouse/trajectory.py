@@ -96,12 +96,19 @@ def build_report(paths: Sequence[object],
                  threshold: float = 0.20) -> TrajectoryReport:
     """Build the trajectory report over one or more summary files.
 
+    Each element of *paths* is a summary file path or an
+    already-built summary payload dict (same layout) — the latter
+    lets callers fold synthetic histories, e.g. pairwise
+    pytest-benchmark artifacts, into the longitudinal view without
+    touching the committed ``BENCH_*.json`` files.
+
     *threshold* is the fractional perf movement (newest vs previous
     mean) that counts as drift; security metrics flag on any change.
     """
     report = TrajectoryReport()
     for path in paths:
-        payload = load_summary(path)
+        payload = path if isinstance(path, dict) \
+            else load_summary(path)
         label = str(payload.get("label", path))
         history = _ordered_history(payload)
         report.entries += len(history)

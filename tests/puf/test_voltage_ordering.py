@@ -1,0 +1,70 @@
+"""Regression: voltage scaling applies before the temperature slope.
+
+The :class:`ROArray` docstring specifies
+
+    f = (f_nominal + systematic + process) * (1 + c·(V − Vn))
+        − slope · (T − Tn)
+
+i.e. the multiplicative supply-voltage factor scales the *intrinsic*
+frequency only — the temperature slope is subtracted afterwards and is
+NOT voltage-scaled.  These tests pin that operand order observably, so
+a refactor that silently swaps it (scaling the already-slope-shifted
+frequency) fails loudly.
+"""
+
+import numpy as np
+
+from repro.puf import ROArray, ROArrayParams
+
+PARAMS = ROArrayParams(rows=4, cols=8, sigma_noise=0.0)
+
+
+def _array():
+    return ROArray(PARAMS, rng=np.random.default_rng(20260807))
+
+
+class TestVoltageBeforeSlope:
+    def test_voltage_shift_is_temperature_independent(self):
+        """Δ_V(T) = base·(c·ΔV) must not depend on T."""
+        array = _array()
+        volt = 1.30
+        shift_nominal = (array.true_frequencies(voltage=volt)
+                         - array.true_frequencies())
+        shift_hot = (array.true_frequencies(temperature=65.0,
+                                            voltage=volt)
+                     - array.true_frequencies(temperature=65.0))
+        np.testing.assert_allclose(shift_hot, shift_nominal,
+                                   rtol=1e-9)
+
+    def test_combined_point_decomposes_additively(self):
+        """f(T,V) = f(Tn,Vn)·scale + (f(T,Vn) − f(Tn,Vn))."""
+        array = _array()
+        temp, volt = 60.0, 1.32
+        scale = 1.0 + PARAMS.voltage_coeff * (volt - PARAMS.v_nominal)
+        base = array.true_frequencies()
+        expected = base * scale + (array.true_frequencies(temp)
+                                   - base)
+        np.testing.assert_allclose(
+            array.true_frequencies(temp, volt), expected, rtol=1e-12)
+
+    def test_discriminates_against_swapped_order(self):
+        """The wrong order (scale after slope) is measurably different."""
+        array = _array()
+        temp, volt = 60.0, 1.32
+        scale = 1.0 + PARAMS.voltage_coeff * (volt - PARAMS.v_nominal)
+        wrong = array.true_frequencies(temp) * scale
+        actual = array.true_frequencies(temp, volt)
+        # slope·ΔT·(scale−1) ≈ 40e3·35·0.0096 ≈ 13 kHz per RO
+        assert np.all(np.abs(actual - wrong) > 1e3)
+
+    def test_batch_path_matches_scalar_ordering(self):
+        """true_frequencies_batch uses the identical operand order."""
+        array = _array()
+        temps = np.array([25.0, 60.0, -10.0])
+        volts = np.array([1.20, 1.32, 1.10])
+        batch = array.true_frequencies_batch(temps, volts)
+        for i in range(3):
+            np.testing.assert_array_equal(
+                batch[i],
+                array.true_frequencies(float(temps[i]),
+                                       float(volts[i])))

@@ -1,0 +1,177 @@
+"""Unit tests for the environment & lifecycle trajectory engine."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.puf import ROArrayParams
+from repro.scenario import (
+    AgingDrift,
+    EnvironmentTrajectory,
+    TemperatureCycle,
+    TemperatureRamp,
+    TrajectorySpec,
+    VoltageNoise,
+)
+
+PARAMS = ROArrayParams(rows=4, cols=8)
+
+
+def build(spec, device_index=0):
+    return spec.build(PARAMS, device_index)
+
+
+class TestTermSemantics:
+    def test_constant_spec_resolves_nominal_point(self):
+        env = build(TrajectorySpec()).sample(np.arange(5))
+        np.testing.assert_array_equal(
+            env.temperatures, np.full(5, PARAMS.temp_nominal))
+        np.testing.assert_array_equal(
+            env.voltages, np.full(5, PARAMS.v_nominal))
+
+    def test_constant_spec_with_explicit_point(self):
+        spec = TrajectorySpec.constant(temperature=60.0, voltage=1.1)
+        env = build(spec).sample(np.arange(3))
+        assert set(env.temperatures) == {60.0}
+        assert set(env.voltages) == {1.1}
+
+    def test_ramp_moves_linearly_then_holds(self):
+        spec = TrajectorySpec(terms=(TemperatureRamp(0.0, 30.0,
+                                                     queries=4),))
+        env = build(spec).sample(np.arange(7))
+        expected = PARAMS.temp_nominal + np.array(
+            [0.0, 10.0, 20.0, 30.0, 30.0, 30.0, 30.0])
+        np.testing.assert_allclose(env.temperatures, expected)
+        np.testing.assert_array_equal(
+            env.voltages, np.full(7, PARAMS.v_nominal))
+
+    def test_cycle_is_sinusoidal_with_period(self):
+        spec = TrajectorySpec(terms=(TemperatureCycle(amplitude=10.0,
+                                                      period=8.0),))
+        env = build(spec).sample(np.arange(17))
+        np.testing.assert_allclose(env.temperatures[0],
+                                   env.temperatures[8])
+        np.testing.assert_allclose(
+            env.temperatures[2], PARAMS.temp_nominal + 10.0)
+        np.testing.assert_allclose(
+            env.temperatures[6], PARAMS.temp_nominal - 10.0)
+
+    def test_terms_compose_additively(self):
+        ramp = TemperatureRamp(0.0, 8.0, queries=5)
+        cycle = TemperatureCycle(amplitude=3.0, period=4.0)
+        combined = build(TrajectorySpec(terms=(ramp, cycle)))
+        alone = (build(TrajectorySpec(terms=(ramp,))),
+                 build(TrajectorySpec(terms=(cycle,))))
+        indices = np.arange(12)
+        expected = (alone[0].sample(indices).temperatures
+                    + alone[1].sample(indices).temperatures
+                    - PARAMS.temp_nominal)
+        np.testing.assert_allclose(
+            combined.sample(indices).temperatures, expected)
+
+    def test_voltage_noise_leaves_temperature_alone(self):
+        spec = TrajectorySpec(terms=(VoltageNoise(sigma=0.05),),
+                              seed=3)
+        env = build(spec).sample(np.arange(200))
+        np.testing.assert_array_equal(
+            env.temperatures, np.full(200, PARAMS.temp_nominal))
+        spread = env.voltages - PARAMS.v_nominal
+        assert spread.std() == pytest.approx(0.05, rel=0.25)
+
+    def test_aging_shift_scales_with_sqrt_years(self):
+        quiet = build(TrajectorySpec(
+            terms=(AgingDrift(years=1.0, drift_sigma=50e3),), seed=9))
+        aged = build(TrajectorySpec(
+            terms=(AgingDrift(years=4.0, drift_sigma=50e3),), seed=9))
+        np.testing.assert_allclose(aged.oscillator_shift(32),
+                                   2.0 * quiet.oscillator_shift(32))
+
+    def test_aging_is_absent_without_term(self):
+        trajectory = build(TrajectorySpec())
+        assert trajectory.oscillator_shift(32) is None
+        assert not trajectory.has_aging
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TemperatureRamp(0.0, 1.0, queries=0)
+        with pytest.raises(ValueError):
+            TemperatureCycle(amplitude=1.0, period=0.0)
+        with pytest.raises(ValueError):
+            VoltageNoise(sigma=-0.1)
+        with pytest.raises(ValueError):
+            AgingDrift(years=-1.0)
+        with pytest.raises(ValueError):
+            build(TrajectorySpec()).sample(np.array([-1]))
+
+
+class TestSeedingDiscipline:
+    SPEC = TrajectorySpec(terms=(VoltageNoise(sigma=0.03),
+                                 AgingDrift(years=3.0)), seed=42)
+
+    def test_same_device_same_draws(self):
+        first, second = build(self.SPEC, 5), build(self.SPEC, 5)
+        indices = np.arange(64)
+        np.testing.assert_array_equal(
+            first.sample(indices).voltages,
+            second.sample(indices).voltages)
+        np.testing.assert_array_equal(first.oscillator_shift(16),
+                                      second.oscillator_shift(16))
+
+    def test_devices_are_independent(self):
+        a, b = build(self.SPEC, 0), build(self.SPEC, 1)
+        assert not np.array_equal(a.sample(np.arange(32)).voltages,
+                                  b.sample(np.arange(32)).voltages)
+
+    def test_value_at_index_independent_of_request_order(self):
+        eager, lazy = build(self.SPEC, 2), build(self.SPEC, 2)
+        whole = eager.sample(np.arange(100)).voltages
+        # ask for a late slice first, then an early one
+        late = lazy.sample(np.arange(60, 100)).voltages
+        early = lazy.sample(np.arange(0, 60)).voltages
+        np.testing.assert_array_equal(whole[60:], late)
+        np.testing.assert_array_equal(whole[:60], early)
+
+    def test_repeated_indices_resolve_identically(self):
+        trajectory = build(self.SPEC, 3)
+        once = trajectory.sample(np.array([7, 7, 11, 7])).voltages
+        assert once[0] == once[1] == once[3]
+        again = trajectory.sample(np.array([7])).voltages
+        assert again[0] == once[0]
+
+    def test_pickled_copy_replays_draws(self):
+        original = build(self.SPEC, 4)
+        clone = pickle.loads(pickle.dumps(original))
+        indices = np.arange(50)
+        np.testing.assert_array_equal(
+            original.sample(indices).voltages,
+            clone.sample(indices).voltages)
+        np.testing.assert_array_equal(original.oscillator_shift(8),
+                                      clone.oscillator_shift(8))
+
+    def test_aging_size_mismatch_rejected(self):
+        trajectory = build(self.SPEC, 6)
+        trajectory.oscillator_shift(16)
+        with pytest.raises(ValueError):
+            trajectory.oscillator_shift(32)
+
+
+class TestSpecSurface:
+    def test_describe_mentions_terms(self):
+        spec = TrajectorySpec(temperature=50.0,
+                              terms=(TemperatureRamp(0, 1, 2),
+                                     AgingDrift(years=1.0)))
+        text = spec.describe()
+        assert "T=50" in text
+        assert "TemperatureRamp" in text
+        assert "AgingDrift" in text
+        assert TrajectorySpec().describe() == "constant-nominal"
+
+    def test_spec_is_hashable_and_picklable(self):
+        spec = TrajectorySpec(terms=(TemperatureCycle(5.0, 10.0),),
+                              seed=1)
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_build_returns_trajectory(self):
+        assert isinstance(build(TrajectorySpec()),
+                          EnvironmentTrajectory)

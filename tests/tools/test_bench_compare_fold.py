@@ -1,0 +1,140 @@
+"""Tests for folding bench-report artifacts into trajectory mode."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent.parent.parent / "tools"
+
+
+def load_tool(name):
+    """Import a tools/ script as a module (the dir is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        name, TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_compare = load_tool("bench_compare")
+
+
+def write_report(path, means):
+    payload = {"benchmarks": [
+        {"fullname": name, "stats": {"mean": mean}}
+        for name, mean in means.items()]}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def write_summary(path, label, entries):
+    history = [{"sequence": seq, "commit": commit,
+                "date": "2026-08-07", "config_hash": "h",
+                "profile": "quick", "benchmarks": benchmarks,
+                "security": security}
+               for seq, commit, benchmarks, security in entries]
+    path.write_text(json.dumps({"schema_version": 1, "label": label,
+                                "history": history}))
+    return path
+
+
+class TestFoldBenchReports:
+    def test_reports_become_ordered_history(self, tmp_path):
+        first = write_report(tmp_path / "baseline.json",
+                             {"bench_a": 1.0, "bench_b": 0.2})
+        second = write_report(tmp_path / "current.json",
+                              {"bench_a": 1.1, "bench_b": 0.2})
+        payload = bench_compare.fold_bench_reports([first, second])
+        assert payload["label"] == "bench-reports"
+        assert [entry["sequence"] for entry in payload["history"]] \
+            == [1, 2]
+        assert [entry["commit"] for entry in payload["history"]] \
+            == ["baseline", "current"]
+        assert payload["history"][1]["benchmarks"]["bench_a"] \
+            == {"mean": 1.1}
+        assert payload["history"][0]["security"] == {}
+
+
+class TestTrajectoryWithBenchReports:
+    def test_folded_reports_render_alongside_summaries(
+            self, tmp_path, capsys):
+        summary = write_summary(
+            tmp_path / "BENCH_x.json", "x",
+            [(1, "aaa", {"cell": {"mean": 0.5}}, {}),
+             (2, "bbb", {"cell": {"mean": 0.55}}, {})])
+        baseline = write_report(tmp_path / "baseline.json",
+                                {"bench_a": 1.0})
+        current = write_report(tmp_path / "current.json",
+                               {"bench_a": 1.05})
+        code = bench_compare.run_trajectory(
+            [summary], threshold=0.20,
+            bench_reports=[baseline, current])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "perf cell: 0.500s -> 0.550s" in out
+        assert "perf bench_a: 1.000s -> 1.050s" in out
+        assert "bench-reports" in out
+
+    def test_drift_across_folded_reports_annotates(self, tmp_path,
+                                                   capsys):
+        baseline = write_report(tmp_path / "baseline.json",
+                                {"bench_a": 1.0})
+        current = write_report(tmp_path / "current.json",
+                               {"bench_a": 2.0})
+        code = bench_compare.run_trajectory(
+            [], threshold=0.20, bench_reports=[baseline, current])
+        out = capsys.readouterr().out
+        assert code == 0  # warn-only without --fail-over
+        assert "::warning" in out
+        assert "bench_a" in out
+
+    def test_fail_over_trips_on_folded_drift(self, tmp_path, capsys):
+        baseline = write_report(tmp_path / "baseline.json",
+                                {"bench_a": 1.0})
+        current = write_report(tmp_path / "current.json",
+                               {"bench_a": 3.0})
+        code = bench_compare.run_trajectory(
+            [], threshold=0.20, fail_over=50.0,
+            bench_reports=[baseline, current])
+        assert code == 1
+        assert "::warning" in capsys.readouterr().out
+
+    def test_missing_report_is_a_loud_failure(self, tmp_path,
+                                              capsys):
+        code = bench_compare.run_trajectory(
+            [], threshold=0.20,
+            bench_reports=[tmp_path / "nope.json"])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_malformed_report_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = bench_compare.run_trajectory(
+            [], threshold=0.20, bench_reports=[bad])
+        assert code == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_cli_rejects_bench_report_without_trajectory(
+            self, tmp_path, capsys):
+        report = write_report(tmp_path / "r.json", {"a": 1.0})
+        try:
+            bench_compare.main(["--bench-report", str(report),
+                                str(report), str(report)])
+        except SystemExit as stop:
+            assert stop.code == 2
+        else:  # pragma: no cover - parser must have exited
+            raise AssertionError("expected parser error")
+        assert "only meaningful" in capsys.readouterr().err
+
+    def test_cli_end_to_end(self, tmp_path, capsys):
+        baseline = write_report(tmp_path / "baseline.json",
+                                {"bench_a": 1.0})
+        current = write_report(tmp_path / "current.json",
+                               {"bench_a": 1.02})
+        code = bench_compare.main([
+            "--trajectory",
+            "--bench-report", str(baseline),
+            "--bench-report", str(current)])
+        assert code == 0
+        assert "bench_a" in capsys.readouterr().out

@@ -20,6 +20,7 @@ non-blocking (``continue-on-error``).
 Trajectory mode::
 
     python tools/bench_compare.py --trajectory [BENCH_*.json ...]
+        [--bench-report REPORT.json ...]
         [--threshold 0.20] [--fail-over PCT]
 
 Consumes the repo-root ``BENCH_*.json`` longitudinal summaries written
@@ -31,6 +32,14 @@ deterministic security outcome — is annotated with ``::warning::``
 commands; ``--fail-over`` turns perf drift beyond PCT percent into a
 non-zero exit.  With no files given, ``BENCH_*.json`` in the current
 directory is globbed.
+
+``--bench-report`` (repeatable) folds pairwise pytest-benchmark
+artifacts into the same longitudinal view: the given reports become
+one synthetic history — one entry per report, in argument order —
+rendered and drift-checked alongside the committed summaries.  Passing
+a CI baseline artifact followed by the current run's report therefore
+reuses the trajectory drift machinery (annotations, ``--fail-over``)
+for the pairwise comparison, without touching any ``BENCH_*.json``.
 
 Malformed input is a loud, distinct failure: unreadable or non-JSON
 report files exit 2 with a clear message, and benchmarks lacking a
@@ -161,29 +170,61 @@ def _build_trajectory_report(paths: List[Path], threshold: float):
     return build_report(paths, threshold=threshold)
 
 
+def fold_bench_reports(paths: List[Path]) -> Dict[str, object]:
+    """Synthesize one summary payload from pairwise bench reports.
+
+    Each pytest-benchmark artifact becomes one history entry (in
+    argument order, tagged by file stem), so the trajectory renderer
+    applies its usual newest-vs-previous drift detection across the
+    given reports.  Raises :class:`ValueError` on malformed reports.
+    """
+    history = []
+    for sequence, path in enumerate(paths, start=1):
+        means, _ = load_report(path)
+        history.append({
+            "sequence": sequence,
+            "commit": path.stem,
+            "benchmarks": {name: {"mean": mean}
+                           for name, mean in sorted(means.items())},
+            "security": {},
+        })
+    return {"schema_version": 1, "label": "bench-reports",
+            "history": history}
+
+
 def run_trajectory(paths: List[Path], threshold: float,
-                   fail_over: float = None) -> int:
+                   fail_over: float = None,
+                   bench_reports: List[Path] = None) -> int:
     """Trajectory mode body: render histories, annotate drift."""
-    if not paths:
+    bench_reports = bench_reports or []
+    if not paths and not bench_reports:
         paths = sorted(Path.cwd().glob("BENCH_*.json"))
-    if not paths:
+    if not paths and not bench_reports:
         print("bench-compare: no BENCH_*.json summaries found; "
               "nothing to render")
         return 0
-    missing = [path for path in paths if not path.exists()]
+    missing = [path for path in [*paths, *bench_reports]
+               if not path.exists()]
     if missing:
         for path in missing:
             print(f"bench-compare: no such file: {path}",
                   file=sys.stderr)
         return 2
+    sources: List[object] = list(paths)
     try:
-        report = _build_trajectory_report(paths, threshold)
+        if bench_reports:
+            sources.append(fold_bench_reports(bench_reports))
+        report = _build_trajectory_report(sources, threshold)
     except Exception as error:
         print(f"bench-compare: malformed summary: {error}",
               file=sys.stderr)
         return 2
+    shown = [str(p) for p in paths]
+    if bench_reports:
+        folded_names = ", ".join(str(p) for p in bench_reports)
+        shown.append(f"bench-reports({folded_names})")
     print(f"bench-compare: trajectory over "
-          f"{', '.join(str(p) for p in paths)} "
+          f"{', '.join(shown)} "
           f"(threshold {threshold:.0%})")
     for line in report.lines:
         print(line)
@@ -216,6 +257,14 @@ def main(argv=None) -> int:
     parser.add_argument("--trajectory", action="store_true",
                         help="render longitudinal BENCH_*.json "
                              "histories instead of a pairwise diff")
+    parser.add_argument("--bench-report", type=Path,
+                        action="append", default=None,
+                        metavar="REPORT.json",
+                        help="trajectory mode: fold this pairwise "
+                             "pytest-benchmark artifact into the "
+                             "longitudinal view as one synthetic "
+                             "history entry (repeatable, rendered "
+                             "in argument order)")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="fractional slowdown that counts as a "
                              "regression (default 0.20 = 20%%)")
@@ -233,9 +282,13 @@ def main(argv=None) -> int:
     if args.fail_over is not None and args.fail_over <= 0:
         parser.error("--fail-over must be positive")
 
+    if args.bench_report and not args.trajectory:
+        parser.error("--bench-report is only meaningful with "
+                     "--trajectory")
     if args.trajectory:
         return run_trajectory(list(args.reports), args.threshold,
-                              args.fail_over)
+                              args.fail_over,
+                              bench_reports=args.bench_report)
 
     if len(args.reports) != 2:
         parser.error("pairwise mode takes exactly two report files "
