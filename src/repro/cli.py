@@ -169,6 +169,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             "frontier (default: on whenever the "
                             "lock-step engine runs; identical "
                             "results either way)")
+    fleet.add_argument("--max-retries", type=int, default=None,
+                       metavar="N",
+                       help="run the sweep supervised: retry failed "
+                            "chunks up to N times (see "
+                            "docs/resilience.md)")
+    fleet.add_argument("--chunk-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="supervised watchdog timeout per chunk "
+                            "(implies supervision)")
+    fleet.add_argument("--failure-report", default=None,
+                       metavar="PATH",
+                       help="write the supervised failure-taxonomy "
+                            "report (JSON) here")
+    fleet.add_argument("--check-reproducible", action="store_true",
+                       help="rerun the sweep unsupervised on a "
+                            "fresh same-seed fleet and fail unless "
+                            "the results match bitwise")
 
     from repro.warehouse.cli import add_warehouse_parser
     add_warehouse_parser(sub)
@@ -288,8 +305,44 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet_attack(args: argparse.Namespace, fleet: Fleet,
-                      enroll_rng) -> int:
+def _fleet_build(args: argparse.Namespace):
+    """A fresh fleet + enrollment stream for one ``fleet`` run.
+
+    Factored out so ``--check-reproducible`` can rebuild an identical
+    same-seed population for the unsupervised reference run (sweep
+    substreams are consumed per call, so re-sweeping the same
+    ``Fleet`` object would draw different noise).
+    """
+    params = ROArrayParams(rows=args.rows, cols=args.cols)
+    # One user-facing seed, two independent purposes: split it so the
+    # enrollment streams can never collide with the manufacturing
+    # streams (identical seeds spawn identical children).
+    manufacture_rng, enroll_rng = spawn(args.seed, 2)
+    return Fleet(params, size=args.devices,
+                 seed=manufacture_rng), enroll_rng
+
+
+def _fleet_supervision(args: argparse.Namespace):
+    """A supervisor when any resilience knob was set, else ``None``."""
+    if args.max_retries is None and args.chunk_timeout is None:
+        return None
+    from repro.fleet import RetryPolicy, Supervisor
+    retries = 2 if args.max_retries is None else args.max_retries
+    return Supervisor(RetryPolicy(max_retries=retries,
+                                  chunk_timeout=args.chunk_timeout))
+
+
+def _fleet_wrapup(args: argparse.Namespace, supervision) -> None:
+    """Shared supervised-run reporting for both fleet branches."""
+    if supervision is not None and supervision.failures:
+        for line in supervision.summary_lines():
+            print(f"  supervised {line}")
+    if args.failure_report and supervision is not None:
+        path = supervision.write_report(args.failure_report)
+        print(f"  failure report      : {path}")
+
+
+def _cmd_fleet_attack(args: argparse.Namespace) -> int:
     """Fleet-wide attack campaign branch of the ``fleet`` subcommand."""
     from repro.fleet import (
         DistillerAttackFactory,
@@ -312,13 +365,19 @@ def _cmd_fleet_attack(args: argparse.Namespace, fleet: Fleet,
                                            pairing_mode=args.attack,
                                            k=5)
         attack_factory = DistillerAttackFactory(rows, cols)
-    enrollment = fleet.enroll(keygen_factory, seed=enroll_rng,
-                              workers=args.workers)
+
+    def campaign(supervision):
+        fleet, enroll_rng = _fleet_build(args)
+        enrollment = fleet.enroll(keygen_factory, seed=enroll_rng,
+                                  workers=args.workers)
+        return fleet.attack_success(
+            enrollment, attack_factory, workers=args.workers,
+            lockstep=not args.scalar_loop, batch=args.batch,
+            fused=args.fused, supervision=supervision)
+
+    supervision = _fleet_supervision(args)
     start = time.perf_counter()
-    recovered, queries = fleet.attack_success(
-        enrollment, attack_factory, workers=args.workers,
-        lockstep=not args.scalar_loop, batch=args.batch,
-        fused=args.fused)
+    recovered, queries = campaign(supervision)
     elapsed = time.perf_counter() - start
     if args.scalar_loop:
         engine = "scalar per-device loop"
@@ -337,30 +396,43 @@ def _cmd_fleet_attack(args: argparse.Namespace, fleet: Fleet,
     throughput = args.devices / elapsed if elapsed else 0.0
     print(f"  campaign time       : {elapsed:.2f} s "
           f"({throughput:.2f} devices/s)")
+    _fleet_wrapup(args, supervision)
+    if args.check_reproducible:
+        reference_recovered, reference_queries = campaign(None)
+        if not (np.array_equal(recovered, reference_recovered)
+                and np.array_equal(queries, reference_queries)):
+            print("  reproducibility     : FAIL - campaign results "
+                  "drifted from the fault-free reference run")
+            return 1
+        print("  reproducibility     : ok (bitwise-identical to "
+              "the fault-free reference run)")
     return 0 if recovered.all() else 1
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.keygen.base import OperatingPoint
 
-    params = ROArrayParams(rows=args.rows, cols=args.cols)
-    # One user-facing seed, two independent purposes: split it so the
-    # enrollment streams can never collide with the manufacturing
-    # streams (identical seeds spawn identical children).
-    manufacture_rng, enroll_rng = spawn(args.seed, 2)
-    fleet = Fleet(params, size=args.devices, seed=manufacture_rng)
     if args.attack is not None:
-        return _cmd_fleet_attack(args, fleet, enroll_rng)
+        return _cmd_fleet_attack(args)
     # functools.partial keeps the factory picklable for --workers > 1.
     factory = functools.partial(SequentialPairingKeyGen,
                                 threshold=args.threshold)
-    enrollment = fleet.enroll(factory, seed=enroll_rng,
-                              workers=args.workers)
     op = (OperatingPoint(temperature=args.temperature)
           if args.temperature is not None else None)
+
+    def sweep(supervision):
+        fleet, enroll_rng = _fleet_build(args)
+        enrollment = fleet.enroll(factory, seed=enroll_rng,
+                                  workers=args.workers)
+        rates = fleet.failure_rates(enrollment, trials=args.trials,
+                                    op=op, chunk=args.chunk,
+                                    workers=args.workers,
+                                    supervision=supervision)
+        return enrollment, rates
+
+    supervision = _fleet_supervision(args)
     start = time.perf_counter()
-    rates = fleet.failure_rates(enrollment, trials=args.trials, op=op,
-                                chunk=args.chunk, workers=args.workers)
+    enrollment, rates = sweep(supervision)
     elapsed = time.perf_counter() - start
     throughput = args.devices * args.trials / elapsed if elapsed else 0
     print(f"fleet {args.devices} devices "
@@ -374,6 +446,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
           f"{rates.max():.4f}")
     print(f"  sweep time          : {elapsed:.2f} s "
           f"({throughput:,.0f} reconstructions/s)")
+    _fleet_wrapup(args, supervision)
+    if args.check_reproducible:
+        _, reference = sweep(None)
+        if not np.array_equal(rates, reference):
+            print("  reproducibility     : FAIL - failure rates "
+                  "drifted from the fault-free reference run")
+            return 1
+        print("  reproducibility     : ok (bitwise-identical to "
+              "the fault-free reference run)")
     return 0
 
 

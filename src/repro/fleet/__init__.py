@@ -9,6 +9,13 @@ campaigns run through the round-based lock-step engine
 (:mod:`repro.fleet.campaign`): one attack advanced across a whole
 device batch per distinguisher round, bitwise-identical to the
 per-device scalar loop (see ``docs/attacks.md``).
+
+Sweeps optionally run **supervised** (``supervision=Supervisor(...)``):
+per-chunk watchdog timeouts, seeded retry with backoff, a structured
+failure taxonomy, and quarantine with in-process degradation — while
+keeping results bitwise-equal to a fault-free run.  A deterministic
+fault-injection harness (:mod:`repro.fleet.faultinject`) exercises
+every recovery path in tests and CI (see ``docs/resilience.md``).
 """
 
 from repro.fleet.campaign import (
@@ -19,6 +26,12 @@ from repro.fleet.campaign import (
     TempAwareAttackFactory,
     run_campaign,
     sequential_attack_factory,
+)
+from repro.fleet.faultinject import (
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedFault,
 )
 from repro.fleet.fleet import (
     AttackFactory,
@@ -33,16 +46,32 @@ from repro.fleet.parallel import (
     run_collected,
     run_scattered,
 )
+from repro.fleet.resilience import (
+    ChunkFailure,
+    PoisonedSweepError,
+    ResilienceReport,
+    RetryPolicy,
+    Supervisor,
+)
 
 __all__ = [
     "AttackFactory",
+    "ChunkFailure",
     "DistillerAttackFactory",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
     "Fleet",
     "FleetEnrollment",
     "GroupAttackFactory",
+    "InjectedFault",
     "KeyGenFactory",
     "LockstepCampaign",
+    "PoisonedSweepError",
+    "ResilienceReport",
+    "RetryPolicy",
     "SequentialAttackFactory",
+    "Supervisor",
     "TempAwareAttackFactory",
     "run_campaign",
     "sequential_attack_factory",

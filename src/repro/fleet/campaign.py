@@ -20,6 +20,12 @@ bills and recovered keys are **bitwise-identical** to driving each
 attack alone — the property that lets the lock-step path slot under
 ``Fleet.attack_success`` (lock-step within a worker, processes across
 chunks) without changing a single reported number.
+
+The same property makes the campaign chunk the natural **retry unit**
+for supervised execution (:mod:`repro.fleet.resilience`): a chunk's
+``_AttackChunkJob`` consumes only parent-derived streams against
+payload copies, so a crashed or timed-out chunk re-runs from scratch
+and lands on the same bits.
 """
 
 from __future__ import annotations

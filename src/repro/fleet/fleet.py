@@ -190,8 +190,15 @@ class _AttackChunkJob:
     trajectories: Optional[List[object]] = None
 
 
-def _attack_chunk_job(job: _AttackChunkJob) -> List[Tuple[bool, int]]:
-    """Run one chunk's attacks; ``(recovered, queries)`` per device."""
+def _run_chunk_attacks(job: _AttackChunkJob
+                       ) -> Tuple[List[object], List[BatchOracle]]:
+    """Shared chunk body: build oracles/attacks, run the campaign.
+
+    The chunk is also the supervised executor's retry unit: because
+    the job only consumes streams handed to it (derived parent-side)
+    and runs against payload copies, re-executing a chunk from
+    scratch reproduces it bitwise.
+    """
     oracles: List[BatchOracle] = []
     attacks: List[object] = []
     trajectories = (job.trajectories if job.trajectories is not None
@@ -208,6 +215,12 @@ def _attack_chunk_job(job: _AttackChunkJob) -> List[Tuple[bool, int]]:
         results = run_campaign(oracles, attacks, fused=job.fused)
     else:
         results = [attack.run() for attack in attacks]
+    return results, oracles
+
+
+def _attack_chunk_job(job: _AttackChunkJob) -> List[Tuple[bool, int]]:
+    """Run one chunk's attacks; ``(recovered, queries)`` per device."""
+    results, oracles = _run_chunk_attacks(job)
     report: List[Tuple[bool, int]] = []
     for result, oracle, key in zip(results, oracles, job.keys):
         recovered_key = getattr(result, "key", None)
@@ -217,6 +230,12 @@ def _attack_chunk_job(job: _AttackChunkJob) -> List[Tuple[bool, int]]:
                        int(getattr(result, "queries",
                                    oracle.queries))))
     return report
+
+
+def _attack_results_chunk_job(job: _AttackChunkJob) -> List[object]:
+    """Run one chunk's attacks; raw result objects per device."""
+    results, _ = _run_chunk_attacks(job)
+    return results
 
 
 class Fleet:
@@ -318,20 +337,25 @@ class Fleet:
 
     def enroll(self, keygen_factory: KeyGenFactory,
                seed: RNGLike = None,
-               workers: Optional[int] = 1) -> FleetEnrollment:
+               workers: Optional[int] = 1,
+               supervision=None) -> FleetEnrollment:
         """Enroll one construction on every device.
 
         Enrollment randomness is spawned per device from *seed*, so a
         fleet enrollment is as reproducible as a single-device one and
         bitwise-independent of *workers*.  With ``workers > 1`` the
         factory must be picklable (module-level, not a lambda).
+        *supervision* (a
+        :class:`repro.fleet.resilience.Supervisor`) runs the
+        enrollment under the fault-tolerant executor.
         """
         jobs = [_EnrollJob(array, keygen_factory, child)
                 for array, child in zip(self._arrays,
                                         spawn(seed,
                                               len(self._arrays)))]
         results = run_collected(_enroll_job, jobs, workers=workers,
-                                shared=self._arrays)
+                                shared=self._arrays,
+                                supervision=supervision)
         return FleetEnrollment(
             tuple(keygen for keygen, _, _ in results),
             tuple(helper for _, helper, _ in results),
@@ -359,7 +383,8 @@ class Fleet:
                       helpers: Optional[Sequence[object]] = None,
                       chunk: int = 1024,
                       workers: Optional[int] = 1,
-                      trajectory=None) -> np.ndarray:
+                      trajectory=None,
+                      supervision=None) -> np.ndarray:
         """Per-device key-regeneration failure rate over *trials*.
 
         Parameters
@@ -373,6 +398,10 @@ class Fleet:
         workers:
             Process-pool width; ``None``/``0`` uses every CPU.  The
             returned rates are bitwise-identical for every value.
+        supervision:
+            Optional :class:`repro.fleet.resilience.Supervisor`: the
+            sweep runs under the fault-tolerant executor (watchdog,
+            seeded retry, quarantine) with unchanged results.
         trajectory:
             Optional
             :class:`~repro.scenario.trajectory.TrajectorySpec`.  Each
@@ -406,13 +435,15 @@ class Fleet:
                     self._sweep_streams()))]
         (rates,) = run_scattered(_failure_rate_job, jobs,
                                  (np.float64,), workers=workers,
-                                 shared=self._arrays)
+                                 shared=self._arrays,
+                                 supervision=supervision)
         return rates
 
     def reliability_curve(self, enrollment: FleetEnrollment,
                           temperatures: Sequence[float], trials: int,
                           chunk: int = 1024,
-                          workers: Optional[int] = 1) -> np.ndarray:
+                          workers: Optional[int] = 1,
+                          supervision=None) -> np.ndarray:
         """Success rates over an environmental sweep.
 
         Returns a ``(len(temperatures), len(fleet))`` float64 matrix
@@ -442,7 +473,8 @@ class Fleet:
                     enrollment.helpers, self._sweep_streams()))
         (rates,) = run_scattered(_failure_rate_job, jobs,
                                  (np.float64,), workers=workers,
-                                 shared=self._arrays)
+                                 shared=self._arrays,
+                                 supervision=supervision)
         return 1.0 - rates.reshape(len(temps), devices)
 
     def attack_success(self, enrollment: FleetEnrollment,
@@ -452,7 +484,8 @@ class Fleet:
                        lockstep: Optional[bool] = None,
                        batch: Optional[int] = None,
                        fused: Optional[bool] = None,
-                       trajectory=None
+                       trajectory=None,
+                       supervision=None
                        ) -> Tuple[np.ndarray, np.ndarray]:
         """Run a full helper-data attack against every device.
 
@@ -498,11 +531,16 @@ class Fleet:
             the trajectory ambient; explicitly-set points (attacker
             chamber control, e.g. the temp-aware attack) override
             it, aging drift excepted.
+        supervision:
+            Optional :class:`repro.fleet.resilience.Supervisor`: the
+            campaign runs under the fault-tolerant executor with
+            chunk-level retry of each :class:`_AttackChunkJob`; the
+            per-device results contract is unchanged.
         """
         count = len(self._arrays)
         streams = self._sweep_streams()
         trajectories = self._build_trajectories(trajectory)
-        resolved = resolve_workers(workers)
+        resolved = resolve_workers(workers, count)
         if lockstep is None:
             lockstep = self._supports_lockstep(enrollment,
                                                attack_factory, op)
@@ -530,7 +568,8 @@ class Fleet:
                 None if trajectories is None
                 else [trajectories[i] for i in indices]))
         reports = run_collected(_attack_chunk_job, jobs,
-                                workers=workers, shared=self._arrays)
+                                workers=workers, shared=self._arrays,
+                                supervision=supervision)
         flat = [entry for report in reports for entry in report]
         recovered = np.array([entry[0] for entry in flat],
                              dtype=np.bool_)
@@ -543,45 +582,76 @@ class Fleet:
                        op: OperatingPoint = OperatingPoint(),
                        lockstep: Optional[bool] = None,
                        fused: Optional[bool] = None,
-                       trajectory=None) -> List[object]:
+                       trajectory=None,
+                       workers: Optional[int] = 1,
+                       supervision=None) -> List[object]:
         """Run a full attack per device; return the raw result objects.
 
-        Single-process companion to :meth:`attack_success` for callers
-        that need every attack's complete result — relations, comparer
+        Companion to :meth:`attack_success` for callers that need
+        every attack's complete result — relations, comparer
         decisions, recovered keys — rather than the summary mask (the
         results warehouse fingerprints per-device decisions from
         these).  It follows the same sweep-stream discipline (one
         ``(noise, transient)`` substream pair per device, derived
-        before any execution), and drives the whole population as one
-        lock-step chunk, so a device's result is bitwise-identical to
-        what the matching :meth:`attack_success` call observes.
+        before any execution), so a device's result is
+        bitwise-identical to what the matching :meth:`attack_success`
+        call observes — whatever *workers* is, and whether or not a
+        supervised run had to retry chunks.
 
-        *lockstep* / *fused* / *trajectory* mean what they mean on
-        :meth:`attack_success`; ``None`` auto-detects the stepwise
-        protocol and fuses exactly when lock-stepping.
+        *lockstep* / *fused* / *trajectory* / *supervision* mean what
+        they mean on :meth:`attack_success`; ``None`` auto-detects
+        the stepwise protocol and fuses exactly when lock-stepping.
+        The default ``workers=1`` without supervision keeps the
+        historical single-process path (results built in this
+        process); otherwise chunks dispatch through the pool or the
+        supervised executor, and result objects must be picklable.
         """
+        count = len(self._arrays)
         streams = self._sweep_streams()
         trajectories = self._build_trajectories(trajectory)
-        if trajectories is None:
-            trajectories = [None] * len(self._arrays)
         if lockstep is None:
             lockstep = self._supports_lockstep(enrollment,
                                                attack_factory, op)
         if fused is None:
             fused = bool(lockstep)
-        oracles: List[BatchOracle] = []
-        attacks: List[object] = []
-        for array, keygen, helper, (stream, transient), built in zip(
-                self._arrays, enrollment.keygens, enrollment.helpers,
-                streams, trajectories):
-            keygen.reseed_transient_streams(transient)
-            oracle = BatchOracle(array, keygen, op=op, rng=stream,
-                                 trajectory=built)
-            oracles.append(oracle)
-            attacks.append(attack_factory(oracle, keygen, helper))
-        if lockstep:
-            return run_campaign(oracles, attacks, fused=bool(fused))
-        return [attack.run() for attack in attacks]
+        resolved = resolve_workers(workers, count)
+        if resolved == 1 and supervision is None:
+            built = ([None] * count if trajectories is None
+                     else trajectories)
+            oracles: List[BatchOracle] = []
+            attacks: List[object] = []
+            for array, keygen, helper, (stream, transient), traj in \
+                    zip(self._arrays, enrollment.keygens,
+                        enrollment.helpers, streams, built):
+                keygen.reseed_transient_streams(transient)
+                oracle = BatchOracle(array, keygen, op=op, rng=stream,
+                                     trajectory=traj)
+                oracles.append(oracle)
+                attacks.append(attack_factory(oracle, keygen, helper))
+            if lockstep:
+                return run_campaign(oracles, attacks,
+                                    fused=bool(fused))
+            return [attack.run() for attack in attacks]
+        chunks = max(1, min(count,
+                            resolved if lockstep else 4 * resolved))
+        width = -(-count // chunks)
+        jobs = []
+        for begin in range(0, count, width):
+            indices = range(begin, min(begin + width, count))
+            jobs.append(_AttackChunkJob(
+                [self._arrays[i] for i in indices],
+                [enrollment.keygens[i] for i in indices],
+                [enrollment.helpers[i] for i in indices],
+                [enrollment.keys[i] for i in indices],
+                op, attack_factory,
+                [streams[i] for i in indices], bool(lockstep),
+                bool(fused),
+                None if trajectories is None
+                else [trajectories[i] for i in indices]))
+        reports = run_collected(_attack_results_chunk_job, jobs,
+                                workers=workers, shared=self._arrays,
+                                supervision=supervision)
+        return [result for report in reports for result in report]
 
     def _supports_lockstep(self, enrollment: FleetEnrollment,
                            attack_factory: AttackFactory,

@@ -26,6 +26,13 @@ Payloads must be picklable for ``workers > 1`` (library objects are;
 user-supplied attack factories must be module-level callables, not
 lambdas).  ``workers=1`` relaxes this to deep-copyability, which keeps
 lambda factories working for in-process sweeps.
+
+Both entry points also accept ``supervision=`` — a
+:class:`repro.fleet.resilience.Supervisor` — which reroutes the sweep
+through the fault-tolerant supervised executor (per-chunk watchdog,
+seeded retry/backoff, quarantine, in-process degradation) with the
+same bitwise results contract.  See :mod:`repro.fleet.resilience` and
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -44,20 +52,58 @@ import numpy as np
 JobFn = Callable[[object], Tuple]
 
 
-def resolve_workers(workers: Optional[int]) -> int:
+def resolve_workers(workers: Optional[int],
+                    count: Optional[int] = None) -> int:
     """Normalise the ``workers`` knob to a positive worker count.
 
     ``None`` and ``0`` mean "one worker per available CPU"; any other
-    value must be a positive integer and is used as-is (a count larger
-    than the device count simply leaves workers idle).
+    value must be a positive integer.  When *count* (the number of
+    payloads) is given, the result is additionally capped at it —
+    requesting more workers than there is work never spawns idle
+    processes.
     """
     if workers is None or workers == 0:
-        return max(1, os.cpu_count() or 1)
-    count = int(workers)
-    if count < 1:
-        raise ValueError("workers must be a positive integer, 0 or "
-                         "None (auto)")
-    return count
+        resolved = max(1, os.cpu_count() or 1)
+    else:
+        resolved = int(workers)
+        if resolved < 1:
+            raise ValueError("workers must be a positive integer, 0 "
+                             "or None (auto)")
+    if count is not None:
+        resolved = max(1, min(resolved, int(count)))
+    return resolved
+
+
+def _ensure_picklable(run_job: JobFn,
+                      payloads: Sequence[object]) -> None:
+    """Fail fast, and helpfully, before a pool sees a bad payload.
+
+    A non-picklable job or payload (typically a lambda attack factory)
+    would otherwise surface as a raw pickling traceback from deep
+    inside the pool machinery — worse under spawn/forkserver, where
+    the error appears asynchronously.  This pre-check names the
+    offending payload and the fix instead.
+    """
+    try:
+        pickle.dumps(run_job)
+    except Exception as error:
+        raise ValueError(
+            f"job function {run_job!r} is not picklable and cannot "
+            f"cross a process boundary ({error}). Use a module-level "
+            f"callable instead of a lambda/closure, or run with "
+            f"workers=1 and no supervision for in-process execution."
+        ) from None
+    for index, payload in enumerate(payloads):
+        try:
+            pickle.dumps(payload)
+        except Exception as error:
+            raise ValueError(
+                f"payload {index} is not picklable and cannot cross "
+                f"a process boundary ({error}). Attack/keygen "
+                f"factories must be module-level callables (see "
+                f"repro.fleet.campaign), or run with workers=1 and "
+                f"no supervision for in-process execution."
+            ) from None
 
 
 def chunk_indices(count: int, chunks: int) -> List[np.ndarray]:
@@ -192,8 +238,8 @@ def _run_inprocess(run_job: JobFn, payloads: Sequence[object],
 
 def run_scattered(run_job: JobFn, payloads: Sequence[object],
                   dtypes: Sequence, workers: Optional[int] = 1,
-                  shared: Sequence[object] = ()
-                  ) -> Tuple[np.ndarray, ...]:
+                  shared: Sequence[object] = (),
+                  supervision=None) -> Tuple[np.ndarray, ...]:
     """Run one job per payload; scatter numeric outputs per device.
 
     *run_job* must return one scalar per entry of *dtypes* for every
@@ -202,9 +248,17 @@ def run_scattered(run_job: JobFn, payloads: Sequence[object],
     bitwise-independent of *workers* and of how devices were chunked.
     *shared* lists read-only payload constituents exempt from the
     in-process defensive copy (see :func:`_run_inprocess`).
+    *supervision* (a :class:`repro.fleet.resilience.Supervisor`)
+    reroutes the sweep through the fault-tolerant executor; it always
+    isolates chunks in watched child processes, so payloads must then
+    be picklable even with ``workers=1``.
     """
+    if supervision is not None:
+        from repro.fleet.resilience import run_supervised_scattered
+        return run_supervised_scattered(run_job, payloads, dtypes,
+                                        workers, shared, supervision)
     count = len(payloads)
-    resolved = resolve_workers(workers)
+    resolved = resolve_workers(workers, count)
     if resolved == 1 or count <= 1:
         outputs = [np.zeros(count, dtype=dt) for dt in dtypes]
         for index, values in enumerate(
@@ -213,8 +267,14 @@ def run_scattered(run_job: JobFn, payloads: Sequence[object],
                 output[index] = value
         return tuple(outputs)
 
-    buffers = [SharedResultBuffer(count, dt) for dt in dtypes]
+    _ensure_picklable(run_job, payloads)
+    # Buffers are allocated inside the try so that a failure while
+    # allocating buffer k still disposes buffers 0..k-1 — a
+    # list-comprehension outside it would orphan those segments.
+    buffers: List[SharedResultBuffer] = []
     try:
+        for dt in dtypes:
+            buffers.append(SharedResultBuffer(count, dt))
         slots = [buffer.slot for buffer in buffers]
         chunks = chunk_indices(count, min(count, 4 * resolved))
         with ProcessPoolExecutor(
@@ -235,19 +295,26 @@ def run_scattered(run_job: JobFn, payloads: Sequence[object],
 
 def run_collected(run_job: JobFn, payloads: Sequence[object],
                   workers: Optional[int] = 1,
-                  shared: Sequence[object] = ()) -> list:
+                  shared: Sequence[object] = (),
+                  supervision=None) -> list:
     """Run one job per payload; collect Python results in order.
 
     Like :func:`run_scattered` but for jobs whose outputs are objects
     (enrollment produces keygens and helper data); results travel back
     through the future machinery instead of shared memory.  *shared*
     lists read-only payload constituents exempt from the in-process
-    defensive copy.
+    defensive copy.  *supervision* reroutes through the fault-tolerant
+    executor exactly as in :func:`run_scattered`.
     """
+    if supervision is not None:
+        from repro.fleet.resilience import run_supervised_collected
+        return run_supervised_collected(run_job, payloads, workers,
+                                        shared, supervision)
     count = len(payloads)
-    resolved = resolve_workers(workers)
+    resolved = resolve_workers(workers, count)
     if resolved == 1 or count <= 1:
         return _run_inprocess(run_job, payloads, shared)
+    _ensure_picklable(run_job, payloads)
     chunks = chunk_indices(count, min(count, 4 * resolved))
     results: list = [None] * count
     with ProcessPoolExecutor(max_workers=min(resolved, len(chunks)),

@@ -1,0 +1,685 @@
+"""Supervised, fault-tolerant execution of fleet sweep chunks.
+
+The plain pool in :mod:`repro.fleet.parallel` assumes every worker
+finishes: one crashed, hung or OOM-killed process aborts the whole
+sweep.  This module adds a **supervised** execution mode in which each
+dispatch chunk runs in its own watched child process under a
+:class:`RetryPolicy`:
+
+* a **watchdog** kills chunks that exceed ``chunk_timeout``;
+* failed chunks are **retried** with exponential backoff whose jitter
+  is seeded (schedules are reproducible run over run);
+* every failure is recorded in a structured taxonomy
+  (:class:`ChunkFailure`: ``crash`` / ``timeout`` / ``exception`` /
+  ``poison``, with the worker pid, attempt number and payload digest);
+* chunks that exhaust their retries are **quarantined** and re-executed
+  in-process (graceful degradation) before the sweep gives up;
+* chunks that fail even in-process are **poisoned**: the sweep raises
+  a :class:`PoisonedSweepError` carrying the full report — a
+  partial-result verdict, not an opaque traceback — or, with
+  ``allow_partial=True``, returns fill values for the poisoned
+  devices.
+
+Because all per-device randomness is derived in the parent before any
+dispatch (the :mod:`repro.fleet.parallel` seeding discipline), a retry
+re-executes a bitwise-identical computation — so a sweep that
+survived injected crashes, hangs and exceptions
+(:mod:`repro.fleet.faultinject`) returns results **bitwise-equal to
+the fault-free run**.  ``docs/resilience.md`` spells out the
+contract; the equivalence is pinned by
+``tests/fleet/test_resilience.py`` and the CI ``chaos-smoke`` job.
+
+Supervision implies process isolation (a fault cannot be survived
+in-process), so supervised payloads must be picklable for *every*
+worker count, including 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.fleet import faultinject
+
+#: Granularity of the supervisor's poll loop (seconds).  Bounds how
+#: late a watchdog kill or a backed-off relaunch can be; failure
+#: *semantics* never depend on it.
+_POLL_SECONDS = 0.05
+
+
+class PoisonedSweepError(RuntimeError):
+    """A sweep finished with chunks that failed every recovery path.
+
+    Raised instead of the poisoning chunk's opaque traceback: the
+    message is the structured verdict (how many chunks, which kinds,
+    the first detail line) and :attr:`report` carries the complete
+    failure taxonomy for programmatic use.
+    """
+
+    def __init__(self, report: "ResilienceReport") -> None:
+        self.report = report
+        poisoned = report.poison_failures
+        first = poisoned[0] if poisoned else None
+        detail = (f"; first: chunk {first.chunk} ({first.detail})"
+                  if first is not None else "")
+        super().__init__(
+            f"sweep poisoned: {len(report.poisoned)} of "
+            f"{report.chunks} chunk(s) failed all "
+            f"{report.policy.max_retries + 1} attempt(s) and the "
+            f"in-process quarantine retry [{report.describe_kinds()}]"
+            f"{detail}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout policy of one supervised sweep.
+
+    Parameters
+    ----------
+    max_retries:
+        Child-process re-executions granted to a failing chunk
+        beyond its first attempt (0 disables retry but keeps the
+        quarantine pass).
+    chunk_timeout:
+        Watchdog limit in seconds per chunk attempt; ``None``
+        disables the watchdog (hung workers then block the sweep,
+        exactly as they would unsupervised).
+    backoff_base / backoff_cap:
+        Exponential backoff: attempt *k* waits
+        ``min(cap, base * 2**k)`` seconds, scaled by seeded jitter.
+    jitter_seed:
+        Root of the deterministic jitter — same seed, same payloads,
+        same backoff schedule, every run.
+    allow_partial:
+        ``True`` returns fill values (zeros / ``None``) for poisoned
+        chunks instead of raising :class:`PoisonedSweepError`.
+    """
+
+    max_retries: int = 2
+    chunk_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter_seed: int = 0
+    allow_partial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be non-negative")
+
+    def backoff_delay(self, payload_digest: str,
+                      attempt: int) -> float:
+        """Seconds to wait before relaunching after *attempt* failed.
+
+        Exponential in *attempt*, with jitter in ``[0.5, 1.5)`` drawn
+        deterministically from ``(jitter_seed, payload digest,
+        attempt)`` — reproducible, yet de-synchronised across chunks.
+        """
+        material = (f"{self.jitter_seed}:{payload_digest}:"
+                    f"{int(attempt)}").encode("ascii")
+        word = int.from_bytes(
+            hashlib.sha256(material).digest()[:8], "little")
+        jitter = 0.5 + word / 2.0 ** 64
+        delay = min(self.backoff_cap,
+                    self.backoff_base * (2.0 ** int(attempt)))
+        return delay * jitter
+
+    def schedule(self, payload_digest: str) -> List[float]:
+        """The full reproducible backoff schedule for one chunk."""
+        return [self.backoff_delay(payload_digest, attempt)
+                for attempt in range(self.max_retries)]
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One recorded chunk failure (the structured taxonomy entry).
+
+    ``kind`` is ``crash`` (worker died without a message — killed,
+    segfaulted, OOMed), ``timeout`` (watchdog reclaimed a hung
+    worker), ``exception`` (the chunk body raised in-band) or
+    ``poison`` (the in-process quarantine retry failed too).
+    """
+
+    kind: str
+    chunk: int
+    attempt: int
+    pid: Optional[int]
+    payload_digest: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the CI artifact rows)."""
+        return {"kind": self.kind, "chunk": int(self.chunk),
+                "attempt": int(self.attempt), "pid": self.pid,
+                "payload_digest": self.payload_digest,
+                "detail": self.detail}
+
+
+@dataclass
+class ResilienceReport:
+    """Everything a supervised sweep observed about its failures."""
+
+    policy: RetryPolicy
+    chunks: int = 0
+    failures: List[ChunkFailure] = field(default_factory=list)
+    retried: int = 0
+    #: Chunks recovered by the in-process quarantine pass.
+    degraded: List[int] = field(default_factory=list)
+    #: Chunks that failed the quarantine pass too.
+    poisoned: List[int] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        """``clean`` / ``recovered`` / ``degraded`` / ``partial``."""
+        if self.poisoned:
+            return "partial"
+        if self.degraded:
+            return "degraded"
+        if self.failures:
+            return "recovered"
+        return "clean"
+
+    @property
+    def poison_failures(self) -> List[ChunkFailure]:
+        """The ``poison``-kind failure entries."""
+        return [failure for failure in self.failures
+                if failure.kind == "poison"]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Failure tally per taxonomy kind (insertion-ordered)."""
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.kind] = counts.get(failure.kind, 0) + 1
+        return counts
+
+    def describe_kinds(self) -> str:
+        """Compact ``kind x count`` summary, e.g. ``crash x2``."""
+        counts = self.counts_by_kind()
+        if not counts:
+            return "no failures"
+        return ", ".join(f"{kind} x{count}"
+                         for kind, count in sorted(counts.items()))
+
+    def summary(self) -> str:
+        """One human-readable line for CLI output."""
+        return (f"{self.verdict}: {len(self.failures)} failure(s) "
+                f"[{self.describe_kinds()}] over {self.chunks} "
+                f"chunk(s), {self.retried} retried, "
+                f"{len(self.degraded)} degraded in-process, "
+                f"{len(self.poisoned)} poisoned")
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable report (the CI chaos artifact)."""
+        return {
+            "verdict": self.verdict,
+            "chunks": int(self.chunks),
+            "retried": int(self.retried),
+            "degraded": [int(index) for index in self.degraded],
+            "poisoned": [int(index) for index in self.poisoned],
+            "counts": self.counts_by_kind(),
+            "failures": [failure.to_dict()
+                         for failure in self.failures],
+            "policy": {
+                "max_retries": self.policy.max_retries,
+                "chunk_timeout": self.policy.chunk_timeout,
+                "backoff_base": self.policy.backoff_base,
+                "backoff_cap": self.policy.backoff_cap,
+                "jitter_seed": self.policy.jitter_seed,
+                "allow_partial": self.policy.allow_partial,
+            },
+        }
+
+
+class Supervisor:
+    """Carries a :class:`RetryPolicy` into sweeps, collects reports.
+
+    Pass one as the ``supervision`` argument of
+    :func:`repro.fleet.parallel.run_scattered` /
+    :func:`~repro.fleet.parallel.run_collected` (or of the ``Fleet``
+    sweep methods, which thread it through).  Each supervised sweep
+    appends a fresh :class:`ResilienceReport`; one supervisor can
+    therefore account for a whole multi-sweep campaign.
+    """
+
+    def __init__(self, policy: Optional[RetryPolicy] = None) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.reports: List[ResilienceReport] = []
+
+    @property
+    def last_report(self) -> Optional[ResilienceReport]:
+        """The most recent sweep's report (``None`` before any)."""
+        return self.reports[-1] if self.reports else None
+
+    @property
+    def failures(self) -> List[ChunkFailure]:
+        """All failures observed across every supervised sweep."""
+        return [failure for report in self.reports
+                for failure in report.failures]
+
+    def new_report(self, chunks: int) -> ResilienceReport:
+        """Open the report for one supervised sweep."""
+        report = ResilienceReport(policy=self.policy, chunks=chunks)
+        self.reports.append(report)
+        return report
+
+    def summary_lines(self) -> List[str]:
+        """One summary line per supervised sweep."""
+        return [f"sweep {index}: {report.summary()}"
+                for index, report in enumerate(self.reports)]
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON artifact: per-sweep reports plus the global tally."""
+        kinds: Dict[str, int] = {}
+        for report in self.reports:
+            for kind, count in report.counts_by_kind().items():
+                kinds[kind] = kinds.get(kind, 0) + count
+        return {
+            "sweeps": len(self.reports),
+            "failures": sum(len(report.failures)
+                            for report in self.reports),
+            "counts": kinds,
+            "reports": [report.to_payload()
+                        for report in self.reports],
+        }
+
+    def write_report(self, path):
+        """Write :meth:`to_payload` as JSON; returns the path.
+
+        The CLI ``--failure-report`` artifact (CI ships it from the
+        chaos-smoke job).
+        """
+        import json
+        from pathlib import Path
+
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True)
+            + "\n", encoding="ascii")
+        return target
+
+
+# ----------------------------------------------------------------------
+# supervised child entrypoints (module level so every start method can
+# pickle them)
+
+
+def _send_outcome(conn, message: Tuple[str, object]) -> None:
+    """Best-effort result/error send; the parent survives a lost
+    pipe either way (it reads EOF as a crash)."""
+    try:
+        conn.send(message)
+    except Exception:  # pragma: no cover - torn pipe during shutdown
+        pass
+
+
+def _scattered_entry(conn, run_job, payloads, indices, slots,
+                     chunk: int, attempt: int) -> None:
+    """Child body: run one chunk, scatter outputs into shared memory.
+
+    This is the supervised worker entrypoint — the fault-injection
+    environment hook (:func:`repro.fleet.faultinject.active_spec`)
+    fires here, keyed on ``(chunk, attempt)``.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        tripwire = faultinject.entry_fire(
+            faultinject.active_spec(chunk, attempt))
+        segments = [shared_memory.SharedMemory(name=slot.name)
+                    for slot in slots]
+        try:
+            views = [np.ndarray((slot.length,), dtype=slot.dtype,
+                                buffer=segment.buf)
+                     for slot, segment in zip(slots, segments)]
+            try:
+                for index, payload in zip(indices, payloads):
+                    for view, value in zip(views, run_job(payload)):
+                        view[index] = value
+                    tripwire.step()
+            finally:
+                views.clear()
+                del views
+        finally:
+            for segment in segments:
+                try:
+                    segment.close()
+                except BufferError:  # pragma: no cover
+                    pass
+        _send_outcome(conn, ("ok", None))
+    except BaseException as error:
+        _send_outcome(conn,
+                      ("error", f"{type(error).__name__}: {error}"))
+    finally:
+        conn.close()
+
+
+def _collected_entry(conn, run_job, payloads, chunk: int,
+                     attempt: int) -> None:
+    """Child body: run one chunk, send results back by value."""
+    try:
+        tripwire = faultinject.entry_fire(
+            faultinject.active_spec(chunk, attempt))
+        results = []
+        for payload in payloads:
+            results.append(run_job(payload))
+            tripwire.step()
+        _send_outcome(conn, ("ok", results))
+    except BaseException as error:
+        _send_outcome(conn,
+                      ("error", f"{type(error).__name__}: {error}"))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# the supervisor loop
+
+
+@dataclass
+class _ChunkTask:
+    """Parent-side state of one chunk across its attempts."""
+
+    index: int
+    indices: List[int]
+    digest: str
+    attempt: int = 0
+    ready_at: float = 0.0
+
+
+@dataclass
+class _Active:
+    """One launched chunk attempt under watch."""
+
+    proc: object
+    conn: object
+    deadline: Optional[float]
+    task: _ChunkTask
+
+
+def payload_digest(payloads: Sequence[object]) -> str:
+    """Short stable digest identifying a chunk's payload content."""
+    digest = hashlib.sha256()
+    for payload in payloads:
+        digest.update(pickle.dumps(payload))
+    return digest.hexdigest()[:16]
+
+
+def _reap(entry: _Active) -> None:
+    """Join a finished/killed child and release its pipe end."""
+    entry.proc.join()
+    try:
+        entry.conn.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+
+
+def _supervise(tasks: List[_ChunkTask], policy: RetryPolicy,
+               width: int, report: ResilienceReport,
+               start: Callable[[_ChunkTask], Tuple[object, object]],
+               on_success: Callable[[_ChunkTask, object], None],
+               run_quarantined: Callable[[_ChunkTask], None]) -> None:
+    """Drive every chunk to success, quarantine, or poison.
+
+    *start* launches one watched child for a task and returns
+    ``(process, parent_conn)``; *on_success* consumes a child's
+    ``ok`` payload; *run_quarantined* re-executes a quarantined
+    chunk in the parent process (the graceful-degradation pass).
+    """
+    pending: List[_ChunkTask] = list(tasks)
+    active: Dict[int, _Active] = {}
+    quarantined: List[_ChunkTask] = []
+
+    while pending or active:
+        now = time.monotonic()
+        launchable = [task for task in pending
+                      if task.ready_at <= now]
+        while launchable and len(active) < width:
+            task = launchable.pop(0)
+            pending.remove(task)
+            proc, conn = start(task)
+            deadline = (now + policy.chunk_timeout
+                        if policy.chunk_timeout is not None else None)
+            active[task.index] = _Active(proc, conn, deadline, task)
+        if not active:
+            # Every remaining chunk is backing off; sleep to the
+            # earliest relaunch.
+            wake = min(task.ready_at for task in pending)
+            time.sleep(max(0.0, wake - time.monotonic()))
+            continue
+
+        timeout = _POLL_SECONDS
+        deadlines = [entry.deadline for entry in active.values()
+                     if entry.deadline is not None]
+        if deadlines:
+            timeout = min(timeout,
+                          max(0.0, min(deadlines) - time.monotonic()))
+        ready = connection.wait(
+            [entry.conn for entry in active.values()], timeout)
+
+        now = time.monotonic()
+        for index, entry in list(active.items()):
+            failure: Optional[Tuple[str, str]] = None
+            if entry.conn in ready:
+                try:
+                    message = entry.conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                _reap(entry)
+                if (isinstance(message, tuple) and len(message) == 2
+                        and message[0] == "ok"):
+                    on_success(entry.task, message[1])
+                    del active[index]
+                    continue
+                if message is None:
+                    code = entry.proc.exitcode
+                    failure = ("crash",
+                               f"worker died without a message "
+                               f"(exit code {code})")
+                else:
+                    failure = ("exception", str(message[1]))
+            elif entry.deadline is not None and now >= entry.deadline:
+                entry.proc.kill()
+                _reap(entry)
+                failure = ("timeout",
+                           f"chunk exceeded the "
+                           f"{policy.chunk_timeout:g}s watchdog")
+            if failure is None:
+                continue
+            del active[index]
+            kind, detail = failure
+            task = entry.task
+            report.failures.append(ChunkFailure(
+                kind=kind, chunk=task.index, attempt=task.attempt,
+                pid=entry.proc.pid, payload_digest=task.digest,
+                detail=detail))
+            if task.attempt < policy.max_retries:
+                delay = policy.backoff_delay(task.digest,
+                                             task.attempt)
+                task.attempt += 1
+                task.ready_at = time.monotonic() + delay
+                report.retried += 1
+                pending.append(task)
+            else:
+                quarantined.append(task)
+
+    # Graceful degradation: one in-process retry per quarantined
+    # chunk before the sweep admits defeat.  Only ``raise``-mode
+    # injected faults fire here (crash/hang would take the
+    # supervisor down), so genuinely poisonous chunks stay poisoned.
+    for task in sorted(quarantined, key=lambda item: item.index):
+        attempt = policy.max_retries + 1
+        try:
+            faultinject.fire(
+                faultinject.active_spec(task.index, attempt),
+                inprocess=True)
+            run_quarantined(task)
+            report.degraded.append(task.index)
+        except Exception as error:
+            report.failures.append(ChunkFailure(
+                kind="poison", chunk=task.index, attempt=attempt,
+                pid=None, payload_digest=task.digest,
+                detail=f"{type(error).__name__}: {error}"))
+            report.poisoned.append(task.index)
+
+    if report.poisoned and not policy.allow_partial:
+        raise PoisonedSweepError(report)
+
+
+def _build_tasks(payloads: Sequence[object],
+                 blocks: Sequence[np.ndarray]) -> List[_ChunkTask]:
+    """One parent-side task per dispatch chunk."""
+    return [
+        _ChunkTask(index=index, indices=[int(i) for i in block],
+                   digest=payload_digest(
+                       [payloads[int(i)] for i in block]))
+        for index, block in enumerate(blocks)]
+
+
+def run_supervised_scattered(run_job, payloads: Sequence[object],
+                             dtypes: Sequence,
+                             workers: Optional[int],
+                             shared: Sequence[object],
+                             supervisor: Supervisor
+                             ) -> Tuple[np.ndarray, ...]:
+    """Supervised twin of :func:`repro.fleet.parallel.run_scattered`.
+
+    Same contract — one scalar per dtype per payload, entry ``i``
+    from ``payloads[i]``, results bitwise-independent of *workers*
+    and of which attempts faulted — plus the recovery semantics of
+    the module docstring.  Poisoned chunks leave zeros in their
+    entries when the policy allows partial results.
+    """
+    from repro.fleet.parallel import (
+        SharedResultBuffer,
+        _ensure_picklable,
+        _pool_context,
+        _run_inprocess,
+        chunk_indices,
+        resolve_workers,
+    )
+
+    count = len(payloads)
+    resolved = resolve_workers(workers, count)
+    if count == 0:
+        supervisor.new_report(0)
+        return tuple(np.zeros(0, dtype=dt) for dt in dtypes)
+    _ensure_picklable(run_job, payloads)
+    blocks = chunk_indices(count, min(count, 4 * resolved))
+    report = supervisor.new_report(len(blocks))
+    tasks = _build_tasks(payloads, blocks)
+    ctx = _pool_context()
+
+    buffers: List[SharedResultBuffer] = []
+    try:
+        for dt in dtypes:
+            buffers.append(SharedResultBuffer(count, dt))
+        slots = [buffer.slot for buffer in buffers]
+
+        def start(task: _ChunkTask):
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_scattered_entry,
+                args=(send, run_job,
+                      [payloads[i] for i in task.indices],
+                      task.indices, slots, task.index, task.attempt),
+                daemon=True)
+            proc.start()
+            send.close()
+            return proc, recv
+
+        def on_success(task: _ChunkTask, payload: object) -> None:
+            pass  # the child already scattered into shared memory
+
+        def run_quarantined(task: _ChunkTask) -> None:
+            results = _run_inprocess(
+                run_job, [payloads[i] for i in task.indices], shared)
+            views = [buffer.view() for buffer in buffers]
+            try:
+                for index, values in zip(task.indices, results):
+                    for view, value in zip(views, values):
+                        view[index] = value
+            finally:
+                views.clear()
+                del views
+
+        _supervise(tasks, supervisor.policy,
+                   min(resolved, len(blocks)), report, start,
+                   on_success, run_quarantined)
+        return tuple(buffer.read() for buffer in buffers)
+    finally:
+        for buffer in buffers:
+            buffer.dispose()
+
+
+def run_supervised_collected(run_job, payloads: Sequence[object],
+                             workers: Optional[int],
+                             shared: Sequence[object],
+                             supervisor: Supervisor) -> list:
+    """Supervised twin of :func:`repro.fleet.parallel.run_collected`.
+
+    Results travel back over the watched child's pipe; poisoned
+    chunks leave ``None`` in their entries when the policy allows
+    partial results.
+    """
+    from repro.fleet.parallel import (
+        _ensure_picklable,
+        _pool_context,
+        _run_inprocess,
+        chunk_indices,
+        resolve_workers,
+    )
+
+    count = len(payloads)
+    resolved = resolve_workers(workers, count)
+    if count == 0:
+        supervisor.new_report(0)
+        return []
+    _ensure_picklable(run_job, payloads)
+    blocks = chunk_indices(count, min(count, 4 * resolved))
+    report = supervisor.new_report(len(blocks))
+    tasks = _build_tasks(payloads, blocks)
+    ctx = _pool_context()
+    results: list = [None] * count
+
+    def start(task: _ChunkTask):
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_collected_entry,
+            args=(send, run_job,
+                  [payloads[i] for i in task.indices],
+                  task.index, task.attempt),
+            daemon=True)
+        proc.start()
+        send.close()
+        return proc, recv
+
+    def on_success(task: _ChunkTask, payload: object) -> None:
+        for index, value in zip(task.indices, payload):
+            results[index] = value
+
+    def run_quarantined(task: _ChunkTask) -> None:
+        values = _run_inprocess(
+            run_job, [payloads[i] for i in task.indices], shared)
+        for index, value in zip(task.indices, values):
+            results[index] = value
+
+    _supervise(tasks, supervisor.policy, min(resolved, len(blocks)),
+               report, start, on_success, run_quarantined)
+    return results

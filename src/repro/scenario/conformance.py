@@ -24,7 +24,7 @@ import json
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.scenario.corpus import (
     CORPUS_SCHEMA_VERSION,
@@ -130,6 +130,9 @@ class ConformanceReport:
 
     seed: int
     checks: List[CaseCheck] = field(default_factory=list)
+    #: Case ids skipped by checkpoint/resume (already recorded for
+    #: this run key in the warehouse store).
+    skipped: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -166,6 +169,7 @@ class ConformanceReport:
             "schema_version": CORPUS_SCHEMA_VERSION,
             "seed": int(self.seed),
             "ok": bool(self.ok),
+            "skipped": list(self.skipped),
             "cells": [
                 {
                     "case": check.entry.case.to_dict(),
@@ -210,16 +214,39 @@ def check_entry(entry: CorpusEntry, seed: int,
 
 def run_conformance(directory, quick: bool = False,
                     check_reproducible: bool = False,
-                    progress: Optional[Callable[[str], None]] = None
+                    progress: Optional[Callable[[str], None]] = None,
+                    skip: Optional[Sequence[str]] = None,
+                    stop_after: Optional[int] = None,
+                    on_check: Optional[
+                        Callable[[CaseCheck], None]] = None
                     ) -> ConformanceReport:
-    """Check (the quick slice of) the committed corpus."""
+    """Check (the quick slice of) the committed corpus.
+
+    *skip* lists case ids to leave out (checkpoint/resume: cases
+    already recorded in the warehouse store for this run key); they
+    appear in the report's ``skipped`` list.  *stop_after* ends the
+    run after that many executed cases — the deterministic
+    interruption used to test resume.  *on_check* receives each
+    verdict as soon as its case finishes (the incremental-append
+    checkpoint hook).
+    """
     seed, entries = load_corpus(directory)
     if quick:
         entries = [entry for entry in entries if entry.case.quick]
+    skipped = frozenset(skip) if skip is not None else frozenset()
     report = ConformanceReport(seed)
+    executed = 0
     for entry in entries:
+        if entry.case.case_id in skipped:
+            report.skipped.append(entry.case.case_id)
+            continue
+        if stop_after is not None and executed >= stop_after:
+            break
         check = check_entry(entry, seed, check_reproducible)
         report.checks.append(check)
+        executed += 1
+        if on_check is not None:
+            on_check(check)
         if progress is not None:
             for line in ConformanceReport(
                     seed, [check]).lines():
@@ -231,22 +258,36 @@ def _timestamp() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
-def conformance_config(report: ConformanceReport,
-                       quick: bool) -> Dict[str, object]:
-    """The configuration dict whose hash keys the run's records."""
+def corpus_config(seed: int, case_ids: Sequence[str],
+                  quick: bool) -> Dict[str, object]:
+    """The configuration dict whose hash keys a run's records.
+
+    *case_ids* must list the **full** (quick-sliced) corpus, not just
+    the cases a particular run executed: an interrupted run and its
+    ``--resume`` completion then share the hash, which is what lets
+    resume find the checkpointed records.
+    """
     return {
         "schema_version": SCHEMA_VERSION,
         "corpus_schema": CORPUS_SCHEMA_VERSION,
         "profile": "quick" if quick else "full",
-        "seed": int(report.seed),
-        "cells": [check.entry.case.case_id
-                  for check in report.checks],
+        "seed": int(seed),
+        "cells": list(case_ids),
     }
 
 
-def warehouse_records(report: ConformanceReport, commit: str,
-                      quick: bool) -> List[Dict[str, object]]:
-    """Condense a conformance run into warehouse store records.
+def conformance_config(report: ConformanceReport,
+                       quick: bool) -> Dict[str, object]:
+    """Run-key configuration derived from a completed report."""
+    return corpus_config(
+        report.seed,
+        [check.entry.case.case_id for check in report.checks],
+        quick)
+
+
+def case_record(check: CaseCheck, seed: int, commit: str,
+                cfg: str, quick: bool) -> Dict[str, object]:
+    """One case verdict as a warehouse store record.
 
     Cells are namespaced ``scenario/<case id>`` so they live beside
     the attack-matrix cells without colliding; the security layer
@@ -254,45 +295,58 @@ def warehouse_records(report: ConformanceReport, commit: str,
     key-regeneration success rate for failure cells) so the
     longitudinal trajectory renders scenario envelopes unchanged.
     """
-    cfg = config_hash(conformance_config(report, quick))
-    records: List[Dict[str, object]] = []
-    for check in report.checks:
-        case = check.entry.case
-        observed = check.result.observed
-        if case.kind == "failure":
-            recovery = 1.0 - float(observed["failure_rate_mean"])
-            queries_mean = float(case.trials)
-        else:
-            recovery = float(observed["recovery_rate"])
-            queries_mean = float(observed["queries_mean"])
-        records.append({
-            "schema_version": SCHEMA_VERSION,
-            "commit": str(commit),
-            "config_hash": cfg,
-            "cell": f"scenario/{case.case_id}",
-            "scheme": case.scheme,
-            "attack": case.kind,
-            "countermeasure": "none",
-            "variant": case.family,
-            "status": "ok" if check.ok else "out-of-band",
-            "reason": "; ".join(check.violations),
-            "engine": "trajectory",
-            "config": dict(case.to_dict(), seed=int(report.seed)),
-            "security": {
-                "devices": int(case.devices),
-                "recovery_rate": recovery,
-                "queries_mean": queries_mean,
-                "observed": dict(observed),
-                "outcome_fingerprint": check.result.fingerprint,
-            },
-            "perf": {
-                "attack_seconds": float(check.result.seconds),
-                "kernel_seconds": 0.0,
-                "kernel_calls": 0,
-            },
-            "meta": {"created": _timestamp()},
-        })
-    return records
+    case = check.entry.case
+    observed = check.result.observed
+    if case.kind == "failure":
+        recovery = 1.0 - float(observed["failure_rate_mean"])
+        queries_mean = float(case.trials)
+    else:
+        recovery = float(observed["recovery_rate"])
+        queries_mean = float(observed["queries_mean"])
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "commit": str(commit),
+        "config_hash": str(cfg),
+        "cell": f"scenario/{case.case_id}",
+        "scheme": case.scheme,
+        "attack": case.kind,
+        "countermeasure": "none",
+        "variant": case.family,
+        "status": "ok" if check.ok else "out-of-band",
+        "reason": "; ".join(check.violations),
+        "engine": "trajectory",
+        "config": dict(case.to_dict(), seed=int(seed)),
+        "security": {
+            "devices": int(case.devices),
+            "recovery_rate": recovery,
+            "queries_mean": queries_mean,
+            "observed": dict(observed),
+            "outcome_fingerprint": check.result.fingerprint,
+        },
+        "perf": {
+            "attack_seconds": float(check.result.seconds),
+            "kernel_seconds": 0.0,
+            "kernel_calls": 0,
+        },
+        "meta": {"created": _timestamp()},
+    }
+
+
+def warehouse_records(report: ConformanceReport, commit: str,
+                      quick: bool,
+                      cfg: Optional[str] = None
+                      ) -> List[Dict[str, object]]:
+    """Condense a conformance run into warehouse store records.
+
+    *cfg* overrides the configuration hash — resumable runs pass the
+    full-corpus hash (:func:`corpus_config`) so partial runs key
+    identically; without it the hash derives from the report's own
+    case list (a complete, non-resumed run).
+    """
+    if cfg is None:
+        cfg = config_hash(conformance_config(report, quick))
+    return [case_record(check, report.seed, commit, cfg, quick)
+            for check in report.checks]
 
 
 def summary_entry(records: List[Dict[str, object]], commit: str,

@@ -3,9 +3,24 @@
 Wires the warehouse subsystem into the top-level CLI::
 
     repro warehouse run [--quick] [--store PATH] [--summary PATH]
-    repro warehouse verify --store PATH
+                        [--resume] [--stop-after N] [--workers N]
+                        [--max-retries N] [--chunk-timeout S]
+    repro warehouse verify --store PATH [--matrix quick|full]
+                           [--commit SHA] [--once]
     repro warehouse diff BASE CURRENT --store PATH
     repro warehouse trajectory [BENCH_*.json ...]
+
+``run`` checkpoints: every cell record is appended to the store the
+moment its cell finishes, so a killed run resumes with ``--resume``
+(cells already recorded for this ``(commit, config_hash, schema)``
+are skipped; the configuration hash covers the *full* matrix, so the
+resumed records land under the same key).  ``--stop-after N`` is the
+deterministic interruption used by tests and the CI chaos-smoke job.
+
+``verify`` exit codes are disjoint so CI can assert on them: 0 ok,
+1 identity mismatch between same-key records, 2 missing store or
+unusable invocation, 3 store missing cells of the requested matrix,
+4 duplicate records where ``--once`` demanded single-shot cells.
 
 Kept separate from :mod:`repro.cli` so the argument surface and the
 handlers live next to the subsystem they drive; the top-level parser
@@ -15,10 +30,11 @@ only delegates.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.warehouse.diff import diff_matrices
 from repro.warehouse.matrix import (
@@ -26,10 +42,14 @@ from repro.warehouse.matrix import (
     quick_matrix,
     select_cells,
 )
-from repro.warehouse.runner import run_matrix
+from repro.warehouse.runner import (
+    matrix_config,
+    run_matrix,
+)
 from repro.warehouse.store import (
     WarehouseStore,
     canonical_json,
+    config_hash,
     record_identity,
 )
 from repro.warehouse.summary import append_entry, build_entry
@@ -85,10 +105,53 @@ def add_warehouse_parser(sub: argparse._SubParsersAction) -> None:
     run.add_argument("--check-reproducible", action="store_true",
                      help="run the matrix twice and fail unless "
                           "record identities match bitwise")
+    run.add_argument("--resume", action="store_true",
+                     help="skip cells already recorded for this "
+                          "(commit, config, schema) in the store")
+    run.add_argument("--stop-after", type=int, default=None,
+                     metavar="N",
+                     help="checkpoint and stop after N executed "
+                          "cells (exit 3; rerun with --resume)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="process-pool width for the attack "
+                          "campaigns (0/None = all CPUs)")
+    run.add_argument("--max-retries", type=int, default=None,
+                     metavar="N",
+                     help="run campaigns supervised: retry failed "
+                          "chunks up to N times")
+    run.add_argument("--chunk-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="supervised watchdog timeout per campaign "
+                          "chunk (implies supervision)")
+    run.add_argument("--failure-report", default=None, metavar="PATH",
+                     help="write the supervised failure-taxonomy "
+                          "report (JSON) here")
 
     verify = wsub.add_parser(
         "verify", help="assert same-key records agree bitwise")
     verify.add_argument("--store", default=DEFAULT_STORE)
+    verify.add_argument("--matrix", choices=("quick", "full"),
+                        default=None,
+                        help="also require every cell of this "
+                             "matrix to be recorded (exit 3 when "
+                             "cells are missing)")
+    verify.add_argument("--cells", default=None, metavar="PATTERN",
+                        help="fnmatch filter on the --matrix cells")
+    verify.add_argument("--commit", default=None,
+                        help="commit key for --matrix/--once "
+                             "(default: $GITHUB_SHA or git "
+                             "rev-parse HEAD)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="seed of the run to check "
+                             "(--matrix key)")
+    verify.add_argument("--devices", type=int, default=None,
+                        help="fleet size of the run to check "
+                             "(--matrix key; default 2 quick / "
+                             "4 full)")
+    verify.add_argument("--once", action="store_true",
+                        help="fail (exit 4) when any --matrix cell "
+                             "is recorded more than once — the "
+                             "no-duplicates gate for resumed runs")
 
     diff = wsub.add_parser(
         "diff", help="compare two commits' matrices cell by cell")
@@ -127,6 +190,31 @@ def run_warehouse(args: argparse.Namespace) -> int:
     return handler(args)
 
 
+def _build_supervision(args: argparse.Namespace):
+    """A :class:`~repro.fleet.resilience.Supervisor` when any
+    resilience knob was set, else ``None`` (plain execution)."""
+    if args.max_retries is None and args.chunk_timeout is None:
+        return None
+    from repro.fleet.resilience import RetryPolicy, Supervisor
+    retries = 2 if args.max_retries is None else args.max_retries
+    return Supervisor(RetryPolicy(max_retries=retries,
+                                  chunk_timeout=args.chunk_timeout))
+
+
+def _write_failure_report(path: str, supervision) -> None:
+    """Persist the failure-taxonomy artifact for CI."""
+    payload = (supervision.to_payload() if supervision is not None
+               else {"sweeps": 0, "failures": 0, "counts": {},
+                     "reports": []})
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n", encoding="ascii")
+    print(f"failure report ({payload['failures']} failure(s) over "
+          f"{payload['sweeps']} supervised sweep(s)) written to "
+          f"{target}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     profile = "quick" if args.quick else "full"
     cells = select_cells(quick_matrix() if args.quick
@@ -138,14 +226,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else (2 if args.quick else 4)
     commit = args.commit if args.commit is not None \
         else detect_commit()
+    cfg = config_hash(matrix_config(cells, profile, args.seed,
+                                    devices))
+    store = WarehouseStore(args.store)
+    skip: List[str] = []
+    if args.resume:
+        done = store.recorded_cells(commit, cfg)
+        skip = [cell.cell_id for cell in cells
+                if cell.cell_id in done]
     print(f"warehouse run: profile={profile} seed={args.seed} "
-          f"devices={devices} commit={commit[:12]} "
-          f"({len(cells)} cells)")
-    records = run_matrix(cells, profile, args.seed, devices, commit,
-                         progress=print)
+          f"devices={devices} commit={commit[:12]} config={cfg} "
+          f"({len(cells)} cells"
+          + (f", {len(skip)} already recorded" if args.resume
+             else "") + ")")
+    supervision = _build_supervision(args)
+    # Checkpoint discipline: append each record the moment its cell
+    # finishes, so a killed run loses at most the in-flight cell and
+    # --resume picks up from the store.
+    records: List[Dict[str, object]] = []
+
+    def _checkpoint(record: Dict[str, object]) -> None:
+        store.append([record])
+        records.append(record)
+
+    run_matrix(cells, profile, args.seed, devices, commit,
+               progress=print, skip=skip, on_record=_checkpoint,
+               stop_after=args.stop_after, workers=args.workers,
+               supervision=supervision)
+    if supervision is not None and supervision.failures:
+        for line in supervision.summary_lines():
+            print(f"  supervised {line}")
+    if args.failure_report:
+        _write_failure_report(args.failure_report, supervision)
+    print(f"appended {len(records)} records to {store.path} "
+          f"(config {cfg})")
+    interrupted = (args.stop_after is not None
+                   and len(skip) + len(records) < len(cells))
+    if interrupted:
+        print(f"warehouse run: stopped after {len(records)} cell(s) "
+              f"as requested - checkpoint saved, rerun with "
+              f"--resume to complete the matrix")
+        return 3
     if args.check_reproducible:
         replay = run_matrix(cells, profile, args.seed, devices,
-                            commit)
+                            commit, skip=skip, workers=args.workers,
+                            supervision=supervision)
         drifted = [
             str(first["cell"])
             for first, second in zip(records, replay)
@@ -158,20 +283,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 1
         print("warehouse run: reproducibility check ok "
               "(two same-seed runs, identical record identities)")
-    store = WarehouseStore(args.store)
-    appended = store.append(records)
-    by_status = {status: sum(1 for r in records
+    # Status tally and summary cover the whole matrix: on a resumed
+    # run that means this run's records plus the checkpointed ones.
+    stored = store.matrix(commit, cfg)
+    full_records = [stored[cell.cell_id] for cell in cells
+                    if cell.cell_id in stored]
+    by_status = {status: sum(1 for r in full_records
                              if r["status"] == status)
                  for status in ("ok", "n/a", "error")}
-    print(f"appended {appended} records to {store.path} "
-          f"(config {records[0]['config_hash']}, "
-          f"{by_status['ok']} ok / {by_status['n/a']} n/a / "
-          f"{by_status['error']} error)")
-    for record in records:
+    print(f"matrix complete: {by_status['ok']} ok / "
+          f"{by_status['n/a']} n/a / {by_status['error']} error")
+    for record in full_records:
         if record["status"] == "error":
             print(f"  ERROR {record['cell']}: {record['reason']}")
     if args.summary:
-        entry = build_entry(records, commit, profile)
+        entry = build_entry(full_records, commit, profile)
         payload = append_entry(args.summary, entry)
         print(f"summary entry #{payload['history'][-1]['sequence']} "
               f"appended to {args.summary}")
@@ -181,17 +307,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     store = WarehouseStore(args.store)
     if not store.path.exists():
-        print(f"warehouse verify: no store at {store.path}")
+        print(f"warehouse verify: FAIL (missing store) - no store "
+              f"at {store.path}")
+        return 2
+    if args.once and args.matrix is None:
+        print("warehouse verify: FAIL (usage) - --once needs "
+              "--matrix to know which cells must be single-shot")
         return 2
     problems = store.verify_reproducible()
     if problems:
         for problem in problems:
             print(f"  {problem}")
-        print(f"warehouse verify: {len(problems)} key(s) with "
-              f"non-reproducible records")
+        print(f"warehouse verify: FAIL (identity mismatch) - "
+              f"{len(problems)} key(s) with non-reproducible "
+              f"records")
         return 1
+    if args.matrix is not None:
+        quick = args.matrix == "quick"
+        cells = select_cells(quick_matrix() if quick
+                             else full_matrix(), args.cells)
+        devices = args.devices if args.devices is not None \
+            else (2 if quick else 4)
+        commit = args.commit if args.commit is not None \
+            else detect_commit()
+        cfg = config_hash(matrix_config(
+            cells, "quick" if quick else "full", args.seed, devices))
+        counts = store.recorded_cells(commit, cfg)
+        missing = [cell.cell_id for cell in cells
+                   if cell.cell_id not in counts]
+        if missing:
+            print(f"warehouse verify: FAIL (store missing cells) - "
+                  f"{len(missing)} of {len(cells)} {args.matrix} "
+                  f"cells absent for commit {commit[:12]} config "
+                  f"{cfg}: {', '.join(missing[:4])}"
+                  + (" ..." if len(missing) > 4 else ""))
+            return 3
+        if args.once:
+            duplicates = [cell.cell_id for cell in cells
+                          if counts.get(cell.cell_id, 0) > 1]
+            if duplicates:
+                print(f"warehouse verify: FAIL (duplicate records) "
+                      f"- {len(duplicates)} cell(s) recorded more "
+                      f"than once for commit {commit[:12]} config "
+                      f"{cfg}: {', '.join(duplicates[:4])}"
+                      + (" ..." if len(duplicates) > 4 else ""))
+                return 4
     print(f"warehouse verify: ok - every re-recorded key in "
-          f"{store.path} is bitwise-reproducible")
+          f"{store.path} is bitwise-reproducible"
+          + (f", all {args.matrix} cells recorded"
+             + (" exactly once" if args.once else "")
+             if args.matrix is not None else ""))
     return 0
 
 

@@ -197,8 +197,16 @@ def matrix_config(cells: Sequence[MatrixCell], profile: str,
 
 
 def run_cell(cell: MatrixCell, devices: int, seed: int, commit: str,
-             cfg_hash: str, profile: str) -> Dict[str, object]:
-    """Execute one cell and return its warehouse record."""
+             cfg_hash: str, profile: str,
+             workers: Optional[int] = 1,
+             supervision=None) -> Dict[str, object]:
+    """Execute one cell and return its warehouse record.
+
+    *workers* / *supervision* thread through to the attack campaign
+    (:meth:`repro.fleet.fleet.Fleet.attack_results`); both leave the
+    record identity bitwise-unchanged — the fleet engines guarantee
+    worker-count invariance and fault-retry equivalence.
+    """
     record: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "commit": str(commit),
@@ -218,7 +226,8 @@ def run_cell(cell: MatrixCell, devices: int, seed: int, commit: str,
                       security=None, perf=None)
         return record
     try:
-        body = _run_runnable(cell, devices, seed)
+        body = _run_runnable(cell, devices, seed, workers=workers,
+                             supervision=supervision)
     except Exception as error:  # defensive: record, don't abort runs
         record.update(status="error",
                       reason=f"{type(error).__name__}: {error}",
@@ -228,8 +237,9 @@ def run_cell(cell: MatrixCell, devices: int, seed: int, commit: str,
     return record
 
 
-def _run_runnable(cell: MatrixCell, devices: int,
-                  seed: int) -> Dict[str, object]:
+def _run_runnable(cell: MatrixCell, devices: int, seed: int,
+                  workers: Optional[int] = 1,
+                  supervision=None) -> Dict[str, object]:
     """The fleet-scale body of :func:`run_cell` for runnable cells."""
     root = np.random.default_rng(
         np.random.SeedSequence(cell.seed_material(seed)))
@@ -250,7 +260,9 @@ def _run_runnable(cell: MatrixCell, devices: int,
                      kernel_stats.seconds)
     start = time.perf_counter()
     results = fleet.attack_results(enrollment, _attack_factory(cell),
-                                   lockstep=lockstep)
+                                   lockstep=lockstep,
+                                   workers=workers,
+                                   supervision=supervision)
     attack_seconds = time.perf_counter() - start
     kernel_calls = kernel_stats.calls - kernel_before[0]
     kernel_rows = kernel_stats.rows - kernel_before[1]
@@ -291,21 +303,46 @@ def _run_runnable(cell: MatrixCell, devices: int,
 
 def run_matrix(cells: Sequence[MatrixCell], profile: str, seed: int,
                devices: int, commit: str,
-               progress: Optional[Callable[[str], None]] = None
-               ) -> List[Dict[str, object]]:
-    """Execute a matrix; returns one record per cell, in cell order.
+               progress: Optional[Callable[[str], None]] = None,
+               skip: Optional[Sequence[str]] = None,
+               on_record: Optional[
+                   Callable[[Dict[str, object]], None]] = None,
+               stop_after: Optional[int] = None,
+               workers: Optional[int] = 1,
+               supervision=None) -> List[Dict[str, object]]:
+    """Execute a matrix; returns one record per executed cell.
 
     Every record of the run shares the same ``(commit, config_hash,
-    schema_version)`` key prefix; *progress* (if given) receives one
-    line per completed cell for live CLI output.
+    schema_version)`` key prefix.  The configuration hash is computed
+    over the **full** *cells* list before any skipping, so a resumed
+    run (``skip=`` the already-recorded cell ids) produces records
+    under the same key as the interrupted one.
+
+    *progress* (if given) receives one line per completed cell for
+    live CLI output; *on_record* receives each record as soon as its
+    cell finishes — the checkpoint hook that makes a mid-matrix kill
+    resumable when the callback appends to the store incrementally.
+    *stop_after* aborts the run after that many executed cells (the
+    deterministic interruption used to test resume).  *workers* /
+    *supervision* pass through to :func:`run_cell`.
     """
     cfg_hash = config_hash(matrix_config(cells, profile, seed,
                                          devices))
+    skipped = frozenset(skip) if skip is not None else frozenset()
     records: List[Dict[str, object]] = []
+    executed = 0
     for cell in cells:
+        if cell.cell_id in skipped:
+            continue
+        if stop_after is not None and executed >= stop_after:
+            break
         record = run_cell(cell, devices, seed, commit, cfg_hash,
-                          profile)
+                          profile, workers=workers,
+                          supervision=supervision)
         records.append(record)
+        executed += 1
+        if on_record is not None:
+            on_record(record)
         if progress is not None and record["status"] == "ok":
             security = record["security"]
             progress(

@@ -215,6 +215,31 @@ class WarehouseStore:
             cells[str(record["cell"])] = record
         return cells
 
+    def recorded_cells(self, commit: str,
+                       config: Optional[str] = None,
+                       schema: int = SCHEMA_VERSION
+                       ) -> Dict[str, int]:
+        """Cells already recorded for a run key, with record counts.
+
+        The checkpoint/resume lookup: ``repro warehouse run
+        --resume`` consults this map and skips every cell already
+        recorded for ``(commit, config_hash, schema_version)``.  The
+        counts let duplicate detection (``verify --once``) ride on
+        the same scan.
+        """
+        cells: Dict[str, int] = {}
+        for record in self.records():
+            if str(record["commit"]) != commit:
+                continue
+            if config is not None \
+                    and str(record["config_hash"]) != config:
+                continue
+            if int(record["schema_version"]) != int(schema):
+                continue
+            cell = str(record["cell"])
+            cells[cell] = cells.get(cell, 0) + 1
+        return cells
+
     def verify_reproducible(self) -> List[str]:
         """Check that same-key records carry identical identities.
 

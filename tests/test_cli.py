@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -155,3 +157,170 @@ class TestWarehouse:
                      "no-such/*", "--store",
                      str(tmp_path / "s.jsonl"), "--commit", "c1"]) == 2
         assert "no cells match" in capsys.readouterr().out
+
+
+class TestWarehouseResume:
+    """Checkpoint/resume and the disjoint verify exit codes."""
+
+    PATTERN = "sequential/*"  # 10 quick cells, 2 runnable
+
+    def run_slice(self, store, commit, extra=()):
+        return main(["warehouse", "run", "--quick", "--cells",
+                     self.PATTERN, "--store", str(store), "--commit",
+                     commit, "--seed", "0", *extra])
+
+    def verify_slice(self, store, commit, extra=()):
+        return main(["warehouse", "verify", "--store", str(store),
+                     "--matrix", "quick", "--cells", self.PATTERN,
+                     "--commit", commit, "--seed", "0", *extra])
+
+    def test_interrupt_then_resume_completes_once(self, tmp_path,
+                                                  capsys):
+        store = tmp_path / "results.jsonl"
+        assert self.run_slice(store, "c1",
+                              extra=["--stop-after", "2"]) == 3
+        out = capsys.readouterr().out
+        assert "appended 2 records" in out
+        assert "rerun with --resume" in out
+        # The store is incomplete for the slice: verify says so with
+        # its dedicated exit code.
+        assert self.verify_slice(store, "c1") == 3
+        assert "FAIL (store missing cells)" in capsys.readouterr().out
+        # Resume completes the matrix under the same config hash...
+        assert self.run_slice(store, "c1", extra=["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 already recorded" in out
+        assert "appended 8 records" in out
+        assert "matrix complete:" in out
+        # ...with every cell recorded exactly once.
+        assert self.verify_slice(store, "c1", extra=["--once"]) == 0
+        assert "exactly once" in capsys.readouterr().out
+
+    def test_resume_of_complete_run_executes_nothing(self, tmp_path,
+                                                     capsys):
+        store = tmp_path / "results.jsonl"
+        assert self.run_slice(store, "c1") == 0
+        capsys.readouterr()
+        assert self.run_slice(store, "c1", extra=["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "10 already recorded" in out
+        assert "appended 0 records" in out
+
+    def test_verify_once_flags_duplicates(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        assert self.run_slice(store, "c1") == 0
+        # A second full run (no --resume) appends duplicate records:
+        # legal for the identity check, fatal for --once.
+        assert self.run_slice(store, "c1") == 0
+        capsys.readouterr()
+        assert self.verify_slice(store, "c1") == 0
+        assert self.verify_slice(store, "c1", extra=["--once"]) == 4
+        assert "FAIL (duplicate records)" in capsys.readouterr().out
+
+    def test_verify_usage_and_missing_store(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["warehouse", "verify", "--store",
+                     str(missing)]) == 2
+        assert "FAIL (missing store)" in capsys.readouterr().out
+        store = tmp_path / "results.jsonl"
+        assert self.run_slice(store, "c1",
+                              extra=["--stop-after", "1"]) == 3
+        capsys.readouterr()
+        assert main(["warehouse", "verify", "--store", str(store),
+                     "--once"]) == 2
+        assert "FAIL (usage)" in capsys.readouterr().out
+
+    def test_verify_identity_mismatch(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        assert self.run_slice(store, "c1",
+                              extra=["--stop-after", "1"]) == 3
+        capsys.readouterr()
+        # Re-append the first record with a tampered security layer:
+        # same key, different identity.
+        lines = store.read_text().strip().splitlines()
+        record = json.loads(lines[0])
+        record["security"] = {"tampered": True}
+        with store.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        assert main(["warehouse", "verify", "--store",
+                     str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL (identity mismatch)" in out
+        assert "identity drifted" in out
+
+
+class TestScenarioConformanceResume:
+    def conformance(self, store, extra=()):
+        return main(["scenario", "conformance", "--quick", "--store",
+                     str(store), "--commit", "c1", *extra])
+
+    def test_interrupt_then_resume(self, tmp_path, capsys):
+        store = tmp_path / "conformance.jsonl"
+        assert self.conformance(store, ["--stop-after", "1"]) == 3
+        out = capsys.readouterr().out
+        assert "appended 1 records" in out
+        assert "rerun with --resume" in out
+        assert self.conformance(store, ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1 already recorded" in out
+        assert "every cell in its pass-band" in out
+        # A second resume finds everything recorded and re-runs
+        # nothing.
+        assert self.conformance(store, ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "appended" not in out
+
+    def test_resume_requires_store(self, capsys):
+        assert main(["scenario", "conformance", "--quick",
+                     "--resume"]) == 2
+        assert "--resume needs --store" in capsys.readouterr().out
+
+
+class TestFleetSupervised:
+    PLAN = ('{"seed":1,"faults":[{"chunk":0,"mode":"crash",'
+            '"attempts":[0]}]}')
+
+    def test_supervised_sweep_recovers_and_reproduces(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", self.PLAN)
+        report = tmp_path / "failures.json"
+        assert main(["fleet", "--devices", "3", "--trials", "20",
+                     "--seed", "5", "--workers", "2",
+                     "--max-retries", "2", "--failure-report",
+                     str(report), "--check-reproducible"]) == 0
+        out = capsys.readouterr().out
+        assert "supervised sweep" in out
+        assert "recovered" in out
+        assert "reproducibility" in out and "ok" in out
+        payload = json.loads(report.read_text())
+        assert payload["failures"] >= 1
+        assert "crash" in payload["counts"]
+
+    def test_supervised_attack_campaign_reproduces(
+            self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", self.PLAN)
+        assert main(["fleet", "--devices", "2", "--attack",
+                     "sequential", "--seed", "3", "--workers", "2",
+                     "--max-retries", "1",
+                     "--check-reproducible"]) == 0
+        out = capsys.readouterr().out
+        assert "supervised sweep" in out
+        assert "reproducibility" in out
+
+    def test_unsupervised_fleet_ignores_plan(self, capsys,
+                                             monkeypatch):
+        # Without a supervision knob the plain pool runs and never
+        # consults the fault plan: same report as the clean run.
+        base = ["fleet", "--devices", "3", "--trials", "20",
+                "--seed", "5", "--workers", "2"]
+        assert main(base) == 0
+        clean = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_FAULT_PLAN", self.PLAN)
+        assert main(base) == 0
+        faulted = capsys.readouterr().out
+
+        def stats(report):
+            return [line for line in report.splitlines()
+                    if "time" not in line]
+
+        assert stats(clean) == stats(faulted)
