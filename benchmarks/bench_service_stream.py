@@ -1,0 +1,88 @@
+"""Service streaming latency: time-to-first-chunk vs full collect.
+
+The distributed campaign service (``docs/service.md``) streams shard
+results as they complete, so a consumer sees its first failure-rate
+block long before the sweep finishes.  This bench runs one failure
+sweep three ways on the same seeded population:
+
+* **single-host** — the plain ``Fleet.failure_rates`` call;
+* **streamed** — ``submit_sweep`` over sharded workers, recording the
+  wall-clock time until the *first* ``ShardResult`` lands;
+* **collect** — draining the same handle to the merged array.
+
+The merged stream must be **bitwise-identical** to the single-host
+sweep — asserted in-bench before any timing is reported (the service
+contract: shards, workers and transport are pure execution knobs).
+The regression canary requires the first chunk to land no later than
+the full collect does.
+"""
+
+import time
+
+import numpy as np
+
+from _report import record, table
+
+from repro._rng import spawn
+from repro.fleet import Fleet
+from repro.keygen import SequentialPairingKeyGen
+from repro.puf import ROArrayParams
+from repro.service import KIND_FAILURE, PopulationSpec, submit_sweep
+
+PARAMS = ROArrayParams(rows=8, cols=16, sigma_noise=150e3)
+SEED = 13
+
+DEVICES, TRIALS, SHARDS = 12, 400, 4
+QUICK_DEVICES, QUICK_TRIALS, QUICK_SHARDS = 4, 80, 2
+
+
+def keygen_factory():
+    return SequentialPairingKeyGen(threshold=300e3)
+
+
+def run_stream_comparison(devices, trials, shards):
+    """Single-host vs streamed sweep on one seeded population."""
+    manufacture_rng, enroll_rng = spawn(SEED, 2)
+    fleet = Fleet(PARAMS, size=devices, seed=manufacture_rng)
+    enrollment = fleet.enroll(keygen_factory, seed=enroll_rng)
+    start = time.perf_counter()
+    reference = fleet.failure_rates(enrollment, trials=trials)
+    single_host = time.perf_counter() - start
+
+    population = PopulationSpec(params=PARAMS, devices=devices,
+                                seed=SEED)
+    start = time.perf_counter()
+    handle = submit_sweep(population, keygen_factory, KIND_FAILURE,
+                          trials=trials, shards=shards, workers=2)
+    first_chunk = None
+    for _ in handle:
+        if first_chunk is None:
+            first_chunk = time.perf_counter() - start
+    merged = handle.collect()
+    collect = time.perf_counter() - start
+    return reference, merged, single_host, first_chunk, collect
+
+
+def test_service_stream(benchmark, quick):
+    devices = QUICK_DEVICES if quick else DEVICES
+    trials = QUICK_TRIALS if quick else TRIALS
+    shards = QUICK_SHARDS if quick else SHARDS
+    reference, merged, single_host, first_chunk, collect = \
+        benchmark.pedantic(run_stream_comparison,
+                           args=(devices, trials, shards),
+                           rounds=1, iterations=1)
+
+    # Bitwise equivalence before any timing claims.
+    np.testing.assert_array_equal(merged, reference)
+    assert first_chunk is not None
+
+    record("Service streaming — time-to-first-chunk vs collect "
+           f"({devices} devices, {trials} trials, {shards} shards, "
+           "2 workers, merged bitwise == single-host)",
+           table(("path", "wall (s)"),
+                 [("single-host sweep", f"{single_host:.3f}"),
+                  ("first streamed chunk", f"{first_chunk:.3f}"),
+                  ("streamed collect", f"{collect:.3f}")]))
+
+    # Streaming must surface results no later than the full merge.
+    assert first_chunk <= collect

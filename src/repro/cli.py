@@ -192,6 +192,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     from repro.scenario.cli import add_scenario_parser
     add_scenario_parser(sub)
+
+    from repro.service.cli import add_service_parser
+    add_service_parser(sub)
     return parser
 
 
@@ -477,6 +480,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "scenario":
         from repro.scenario.cli import run_scenario
         return run_scenario(args)
+    if args.command == "service":
+        from repro.service.cli import run_service
+        return run_service(args)
     raise AssertionError("unreachable")
 
 

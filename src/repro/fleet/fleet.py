@@ -415,6 +415,34 @@ class Fleet:
         numpy.ndarray
             ``(len(fleet),)`` float64 failure-rate vector.
         """
+        jobs = self.failure_rate_jobs(enrollment, trials, op=op,
+                                      helpers=helpers, chunk=chunk,
+                                      trajectory=trajectory)
+        (rates,) = run_scattered(_failure_rate_job, jobs,
+                                 (np.float64,), workers=workers,
+                                 shared=self._arrays,
+                                 supervision=supervision)
+        return rates
+
+    def failure_rate_jobs(self, enrollment: FleetEnrollment,
+                          trials: int,
+                          op: Optional[OperatingPoint] = None,
+                          helpers: Optional[Sequence[object]] = None,
+                          chunk: int = 1024,
+                          trajectory=None) -> List[_FailureRateJob]:
+        """Build the per-device job list of a failure-rate sweep.
+
+        This is the shard-aware entry point behind
+        :meth:`failure_rates`: it derives the sweep substreams (one
+        ``(noise, transient)`` pair per device, advancing the
+        population root exactly as the direct sweep would) and returns
+        one self-contained, picklable job per device, in fleet order.
+        Executing any partition of the list — locally, in a pool, or
+        on distributed shard workers
+        (:mod:`repro.service`) — and concatenating the per-device
+        outputs in fleet order reproduces :meth:`failure_rates`
+        bitwise.
+        """
         if trials < 1:
             raise ValueError("need at least one trial")
         if chunk < 1:
@@ -425,7 +453,7 @@ class Fleet:
             raise ValueError("one helper per device required")
         resolved = op if op is not None else OperatingPoint()
         trajectories = self._build_trajectories(trajectory)
-        jobs = [_FailureRateJob(array, keygen, helper, resolved,
+        return [_FailureRateJob(array, keygen, helper, resolved,
                                 trials, chunk, stream, transient,
                                 None if trajectories is None
                                 else trajectories[index])
@@ -433,11 +461,6 @@ class Fleet:
                             (stream, transient)) in enumerate(zip(
                     self._arrays, enrollment.keygens, helpers,
                     self._sweep_streams()))]
-        (rates,) = run_scattered(_failure_rate_job, jobs,
-                                 (np.float64,), workers=workers,
-                                 shared=self._arrays,
-                                 supervision=supervision)
-        return rates
 
     def reliability_curve(self, enrollment: FleetEnrollment,
                           temperatures: Sequence[float], trials: int,
@@ -538,25 +561,75 @@ class Fleet:
             per-device results contract is unchanged.
         """
         count = len(self._arrays)
+        spans = None
+        if batch is not None:
+            width = int(batch)
+            if width < 1:
+                raise ValueError("batch must be a positive integer")
+            spans = [(begin, min(begin + width, count))
+                     for begin in range(0, count, width)]
+        jobs = self.attack_chunk_jobs(enrollment, attack_factory,
+                                      spans=spans, op=op,
+                                      lockstep=lockstep, fused=fused,
+                                      trajectory=trajectory,
+                                      workers=workers)
+        reports = run_collected(_attack_chunk_job, jobs,
+                                workers=workers, shared=self._arrays,
+                                supervision=supervision)
+        flat = [entry for report in reports for entry in report]
+        recovered = np.array([entry[0] for entry in flat],
+                             dtype=np.bool_)
+        queries = np.array([entry[1] for entry in flat],
+                           dtype=np.int64)
+        return recovered, queries
+
+    def attack_chunk_jobs(self, enrollment: FleetEnrollment,
+                          attack_factory: AttackFactory,
+                          spans: Optional[Sequence[Tuple[int, int]]]
+                          = None,
+                          op: OperatingPoint = OperatingPoint(),
+                          lockstep: Optional[bool] = None,
+                          fused: Optional[bool] = None,
+                          trajectory=None,
+                          workers: Optional[int] = 1
+                          ) -> List[_AttackChunkJob]:
+        """Build the chunked job list of an attack campaign.
+
+        This is the shard-aware entry point behind
+        :meth:`attack_success` / :meth:`attack_results`: it derives
+        the sweep substreams (advancing the population root exactly as
+        a direct campaign would), resolves the lock-step/fusion knobs,
+        and returns one self-contained, picklable
+        :class:`_AttackChunkJob` per *span* — a ``(start, stop)``
+        device range in fleet order.  *spans* default to the even
+        split :meth:`attack_success` would use for *workers*; pass
+        explicit contiguous ranges (e.g. a
+        :class:`repro.service.ShardPlan`'s) to re-chunk the campaign.
+        Per-device results are bitwise-invariant to the chunking, so
+        any span partition merges to the same outcome.
+        """
+        count = len(self._arrays)
         streams = self._sweep_streams()
         trajectories = self._build_trajectories(trajectory)
-        resolved = resolve_workers(workers, count)
         if lockstep is None:
             lockstep = self._supports_lockstep(enrollment,
                                                attack_factory, op)
         if fused is None:
             fused = bool(lockstep)
-        if batch is None:
+        if spans is None:
+            resolved = resolve_workers(workers, count)
             chunks = max(1, min(count,
                                 resolved if lockstep else 4 * resolved))
             width = -(-count // chunks)
-        else:
-            width = int(batch)
-            if width < 1:
-                raise ValueError("batch must be a positive integer")
+            spans = [(begin, min(begin + width, count))
+                     for begin in range(0, count, width)]
         jobs = []
-        for begin in range(0, count, width):
-            indices = range(begin, min(begin + width, count))
+        for start, stop in spans:
+            if not 0 <= start < stop <= count:
+                raise ValueError(
+                    f"span ({start}, {stop}) outside the fleet's "
+                    f"device range")
+            indices = range(start, stop)
             jobs.append(_AttackChunkJob(
                 [self._arrays[i] for i in indices],
                 [enrollment.keygens[i] for i in indices],
@@ -567,15 +640,7 @@ class Fleet:
                 bool(fused),
                 None if trajectories is None
                 else [trajectories[i] for i in indices]))
-        reports = run_collected(_attack_chunk_job, jobs,
-                                workers=workers, shared=self._arrays,
-                                supervision=supervision)
-        flat = [entry for report in reports for entry in report]
-        recovered = np.array([entry[0] for entry in flat],
-                             dtype=np.bool_)
-        queries = np.array([entry[1] for entry in flat],
-                           dtype=np.int64)
-        return recovered, queries
+        return jobs
 
     def attack_results(self, enrollment: FleetEnrollment,
                        attack_factory: AttackFactory,
@@ -607,8 +672,6 @@ class Fleet:
         supervised executor, and result objects must be picklable.
         """
         count = len(self._arrays)
-        streams = self._sweep_streams()
-        trajectories = self._build_trajectories(trajectory)
         if lockstep is None:
             lockstep = self._supports_lockstep(enrollment,
                                                attack_factory, op)
@@ -616,6 +679,8 @@ class Fleet:
             fused = bool(lockstep)
         resolved = resolve_workers(workers, count)
         if resolved == 1 and supervision is None:
+            streams = self._sweep_streams()
+            trajectories = self._build_trajectories(trajectory)
             built = ([None] * count if trajectories is None
                      else trajectories)
             oracles: List[BatchOracle] = []
@@ -632,22 +697,11 @@ class Fleet:
                 return run_campaign(oracles, attacks,
                                     fused=bool(fused))
             return [attack.run() for attack in attacks]
-        chunks = max(1, min(count,
-                            resolved if lockstep else 4 * resolved))
-        width = -(-count // chunks)
-        jobs = []
-        for begin in range(0, count, width):
-            indices = range(begin, min(begin + width, count))
-            jobs.append(_AttackChunkJob(
-                [self._arrays[i] for i in indices],
-                [enrollment.keygens[i] for i in indices],
-                [enrollment.helpers[i] for i in indices],
-                [enrollment.keys[i] for i in indices],
-                op, attack_factory,
-                [streams[i] for i in indices], bool(lockstep),
-                bool(fused),
-                None if trajectories is None
-                else [trajectories[i] for i in indices]))
+        jobs = self.attack_chunk_jobs(enrollment, attack_factory,
+                                      op=op, lockstep=lockstep,
+                                      fused=fused,
+                                      trajectory=trajectory,
+                                      workers=workers)
         reports = run_collected(_attack_results_chunk_job, jobs,
                                 workers=workers, shared=self._arrays,
                                 supervision=supervision)

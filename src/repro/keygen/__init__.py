@@ -39,12 +39,14 @@ from repro.keygen.distiller_pairing import (
 from repro.keygen.fuzzy_keygen import FuzzyExtractorKeyGen, FuzzyKeyHelper
 from repro.keygen.validation import (
     HardenedGroupBasedKeyGen,
+    HardenedSequentialKeyGen,
     HardenedTempAwareKeyGen,
     HelperDataRejected,
     validate_cooperation_records,
     validate_distiller_amplitude,
     validate_group_membership,
     validate_group_thresholds,
+    validate_pair_thresholds,
 )
 
 __all__ = [
@@ -78,10 +80,12 @@ __all__ = [
     "FuzzyExtractorKeyGen",
     "FuzzyKeyHelper",
     "HardenedGroupBasedKeyGen",
+    "HardenedSequentialKeyGen",
     "HardenedTempAwareKeyGen",
     "HelperDataRejected",
     "validate_cooperation_records",
     "validate_distiller_amplitude",
     "validate_group_membership",
     "validate_group_thresholds",
+    "validate_pair_thresholds",
 ]

@@ -23,6 +23,7 @@ bench ``bench_countermeasures.py`` quantifies what each check stops.
 
 from __future__ import annotations
 
+from typing import Sequence
 
 import numpy as np
 
@@ -30,7 +31,12 @@ from repro.distiller.distiller import DistillerHelper
 from repro.grouping.algorithm import GroupingHelper
 from repro.keygen.base import OperatingPoint, ReconstructionFailure
 from repro.keygen.group_based import GroupBasedKeyGen, GroupBasedKeyHelper
+from repro.keygen.sequential import (
+    SequentialKeyHelper,
+    SequentialPairingKeyGen,
+)
 from repro.keygen.temp_aware import TempAwareKeyGen, TempAwareKeyHelper
+from repro.pairing.base import Pair
 from repro.pairing.temp_aware import TempAwareHelper
 
 
@@ -98,6 +104,26 @@ def validate_group_membership(grouping: GroupingHelper, n: int) -> None:
                 raise HelperDataRejected(
                     f"oscillator {member} appears in two groups")
             seen.add(member)
+
+
+def validate_pair_thresholds(freqs: np.ndarray,
+                             pairs: Sequence[Pair],
+                             threshold: float,
+                             tolerance: float = 0.5) -> None:
+    """Verify the pairing property on the device's own measurements.
+
+    Algorithm 1 only stores a pair when the enrolled frequency gap
+    exceeds ``Δf_th``; a defensive device can recompute that property on
+    the frequencies it just measured (scaled by *tolerance* to absorb
+    measurement noise).  A substituted pair list whose gaps do not stem
+    from the physical array fails the check.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    floor = threshold * tolerance
+    for a, b in pairs:
+        if abs(freqs[a] - freqs[b]) <= floor:
+            raise HelperDataRejected(
+                f"pair ({a}, {b}) violates the measured threshold")
 
 
 def validate_cooperation_records(scheme: TempAwareHelper) -> None:
@@ -189,6 +215,40 @@ class HardenedGroupBasedKeyGen(GroupBasedKeyGen):
         # residuals, so the bit-level fast path would skip it; fall
         # back to row-wise reconstruction.
         """Always ``None``: residual checks resist vectorization."""
+        return None
+
+
+class HardenedSequentialKeyGen(SequentialPairingKeyGen):
+    """Sequential-pairing device that validates helper data before use.
+
+    On top of the structural pair checks the base scheme already
+    enforces (index ranges, disjointness), this variant recomputes the
+    Algorithm 1 threshold property on its own readout: every stored
+    pair must exceed ``Δf_th`` (scaled by *threshold_tolerance*) on the
+    frequencies the device just measured.
+    """
+
+    def __init__(self, threshold: float,
+                 threshold_tolerance: float = 0.5, **kwargs):
+        super().__init__(threshold, **kwargs)
+        self._tolerance = float(threshold_tolerance)
+
+    def reconstruct_from_frequencies(
+            self, array, freqs, helper: SequentialKeyHelper,
+            op: OperatingPoint = OperatingPoint()) -> np.ndarray:
+        """Reject pairs failing the measured threshold, then regenerate."""
+        validate_pair_thresholds(freqs, helper.pairing.pairs,
+                                 self.pairing.threshold,
+                                 self._tolerance)
+        return super().reconstruct_from_frequencies(array, freqs,
+                                                    helper, op)
+
+    def batch_evaluator(self, array, helper: SequentialKeyHelper,
+                        op: OperatingPoint = OperatingPoint()):
+        # The measured-threshold check depends on each query's own
+        # frequencies, so the bit-level fast path would skip it; fall
+        # back to row-wise reconstruction.
+        """Always ``None``: per-readout checks resist vectorization."""
         return None
 
 

@@ -37,6 +37,8 @@ from repro.keygen import (
     DistillerPairingKeyGen,
     FuzzyExtractorKeyGen,
     GroupBasedKeyGen,
+    HardenedSequentialKeyGen,
+    HardenedTempAwareKeyGen,
     SequentialPairingKeyGen,
     TempAwareKeyGen,
 )
@@ -60,7 +62,9 @@ CORPUS_SCHEMA_VERSION = 1
 #: ``noise_scale=4`` tamper probe saturates well outside every band.
 _GEOMETRY: Dict[str, tuple] = {
     "sequential": (8, 16, 150e3),
+    "sequential-hardened": (8, 16, 40e3),
     "temp-aware": (8, 16, 90e3),
+    "temp-aware-hardened": (8, 16, 90e3),
     "group-based": (4, 10, 64e3),
     "distiller": (4, 10, 80e3),
     "fuzzy": (4, 10, 120e3),
@@ -77,9 +81,19 @@ def _keygen_factory(scheme: str) -> Callable[[], object]:
     if scheme == "sequential":
         return functools.partial(SequentialPairingKeyGen,
                                  threshold=300e3)
+    if scheme == "sequential-hardened":
+        # sigma 40e3 with tolerance 0.25 keeps the honest-device
+        # false-reject rate near zero while the device-side pair
+        # check still fires on manipulated helper data.
+        return functools.partial(HardenedSequentialKeyGen,
+                                 threshold=300e3,
+                                 threshold_tolerance=0.25)
     if scheme == "temp-aware":
         return functools.partial(TempAwareKeyGen, t_min=-10, t_max=80,
                                  threshold=150e3)
+    if scheme == "temp-aware-hardened":
+        return functools.partial(HardenedTempAwareKeyGen, t_min=-10,
+                                 t_max=80, threshold=150e3)
     if scheme == "group-based":
         return functools.partial(GroupBasedKeyGen,
                                  group_threshold=250e3)

@@ -33,7 +33,10 @@ import numpy as np
 
 from repro.distiller.distiller import DistillerHelper
 from repro.ecc.sketch import SketchData
+from repro.fuzzy.extractor import FuzzyExtractorHelper
 from repro.grouping.algorithm import GroupingHelper
+from repro.keygen.distiller_pairing import DistillerPairingHelper
+from repro.keygen.fuzzy_keygen import FuzzyKeyHelper
 from repro.keygen.group_based import GroupBasedKeyHelper
 from repro.keygen.sequential import SequentialKeyHelper
 from repro.keygen.temp_aware import TempAwareKeyHelper
@@ -48,6 +51,11 @@ TAG_SEQUENTIAL = 1
 TAG_GROUP_BASED = 2
 TAG_TEMP_AWARE = 3
 TAG_MASKING = 4
+TAG_DISTILLER_PAIRING = 5
+TAG_FUZZY = 6
+#: Not a helper bundle: an enrolled key bit vector (the enrollment
+#: registry stores keys through the same container discipline).
+TAG_KEY_BITS = 7
 
 
 class FormatError(ValueError):
@@ -324,6 +332,120 @@ def load_masking(blob: bytes) -> MaskingHelper:
 
 
 # ----------------------------------------------------------------------
+# distiller + pairing composition
+
+
+def dump_distiller_pairing(helper: DistillerPairingHelper) -> bytes:
+    """Serialise the composed distiller + pairing helper bundle.
+
+    Payload: u16 polynomial degree + f64 coefficients; u16 masking
+    presence flag (0 or 1) followed, when present, by u16 ``k``, u16
+    selection count and the u16 selection indices; sketch bits; 16-byte
+    key check.
+    """
+    writer = _Writer()
+    writer.u16(helper.distiller.degree)
+    for coefficient in helper.distiller.coefficients:
+        writer.f64(coefficient)
+    if helper.masking is None:
+        writer.u16(0)
+    else:
+        writer.u16(1)
+        writer.u16(helper.masking.k)
+        writer.u16(len(helper.masking.selected))
+        for index in helper.masking.selected:
+            writer.u16(index)
+    writer.bits(helper.sketch.payload)
+    if len(helper.key_check) != 16:
+        raise FormatError("key check must be 16 bytes")
+    writer.raw(helper.key_check)
+    return _frame(TAG_DISTILLER_PAIRING, writer.getvalue())
+
+
+def load_distiller_pairing(blob: bytes) -> DistillerPairingHelper:
+    """Parse a composed distiller + pairing helper bundle (strict)."""
+    from repro.puf.variation import n_terms
+
+    reader = _unframe(blob, TAG_DISTILLER_PAIRING)
+    degree = reader.u16()
+    coefficients = np.array([reader.f64()
+                             for _ in range(n_terms(degree))])
+    flag = reader.u16()
+    if flag not in (0, 1):
+        raise FormatError(f"masking presence flag must be 0 or 1, "
+                          f"got {flag}")
+    masking = None
+    if flag:
+        k = reader.u16()
+        count = reader.u16()
+        masking = MaskingHelper(k, tuple(reader.u16()
+                                         for _ in range(count)))
+    payload = reader.bits()
+    key_check = reader.raw(16)
+    reader.finish()
+    return DistillerPairingHelper(DistillerHelper(degree, coefficients),
+                                  masking, SketchData(payload),
+                                  key_check)
+
+
+# ----------------------------------------------------------------------
+# fuzzy extractor (reference solution)
+
+
+def dump_fuzzy(helper: FuzzyKeyHelper) -> bytes:
+    """Serialise the fuzzy-extractor helper bundle (Fig. 7 baseline).
+
+    Payload: sketch bits; hash seed bits; u16 extracted key length;
+    16-byte key check.
+    """
+    writer = _Writer()
+    writer.bits(helper.extractor.sketch.payload)
+    writer.bits(helper.extractor.hash_seed)
+    writer.u16(helper.extractor.out_bits)
+    if len(helper.key_check) != 16:
+        raise FormatError("key check must be 16 bytes")
+    writer.raw(helper.key_check)
+    return _frame(TAG_FUZZY, writer.getvalue())
+
+
+def load_fuzzy(blob: bytes) -> FuzzyKeyHelper:
+    """Parse a fuzzy-extractor helper bundle (strict)."""
+    reader = _unframe(blob, TAG_FUZZY)
+    payload = reader.bits()
+    hash_seed = reader.bits()
+    out_bits = reader.u16()
+    key_check = reader.raw(16)
+    reader.finish()
+    return FuzzyKeyHelper(
+        FuzzyExtractorHelper(SketchData(payload), hash_seed, out_bits),
+        key_check)
+
+
+# ----------------------------------------------------------------------
+# enrolled key bits (registry storage, not a helper bundle)
+
+
+def dump_key_bits(key: np.ndarray) -> bytes:
+    """Serialise an enrolled key bit vector through the container.
+
+    The enrollment registry persists keys next to helper bundles; the
+    same magic/version/tag/length framing applies so a truncated or
+    mis-tagged key file fails parsing instead of yielding a wrong key.
+    """
+    writer = _Writer()
+    writer.bits(key)
+    return _frame(TAG_KEY_BITS, writer.getvalue())
+
+
+def load_key_bits(blob: bytes) -> np.ndarray:
+    """Parse an enrolled key bit vector (strict)."""
+    reader = _unframe(blob, TAG_KEY_BITS)
+    key = reader.bits()
+    reader.finish()
+    return key
+
+
+# ----------------------------------------------------------------------
 # type/tag dispatch
 
 #: ``(tag, helper type, dump, load)`` rows — the single source of truth
@@ -336,6 +458,9 @@ _CODECS = (
     (TAG_TEMP_AWARE, TempAwareKeyHelper, dump_temp_aware,
      load_temp_aware),
     (TAG_MASKING, MaskingHelper, dump_masking, load_masking),
+    (TAG_DISTILLER_PAIRING, DistillerPairingHelper,
+     dump_distiller_pairing, load_distiller_pairing),
+    (TAG_FUZZY, FuzzyKeyHelper, dump_fuzzy, load_fuzzy),
 )
 
 

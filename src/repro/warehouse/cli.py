@@ -126,6 +126,11 @@ def add_warehouse_parser(sub: argparse._SubParsersAction) -> None:
     run.add_argument("--failure-report", default=None, metavar="PATH",
                      help="write the supervised failure-taxonomy "
                           "report (JSON) here")
+    run.add_argument("--enrollment-registry", default=None,
+                     metavar="DIR",
+                     help="persist per-cell enrollments under DIR "
+                          "and reuse them on later runs (identity "
+                          "is bitwise-unchanged)")
 
     verify = wsub.add_parser(
         "verify", help="assert same-key records agree bitwise")
@@ -252,7 +257,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     run_matrix(cells, profile, args.seed, devices, commit,
                progress=print, skip=skip, on_record=_checkpoint,
                stop_after=args.stop_after, workers=args.workers,
-               supervision=supervision)
+               supervision=supervision,
+               registry_dir=args.enrollment_registry)
     if supervision is not None and supervision.failures:
         for line in supervision.summary_lines():
             print(f"  supervised {line}")
@@ -270,7 +276,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.check_reproducible:
         replay = run_matrix(cells, profile, args.seed, devices,
                             commit, skip=skip, workers=args.workers,
-                            supervision=supervision)
+                            supervision=supervision,
+                            registry_dir=args.enrollment_registry)
         drifted = [
             str(first["cell"])
             for first, second in zip(records, replay)

@@ -27,10 +27,12 @@ SCHEMES = ("sequential", "temp-aware", "group-based", "distiller",
            "fuzzy-extractor")
 
 #: Attack families: the §VI-A paired/SPRT/ML distinguishers, the §VI-C
-#: group attack, the §VI-D distiller attack and the §VI-B
-#: temperature-aware attack.
+#: group attack, the §VI-D distiller attack, the §VI-B
+#: temperature-aware attack, plus the reconstruction-timing baseline
+#: of the §VII-C fuzzy-extractor comparison (not an attack on the
+#: scheme — the cost axis the paper trades the attack surface for).
 ATTACKS = ("sequential", "sprt", "ml", "group", "distiller",
-           "temp-aware")
+           "temp-aware", "reconstruction")
 
 #: Countermeasure knobs of ``bench_countermeasures.py``: device-side
 #: validation off ("baseline") or on ("hardened").
@@ -46,6 +48,9 @@ _REASON_NO_HARDENING = ("no device-side validation variant exists "
 _REASON_COVERED = ("covered by the sequential/sequential/hardened "
                    "cell; the distinguisher variant adds no new "
                    "validation surface")
+_REASON_RECON_ONLY = ("the reconstruction-timing baseline quantifies "
+                      "the fuzzy-extractor cost axis only (paper "
+                      "§VII-C)")
 
 
 @dataclass(frozen=True)
@@ -127,11 +132,25 @@ _RUNNABLE: Dict[Tuple[str, str, str], Tuple[MatrixCell, ...]] = {
                   True, 4, 10),
         _runnable("distiller", "distiller", "baseline",
                   "neighbor-overlap", False, 4, 10),),
+    # The §VII-C comparison point: the fuzzy extractor removes the
+    # manipulation channel but pays in reconstruction cost.  These
+    # cells time the reconstruction sweep at the paper's two
+    # geometries so the warehouse carries the trade-off, not just
+    # the n/a records.
+    ("fuzzy-extractor", "reconstruction", "baseline"): (
+        _runnable("fuzzy-extractor", "reconstruction", "baseline",
+                  "4x10", False, 4, 10),
+        _runnable("fuzzy-extractor", "reconstruction", "baseline",
+                  "8x16", False, 8, 16),),
 }
 
 
 def _na_reason(scheme: str, attack: str, countermeasure: str) -> str:
     """Why a non-runnable coordinate is structurally inapplicable."""
+    if attack == "reconstruction":
+        if scheme == "fuzzy-extractor":
+            return _REASON_NO_HARDENING
+        return _REASON_RECON_ONLY
     if scheme == "fuzzy-extractor":
         return _REASON_FUZZY
     matched = {

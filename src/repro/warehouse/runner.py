@@ -23,6 +23,7 @@ import functools
 import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.fleet import (
 )
 from repro.keygen import (
     DistillerPairingKeyGen,
+    FuzzyExtractorKeyGen,
     GroupBasedKeyGen,
     HardenedGroupBasedKeyGen,
     HardenedTempAwareKeyGen,
@@ -102,6 +104,10 @@ def _keygen_factory(cell: MatrixCell) -> Callable[[], object]:
         return functools.partial(DistillerPairingKeyGen, cell.rows,
                                  cell.cols,
                                  pairing_mode=cell.variant, k=5)
+    if cell.scheme == "fuzzy-extractor":
+        out_bits = 48 if cell.variant == "8x16" else 16
+        return functools.partial(FuzzyExtractorKeyGen, cell.rows,
+                                 cell.cols, out_bits=out_bits)
     raise ValueError(f"no keygen factory for scheme {cell.scheme!r}")
 
 
@@ -199,13 +205,19 @@ def matrix_config(cells: Sequence[MatrixCell], profile: str,
 def run_cell(cell: MatrixCell, devices: int, seed: int, commit: str,
              cfg_hash: str, profile: str,
              workers: Optional[int] = 1,
-             supervision=None) -> Dict[str, object]:
+             supervision=None,
+             registry_dir: Optional[str] = None) -> Dict[str, object]:
     """Execute one cell and return its warehouse record.
 
     *workers* / *supervision* thread through to the attack campaign
     (:meth:`repro.fleet.fleet.Fleet.attack_results`); both leave the
     record identity bitwise-unchanged — the fleet engines guarantee
     worker-count invariance and fault-retry equivalence.
+    *registry_dir* (if given) persists each cell's enrollment in a
+    per-cell :class:`repro.service.registry.EnrollmentRegistry` under
+    that directory and reuses it on later runs; because the
+    enrollment stream is spawned independently of the sweep streams,
+    reuse leaves record identity bitwise-unchanged too.
     """
     record: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
@@ -227,7 +239,8 @@ def run_cell(cell: MatrixCell, devices: int, seed: int, commit: str,
         return record
     try:
         body = _run_runnable(cell, devices, seed, workers=workers,
-                             supervision=supervision)
+                             supervision=supervision,
+                             registry_dir=registry_dir)
     except Exception as error:  # defensive: record, don't abort runs
         record.update(status="error",
                       reason=f"{type(error).__name__}: {error}",
@@ -237,9 +250,55 @@ def run_cell(cell: MatrixCell, devices: int, seed: int, commit: str,
     return record
 
 
+#: Reconstruction attempts per device for the §VII-C timing cells.
+RECONSTRUCTION_TRIALS = 64
+
+
+def _cell_enrollment(cell: MatrixCell, fleet: Fleet, enroll_rng,
+                     devices: int, seed: int,
+                     registry_dir: Optional[str]):
+    """Enroll a cell's fleet, through the registry when one is given.
+
+    Returns ``(enrollment, enroll_seconds)``; a registry hit costs
+    no enrollment measurements (``enroll_seconds`` is the load
+    time).  The enrollment stream is an independent spawn of the
+    cell root, so skipping it never shifts the sweep streams.
+    """
+    factory = _keygen_factory(cell)
+    if registry_dir is None:
+        start = time.perf_counter()
+        enrollment = fleet.enroll(factory, seed=enroll_rng)
+        return enrollment, time.perf_counter() - start
+    from repro.service.registry import EnrollmentRegistry
+
+    cell_dir = (Path(registry_dir)
+                / cell.cell_id.replace("/", "__"))
+    start = time.perf_counter()
+    if (cell_dir / "manifest.json").exists():
+        registry = EnrollmentRegistry.open(cell_dir)
+        if (registry.population_seed != seed
+                or registry.devices != devices):
+            raise ValueError(
+                f"registry at {cell_dir} was enrolled for "
+                f"seed={registry.population_seed} "
+                f"devices={registry.devices}, run wants "
+                f"seed={seed} devices={devices}")
+        enrollment = registry.load_enrollment(factory)
+    else:
+        enrollment = fleet.enroll(factory, seed=enroll_rng)
+        registry = EnrollmentRegistry.create(
+            cell_dir, seed, cell.scheme, fleet.params, devices)
+        for helper, key in zip(enrollment.helpers,
+                               enrollment.keys):
+            registry.append(helper, key)
+    return enrollment, time.perf_counter() - start
+
+
 def _run_runnable(cell: MatrixCell, devices: int, seed: int,
                   workers: Optional[int] = 1,
-                  supervision=None) -> Dict[str, object]:
+                  supervision=None,
+                  registry_dir: Optional[str] = None
+                  ) -> Dict[str, object]:
     """The fleet-scale body of :func:`run_cell` for runnable cells."""
     root = np.random.default_rng(
         np.random.SeedSequence(cell.seed_material(seed)))
@@ -251,9 +310,13 @@ def _run_runnable(cell: MatrixCell, devices: int, seed: int,
         params = ROArrayParams(rows=cell.rows, cols=cell.cols)
     fleet = Fleet(params, size=devices, seed=manufacture_rng)
 
-    start = time.perf_counter()
-    enrollment = fleet.enroll(_keygen_factory(cell), seed=enroll_rng)
-    enroll_seconds = time.perf_counter() - start
+    enrollment, enroll_seconds = _cell_enrollment(
+        cell, fleet, enroll_rng, devices, seed, registry_dir)
+
+    if cell.attack == "reconstruction":
+        return _run_reconstruction(fleet, enrollment, enroll_seconds,
+                                   devices, workers=workers,
+                                   supervision=supervision)
 
     lockstep = cell.attack != "temp-aware"
     kernel_before = (kernel_stats.calls, kernel_stats.rows,
@@ -301,6 +364,54 @@ def _run_runnable(cell: MatrixCell, devices: int, seed: int,
     return {"engine": engine, "security": security, "perf": perf}
 
 
+def _run_reconstruction(fleet: Fleet, enrollment, enroll_seconds,
+                        devices: int, workers: Optional[int] = 1,
+                        supervision=None) -> Dict[str, object]:
+    """The §VII-C reconstruction-timing body (fuzzy-extractor cells).
+
+    There is no attack: the cell times the key-regeneration sweep
+    the fuzzy extractor trades its attack surface for, and records
+    per-device reconstruction success through the same security/perf
+    layers so summaries and diffs treat the cell uniformly
+    (``queries`` counts noisy readouts consumed — one per trial).
+    """
+    kernel_before = (kernel_stats.calls, kernel_stats.rows,
+                     kernel_stats.seconds)
+    start = time.perf_counter()
+    rates = fleet.failure_rates(enrollment, RECONSTRUCTION_TRIALS,
+                                workers=workers,
+                                supervision=supervision)
+    attack_seconds = time.perf_counter() - start
+    payloads = [{"recovered": bool(rate == 0.0),
+                 "queries": int(RECONSTRUCTION_TRIALS),
+                 "failure_rate": float(rate)} for rate in rates]
+    recovered = sum(1 for p in payloads if p["recovered"])
+    queries = [int(p["queries"]) for p in payloads]
+    security = {
+        "devices": int(devices),
+        "recovered": int(recovered),
+        "recovery_rate": recovered / devices,
+        "recovered_mask": [bool(p["recovered"]) for p in payloads],
+        "queries": queries,
+        "queries_total": int(sum(queries)),
+        "queries_mean": sum(queries) / devices,
+        "decisions_fingerprint": sha256_hex(
+            [[] for _ in payloads]),
+        "outcome_fingerprint": sha256_hex(payloads),
+        "enrollment_fingerprint": enrollment_fingerprint(
+            enrollment.helpers, enrollment.keys),
+    }
+    perf = {
+        "enroll_seconds": enroll_seconds,
+        "attack_seconds": attack_seconds,
+        "kernel_seconds": kernel_stats.seconds - kernel_before[2],
+        "kernel_calls": int(kernel_stats.calls - kernel_before[0]),
+        "kernel_rows": int(kernel_stats.rows - kernel_before[1]),
+    }
+    return {"engine": "reconstruction-sweep", "security": security,
+            "perf": perf}
+
+
 def run_matrix(cells: Sequence[MatrixCell], profile: str, seed: int,
                devices: int, commit: str,
                progress: Optional[Callable[[str], None]] = None,
@@ -309,7 +420,9 @@ def run_matrix(cells: Sequence[MatrixCell], profile: str, seed: int,
                    Callable[[Dict[str, object]], None]] = None,
                stop_after: Optional[int] = None,
                workers: Optional[int] = 1,
-               supervision=None) -> List[Dict[str, object]]:
+               supervision=None,
+               registry_dir: Optional[str] = None
+               ) -> List[Dict[str, object]]:
     """Execute a matrix; returns one record per executed cell.
 
     Every record of the run shares the same ``(commit, config_hash,
@@ -324,7 +437,7 @@ def run_matrix(cells: Sequence[MatrixCell], profile: str, seed: int,
     resumable when the callback appends to the store incrementally.
     *stop_after* aborts the run after that many executed cells (the
     deterministic interruption used to test resume).  *workers* /
-    *supervision* pass through to :func:`run_cell`.
+    *supervision* / *registry_dir* pass through to :func:`run_cell`.
     """
     cfg_hash = config_hash(matrix_config(cells, profile, seed,
                                          devices))
@@ -338,7 +451,8 @@ def run_matrix(cells: Sequence[MatrixCell], profile: str, seed: int,
             break
         record = run_cell(cell, devices, seed, commit, cfg_hash,
                           profile, workers=workers,
-                          supervision=supervision)
+                          supervision=supervision,
+                          registry_dir=registry_dir)
         records.append(record)
         executed += 1
         if on_record is not None:

@@ -48,9 +48,9 @@ class TestCommittedCorpus:
         seed, entries = corpus
         assert seed == 0
         identifiers = {entry.case.case_id for entry in entries}
-        assert len(identifiers) == len(entries) == 54
+        assert len(identifiers) == len(entries) == 74
         quick = [entry for entry in entries if entry.case.quick]
-        assert len(quick) == 10
+        assert len(quick) == 12
         kinds = {entry.case.kind for entry in entries}
         assert kinds == {"failure", "attack"}
 
@@ -65,12 +65,12 @@ class TestCommittedCorpus:
     def test_quick_slice_in_band(self, corpus):
         seed, entries = corpus
         report = run_conformance(CORPUS_DIR, quick=True)
-        assert len(report.checks) == 10
+        assert len(report.checks) == 12
         assert report.ok, "\n".join(report.lines())
 
     def test_full_corpus_in_band(self):
         report = run_conformance(CORPUS_DIR)
-        assert len(report.checks) == 54
+        assert len(report.checks) == 74
         assert report.ok, "\n".join(report.lines())
         payload = report.to_payload()
         assert payload["ok"] is True

@@ -162,7 +162,7 @@ class TestWarehouse:
 class TestWarehouseResume:
     """Checkpoint/resume and the disjoint verify exit codes."""
 
-    PATTERN = "sequential/*"  # 10 quick cells, 2 runnable
+    PATTERN = "sequential/*"  # 12 quick cells, 2 runnable
 
     def run_slice(self, store, commit, extra=()):
         return main(["warehouse", "run", "--quick", "--cells",
@@ -190,7 +190,7 @@ class TestWarehouseResume:
         assert self.run_slice(store, "c1", extra=["--resume"]) == 0
         out = capsys.readouterr().out
         assert "2 already recorded" in out
-        assert "appended 8 records" in out
+        assert "appended 10 records" in out
         assert "matrix complete:" in out
         # ...with every cell recorded exactly once.
         assert self.verify_slice(store, "c1", extra=["--once"]) == 0
@@ -203,7 +203,7 @@ class TestWarehouseResume:
         capsys.readouterr()
         assert self.run_slice(store, "c1", extra=["--resume"]) == 0
         out = capsys.readouterr().out
-        assert "10 already recorded" in out
+        assert "12 already recorded" in out
         assert "appended 0 records" in out
 
     def test_verify_once_flags_duplicates(self, tmp_path, capsys):

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.keygen import (
+    DistillerPairingKeyGen,
+    FuzzyExtractorKeyGen,
     GroupBasedKeyGen,
     SequentialPairingKeyGen,
     TempAwareKeyGen,
@@ -11,11 +13,19 @@ from repro.keygen import (
 from repro.pairing import MaskingHelper
 from repro.serialization import (
     FormatError,
+    dump_distiller_pairing,
+    dump_fuzzy,
     dump_group_based,
+    dump_helper,
+    dump_key_bits,
     dump_masking,
     dump_sequential,
     dump_temp_aware,
+    load_distiller_pairing,
+    load_fuzzy,
     load_group_based,
+    load_helper,
+    load_key_bits,
     load_masking,
     load_sequential,
     load_temp_aware,
@@ -83,6 +93,48 @@ class TestRoundtrips:
         key = keygen.reconstruct(medium_array, loaded)
         assert key.size == sequential_helper.pairing.bits
 
+    @pytest.mark.parametrize("mode", ["masking", "neighbor-disjoint"])
+    def test_distiller_pairing(self, small_array, mode):
+        keygen = DistillerPairingKeyGen(4, 10, pairing_mode=mode, k=5)
+        helper, _ = keygen.enroll(small_array, rng=3)
+        loaded = load_distiller_pairing(dump_distiller_pairing(helper))
+        assert loaded.distiller.degree == helper.distiller.degree
+        np.testing.assert_array_equal(
+            loaded.distiller.coefficients,
+            helper.distiller.coefficients)
+        assert loaded.masking == helper.masking
+        np.testing.assert_array_equal(loaded.sketch.payload,
+                                      helper.sketch.payload)
+        assert loaded.key_check == helper.key_check
+        assert dump_distiller_pairing(loaded) == \
+            dump_distiller_pairing(helper)
+
+    def test_fuzzy(self, small_array):
+        keygen = FuzzyExtractorKeyGen(4, 10, out_bits=16)
+        helper, _ = keygen.enroll(small_array, rng=4)
+        loaded = load_fuzzy(dump_fuzzy(helper))
+        np.testing.assert_array_equal(
+            loaded.extractor.sketch.payload,
+            helper.extractor.sketch.payload)
+        np.testing.assert_array_equal(loaded.extractor.hash_seed,
+                                      helper.extractor.hash_seed)
+        assert loaded.extractor.out_bits == helper.extractor.out_bits
+        assert loaded.key_check == helper.key_check
+        assert dump_fuzzy(loaded) == dump_fuzzy(helper)
+
+    def test_key_bits(self, rng):
+        key = rng.integers(0, 2, size=37).astype(np.uint8)
+        loaded = load_key_bits(dump_key_bits(key))
+        np.testing.assert_array_equal(loaded, key)
+
+    def test_dump_helper_dispatches_new_codecs(self, small_array):
+        for keygen in (DistillerPairingKeyGen(
+                           4, 10, pairing_mode="masking", k=5),
+                       FuzzyExtractorKeyGen(4, 10, out_bits=16)):
+            helper, _ = keygen.enroll(small_array, rng=5)
+            blob = dump_helper(helper)
+            assert type(load_helper(blob)) is type(helper)
+
 
 class TestStrictParsing:
     def test_bad_magic(self, sequential_helper):
@@ -139,3 +191,18 @@ class TestStrictParsing:
             cut = int(rng.integers(0, len(blob)))
             with pytest.raises((FormatError, ValueError)):
                 load_temp_aware(blob[:cut])
+
+    def test_truncation_fuzzing_new_codecs(self, small_array, rng):
+        keygen = DistillerPairingKeyGen(4, 10,
+                                        pairing_mode="masking", k=5)
+        helper, _ = keygen.enroll(small_array, rng=8)
+        for dump, load, value in (
+                (dump_distiller_pairing, load_distiller_pairing,
+                 helper),
+                (dump_key_bits, load_key_bits,
+                 np.ones(16, dtype=np.uint8))):
+            blob = dump(value)
+            for _ in range(50):
+                cut = int(rng.integers(0, len(blob)))
+                with pytest.raises((FormatError, ValueError)):
+                    load(blob[:cut])

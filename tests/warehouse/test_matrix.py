@@ -38,7 +38,18 @@ class TestFullMatrix:
 
     def test_runnable_count(self):
         runnable = [c for c in full_matrix() if c.runnable]
-        assert len(runnable) == 10
+        assert len(runnable) == 12
+
+    def test_reconstruction_cells(self):
+        recon = [c for c in full_matrix()
+                 if c.attack == "reconstruction"]
+        runnable = [c for c in recon if c.runnable]
+        assert {c.cell_id for c in runnable} == {
+            "fuzzy-extractor[4x10]/reconstruction/baseline",
+            "fuzzy-extractor[8x16]/reconstruction/baseline"}
+        # timing baselines ride the full profile, never CI smoke
+        assert all(not c.quick for c in runnable)
+        assert all(c.reason for c in recon if not c.runnable)
 
 
 class TestQuickMatrix:

@@ -106,6 +106,54 @@ class TestHardenedCell:
         assert record["security"]["recovery_rate"] == 1.0
 
 
+class TestReconstructionCells:
+    RECON = "fuzzy-extractor[4x10]/reconstruction/baseline"
+
+    def test_record_shape(self):
+        cell = cell_by_id(self.RECON)
+        record = run_cell(cell, 2, 0, "c", "h", "quick")
+        assert record["status"] == "ok"
+        assert record["engine"] == "reconstruction-sweep"
+        security = record["security"]
+        assert security["devices"] == 2
+        assert security["queries_mean"] == 64
+        assert len(security["outcome_fingerprint"]) == 64
+        assert record["perf"]["attack_seconds"] > 0
+        assert record["perf"]["kernel_calls"] > 0
+
+    def test_same_seed_identical_identity(self):
+        cell = cell_by_id(self.RECON)
+        first = run_cell(cell, 2, 0, "c", "h", "quick")
+        second = run_cell(cell, 2, 0, "c", "h", "quick")
+        assert canonical_json(record_identity(first)) == \
+            canonical_json(record_identity(second))
+
+
+class TestRegistryReuse:
+    def test_registry_runs_match_fresh_enrollment(self, tmp_path):
+        """create-then-reuse registry runs keep record identity."""
+        cell = cell_by_id(DISTILLER)
+        fresh = run_cell(cell, 2, 0, "c", "h", "quick")
+        created = run_cell(cell, 2, 0, "c", "h", "quick",
+                           registry_dir=str(tmp_path))
+        cell_dir = tmp_path / DISTILLER.replace("/", "__")
+        assert (cell_dir / "manifest.json").exists()
+        reused = run_cell(cell, 2, 0, "c", "h", "quick",
+                          registry_dir=str(tmp_path))
+        want = canonical_json(record_identity(fresh))
+        assert canonical_json(record_identity(created)) == want
+        assert canonical_json(record_identity(reused)) == want
+
+    def test_registry_rejects_population_drift(self, tmp_path):
+        cell = cell_by_id(DISTILLER)
+        run_cell(cell, 2, 0, "c", "h", "quick",
+                 registry_dir=str(tmp_path))
+        drifted = run_cell(cell, 2, 1, "c", "h", "quick",
+                           registry_dir=str(tmp_path))
+        assert drifted["status"] == "error"
+        assert "was enrolled for" in drifted["reason"]
+
+
 class TestSummaryAndDiff:
     def test_build_entry_mirrors_ok_cells(self, distiller_records):
         record, _ = distiller_records
